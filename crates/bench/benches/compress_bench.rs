@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the compression codecs: compression and
+//! decompression throughput on tabular bytes, which back the decompression
+//! seconds-per-GB numbers used throughout the cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scope_compress::{Codec, GzipishCodec, Lz4ishCodec, RleCodec, SnappyishCodec};
+use scope_table::{format, DataLayout, TpchGenerator, TpchOptions, TpchTable};
+
+fn tabular_bytes() -> Vec<u8> {
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: 0.2,
+        ..Default::default()
+    })
+    .unwrap();
+    let table = gen.generate(TpchTable::Orders);
+    format::serialize(&table, DataLayout::Csv).to_vec()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = tabular_bytes();
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("gzip", Box::new(GzipishCodec::default())),
+        ("lz4", Box::new(Lz4ishCodec::default())),
+        ("snappy", Box::new(SnappyishCodec::default())),
+        ("rle", Box::new(RleCodec)),
+    ];
+
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, codec) in &codecs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), codec, |b, codec| {
+            b.iter(|| codec.compress(&data))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, codec) in &codecs {
+        let compressed = codec.compress(&data);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compressed,
+            |b, compressed| b.iter(|| codec.decompress(compressed).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

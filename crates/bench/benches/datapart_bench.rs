@@ -1,0 +1,67 @@
+//! Criterion benchmarks for DATAPART: G-PART on growing numbers of query
+//! families (the heap-based merging is O(m² log m)) and the ordered-case DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_datapart::{
+    gpart_merge, solve_ordered_exact, FileCatalog, MergeConfig, OrderedPartition, Partition,
+};
+use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+
+fn layout() -> Vec<(String, usize)> {
+    vec![
+        ("lineitem".to_string(), 60),
+        ("orders".to_string(), 20),
+        ("customer".to_string(), 6),
+        ("part".to_string(), 6),
+        ("supplier".to_string(), 2),
+        ("partsupp".to_string(), 10),
+        ("nation".to_string(), 1),
+        ("region".to_string(), 1),
+    ]
+}
+
+fn bench_gpart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpart_merge");
+    group.sample_size(20);
+    let mut catalog = FileCatalog::new();
+    for (table, files) in layout() {
+        for i in 0..files {
+            catalog.insert(scope_workload::FileRef::new(table.clone(), i), 1.0);
+        }
+    }
+    for &qpt in &[5usize, 20, 40] {
+        let workload = QueryWorkload::generate_tpch(
+            &layout(),
+            &QueryWorkloadOptions {
+                queries_per_template: qpt,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let initial = Partition::from_families(&workload.families);
+        group.bench_with_input(
+            BenchmarkId::new("families", initial.len()),
+            &initial,
+            |b, initial| b.iter(|| gpart_merge(initial, &catalog, &MergeConfig::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ordered_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_dp");
+    group.sample_size(10);
+    for &n in &[20usize, 60] {
+        let partitions: Vec<OrderedPartition> = (0..n)
+            .map(|i| OrderedPartition::new(i as f64 * 3.0, i as f64 * 3.0 + 8.0, 1.0 + (i % 4) as f64))
+            .collect();
+        let min_cost: f64 = partitions.iter().map(|p| p.span() * p.frequency).sum();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &partitions, |b, parts| {
+            b.iter(|| solve_ordered_exact(parts, min_cost * 2.0, 1.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpart, bench_ordered_dp);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks backing the paper's optimizer timing claims: the
+//! greedy OPTASSIGN is linear in the number of partitions ("the
+//! optimization took 2.53 s on 463 datasets"; "about 47.4 ms on average for
+//! one set of hyperparameters" on the pipeline instances) and the exact
+//! branch-and-bound stays practical on capacity-constrained instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scope_cloudsim::TierCatalog;
+use scope_optassign::{
+    solve_branch_and_bound, solve_greedy, CompressionOption, OptAssignProblem, PartitionSpec,
+};
+
+fn problem(n: usize, with_capacity: bool) -> OptAssignProblem {
+    let mut catalog = TierCatalog::azure_adls_gen2();
+    if with_capacity {
+        catalog.set_capacity("Premium", n as f64 * 10.0).unwrap();
+        catalog.set_capacity("Hot", n as f64 * 30.0).unwrap();
+    }
+    let partitions: Vec<PartitionSpec> = (0..n)
+        .map(|i| {
+            PartitionSpec::new(i, format!("p{i}"), 1.0 + (i % 97) as f64, (i % 31) as f64)
+                .with_compression_option(CompressionOption::new("gzip", 3.5, 4.0))
+                .with_compression_option(CompressionOption::new("snappy", 1.8, 0.4))
+        })
+        .collect();
+    OptAssignProblem::new(catalog, partitions, 6.0)
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optassign_greedy");
+    for &n in &[100usize, 463, 1000] {
+        let p = problem(n, false);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_greedy(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_branch_and_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optassign_branch_and_bound");
+    group.sample_size(10);
+    for &n in &[20usize, 60] {
+        let p = problem(n, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_branch_and_bound(p, 200_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_branch_and_bound);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark for the full SCOPe pipeline: one `run_policy` call
+//! (partitioning + compression blending + tier assignment), matching the
+//! paper's "the optimization takes about 47.4 ms on average for one set of
+//! hyperparameters" claim, plus the hyper-parameter sweep that the paper
+//! reports at ~18.9 s (scaled down here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_core::{
+    run_policy, tpch_scenario, tradeoff_sweep, Policy, PredictorVariant, ScenarioOptions,
+};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let inputs = tpch_scenario(&ScenarioOptions {
+        nominal_total_gb: 100.0,
+        generator_scale: 0.1,
+        queries_per_template: 10,
+        total_files: 80,
+        ..Default::default()
+    })
+    .expect("scenario builds");
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("scope_no_capacity", |b| {
+        let policy = Policy::scope_no_capacity();
+        b.iter(|| run_policy(&inputs, &policy).unwrap())
+    });
+    group.bench_function("scope_total_cost_focused", |b| {
+        let policy = Policy::scope_total_cost_focused();
+        b.iter(|| run_policy(&inputs, &policy).unwrap())
+    });
+    group.bench_function("hyperparameter_sweep", |b| {
+        let alphas = [0.0, 0.3, 1.0, 3.0];
+        b.iter(|| tradeoff_sweep(&inputs, PredictorVariant::GroundTruth, &alphas, 1.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Regenerates paper Fig 4 (compression ratio vs size and vs weighted
+//! entropy for random vs query-derived samples) and Table V (prediction
+//! quality: sampling strategy × feature set).
+
+use scope_bench::heading;
+use scope_compredict::{
+    predictor::build_examples, query_samples, random_samples, CompressionPredictor,
+    FeatureExtractor, FeatureSet, ModelKind, PredictionTask,
+};
+use scope_compress::CompressionScheme;
+use scope_table::{DataLayout, TpchGenerator, TpchOptions, TpchTable};
+use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+
+fn main() {
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: 0.25,
+        ..Default::default()
+    })
+    .expect("generator");
+    let lineitem = gen.generate(TpchTable::Lineitem);
+    let orders = gen.generate(TpchTable::Orders);
+    let li_files = lineitem.split_into_files(100).unwrap();
+    let or_files = orders.split_into_files(50).unwrap();
+    let workload = QueryWorkload::generate_tpch(
+        &[
+            ("lineitem".to_string(), li_files.len()),
+            ("orders".to_string(), or_files.len()),
+        ],
+        &QueryWorkloadOptions {
+            queries_per_template: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let entropy_extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+    let size_extractor = FeatureExtractor::new(FeatureSet::SizeOnly);
+
+    let mut query_tables = query_samples(&lineitem, &li_files, &workload.families).unwrap();
+    query_tables.extend(query_samples(&orders, &or_files, &workload.families).unwrap());
+    let mut random_tables = random_samples(&lineitem, query_tables.len() / 2, 300, 5).unwrap();
+    random_tables.extend(random_samples(&orders, query_tables.len() / 2, 150, 6).unwrap());
+
+    let query_examples =
+        build_examples(&query_tables, CompressionScheme::Gzip, DataLayout::Csv, &entropy_extractor);
+    let random_examples =
+        build_examples(&random_tables, CompressionScheme::Gzip, DataLayout::Csv, &entropy_extractor);
+
+    heading("Fig 4 — gzip compression ratio vs size and vs weighted entropy");
+    println!("{:<16} {:>12} {:>16} {:>10}", "sample kind", "bytes", "text entropy", "ratio");
+    for (kind, examples) in [("query", &query_examples), ("random", &random_examples)] {
+        for e in examples.iter().take(8) {
+            // feature layout: [rows, approx_bytes, H_int, H_float, H_object, H_date]
+            println!(
+                "{:<16} {:>12.0} {:>16.2} {:>10.3}",
+                kind, e.features[1], e.features[4], e.ratio
+            );
+        }
+    }
+    let mean = |ex: &[scope_compredict::TrainingExample]| {
+        ex.iter().map(|e| e.ratio).sum::<f64>() / ex.len() as f64
+    };
+    println!(
+        "mean gzip ratio: query samples {:.3} vs random samples {:.3} (queried data is more repetitive)",
+        mean(&query_examples),
+        mean(&random_examples)
+    );
+
+    heading("Table V — Random-Forest prediction quality by sampling strategy and features");
+    println!(
+        "{:<18} {:<20} {:>8} {:>9} {:>8}",
+        "training data", "features", "MAE", "MAPE %", "R2"
+    );
+    let split = query_examples.len() * 3 / 4;
+    let (train_q, test_q) = query_examples.split_at(split.max(4));
+    let size_query_examples =
+        build_examples(&query_tables, CompressionScheme::Gzip, DataLayout::Csv, &size_extractor);
+    let (train_q_size, _) = size_query_examples.split_at(split.max(4));
+    let cases: Vec<(&str, &str, &[scope_compredict::TrainingExample], FeatureExtractor)> = vec![
+        ("Random samples", "Weighted entropy", &random_examples, entropy_extractor),
+        ("Queries", "Size", train_q_size, size_extractor),
+        ("Queries", "Weighted entropy", train_q, entropy_extractor),
+    ];
+    for (data_kind, features, train, extractor) in cases {
+        let model = CompressionPredictor::train(
+            train,
+            PredictionTask::CompressionRatio,
+            ModelKind::RandomForest,
+            extractor,
+            1,
+        )
+        .expect("training succeeds");
+        // Evaluation always happens on held-out *query* samples with the
+        // matching feature set.
+        let eval_examples = if features == "Size" {
+            build_examples(
+                &query_tables[split.max(4).min(query_tables.len())..],
+                CompressionScheme::Gzip,
+                DataLayout::Csv,
+                &size_extractor,
+            )
+        } else {
+            test_q.to_vec()
+        };
+        let eval = model.evaluate(&eval_examples);
+        println!(
+            "{:<18} {:<20} {:>8.3} {:>9.2} {:>8.3}",
+            data_kind, features, eval.mae, eval.mape, eval.r2
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates paper Table XI: the full policy comparison on the TPC-H
+//! 1 TB-class scenario.
+
+use scope_bench::{heading, print_policy_header, print_policy_row};
+use scope_core::{run_all_policies, tpch_scenario, ScenarioOptions};
+
+fn main() {
+    heading("Table XI — TPC-H 1 TB-class");
+    let inputs = tpch_scenario(&ScenarioOptions {
+        nominal_total_gb: 1000.0,
+        generator_scale: 0.2,
+        queries_per_template: 20,
+        total_files: 150,
+        ..Default::default()
+    })
+    .expect("scenario builds");
+    println!(
+        "scenario: {} tables, {:.0} GB, {} query families, horizon {:.1} months\n",
+        inputs.tables.len(),
+        inputs.total_size_gb(),
+        inputs.families.len(),
+        inputs.horizon_months
+    );
+    print_policy_header();
+    for outcome in run_all_policies(&inputs).expect("policies run") {
+        print_policy_row(&outcome);
+    }
+    println!("\nCosts in cents over the horizon. Lower total cost is better; the SCOPe rows should dominate.");
+}

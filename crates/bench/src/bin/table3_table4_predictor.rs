@@ -1,0 +1,39 @@
+//! Regenerates paper Table III (confusion matrix of the Random-Forest tier
+//! predictor) and Table IV (OPTASSIGN with predicted / known accesses vs the
+//! caching and recency baselines).
+
+use scope_bench::heading;
+use scope_core::{predictor_confusion, tiering_baseline_comparison};
+use scope_learn::{f1_score, precision, recall};
+use scope_workload::EnterpriseOptions;
+
+fn main() {
+    let account = EnterpriseOptions {
+        n_datasets: 760,
+        history_months: 12,
+        future_months: 6,
+        seed: 17,
+        ..Default::default()
+    };
+
+    heading("Table III — predicted vs ideal tier (2-month horizon)");
+    let cm = predictor_confusion(&account, 2).expect("predictor trains");
+    println!("{:>18} {:>8} {:>8}", "", "Pred Hot", "Pred Cool");
+    println!("{:>18} {:>8} {:>8}", "Ideal Hot", cm.counts[0][0], cm.counts[0][1]);
+    println!("{:>18} {:>8} {:>8}", "Ideal Cool", cm.counts[1][0], cm.counts[1][1]);
+    println!(
+        "accuracy {:.3}  |  Hot: precision {:.3} recall {:.3} F1 {:.3}  |  Cool: precision {:.3} recall {:.3} F1 {:.3}",
+        cm.accuracy(),
+        precision(&cm, 0), recall(&cm, 0), f1_score(&cm, 0),
+        precision(&cm, 1), recall(&cm, 1), f1_score(&cm, 1),
+    );
+
+    heading("Table IV — tiering models vs the all-hot baseline (same account)");
+    println!("{:<44} {:>12} {:>9} {:>11}", "Model", "Access info", "Months", "Benefit %");
+    for row in tiering_baseline_comparison(&account).expect("comparison runs") {
+        println!(
+            "{:<44} {:>12} {:>9} {:>11.2}",
+            row.model, row.access_information, row.duration_months, row.benefit_percent
+        );
+    }
+}

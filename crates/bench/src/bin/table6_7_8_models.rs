@@ -1,0 +1,98 @@
+//! Regenerates paper Tables VI, VII and VIII: compression-ratio and
+//! decompression-speed prediction quality for every model family, several
+//! compression schemes / layouts, and the uniform vs skewed data variants.
+
+use scope_bench::heading;
+use scope_compredict::{
+    predictor::build_examples, query_samples, CompressionPredictor, FeatureExtractor, FeatureSet,
+    ModelKind, PredictionTask, TrainingExample,
+};
+use scope_compress::CompressionScheme;
+use scope_table::{DataLayout, TpchGenerator, TpchOptions, TpchTable};
+use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+
+fn samples(scale: f64, skew: Option<f64>, seed: u64) -> Vec<scope_table::Table> {
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: scale,
+        skew,
+        seed,
+    })
+    .expect("generator");
+    let lineitem = gen.generate(TpchTable::Lineitem);
+    let orders = gen.generate(TpchTable::Orders);
+    let li_files = lineitem.split_into_files(80).unwrap();
+    let or_files = orders.split_into_files(40).unwrap();
+    let workload = QueryWorkload::generate_tpch(
+        &[
+            ("lineitem".to_string(), li_files.len()),
+            ("orders".to_string(), or_files.len()),
+        ],
+        &QueryWorkloadOptions {
+            queries_per_template: 6,
+            seed,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut tables = query_samples(&lineitem, &li_files, &workload.families).unwrap();
+    tables.extend(query_samples(&orders, &or_files, &workload.families).unwrap());
+    tables
+}
+
+fn sweep(
+    label: &str,
+    tables: &[scope_table::Table],
+    scheme: CompressionScheme,
+    layout: DataLayout,
+    task: PredictionTask,
+) {
+    let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+    let examples: Vec<TrainingExample> = build_examples(tables, scheme, layout, &extractor);
+    let split = examples.len() * 3 / 4;
+    let (train, test) = examples.split_at(split.max(4));
+    println!("\n  [{label}] scheme = {}, layout = {}", scheme.name(), layout.name());
+    println!("  {:<16} {:>8} {:>9} {:>8}", "model", "MAE", "MAPE %", "R2");
+    for kind in ModelKind::all() {
+        match CompressionPredictor::train(train, task, kind, extractor, 3) {
+            Ok(model) => {
+                let eval = model.evaluate(test);
+                println!(
+                    "  {:<16} {:>8.3} {:>9.2} {:>8.3}",
+                    kind.name(),
+                    eval.mae,
+                    eval.mape,
+                    eval.r2
+                );
+            }
+            Err(e) => println!("  {:<16} failed: {e}", kind.name()),
+        }
+    }
+}
+
+fn main() {
+    heading("Table VI — compression-ratio prediction, TPC-H 1GB-class (uniform)");
+    let small = samples(0.25, None, 7);
+    for (scheme, layout) in [
+        (CompressionScheme::Gzip, DataLayout::Csv),
+        (CompressionScheme::Snappy, DataLayout::Csv),
+        (CompressionScheme::Gzip, DataLayout::Columnar),
+        (CompressionScheme::Snappy, DataLayout::Columnar),
+        (CompressionScheme::Lz4, DataLayout::Columnar),
+    ] {
+        sweep("TPC-H 1GB", &small, scheme, layout, PredictionTask::CompressionRatio);
+    }
+
+    heading("Table VII — compression-ratio prediction at larger scale and with Zipf skew");
+    let large = samples(0.6, None, 11);
+    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::CompressionRatio);
+    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::CompressionRatio);
+    let skewed = samples(0.25, Some(3.0), 13);
+    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::CompressionRatio);
+    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::CompressionRatio);
+
+    heading("Table VIII — decompression speed (sec/GB) prediction");
+    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::DecompressionSpeed);
+    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::DecompressionSpeed);
+    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::DecompressionSpeed);
+    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::DecompressionSpeed);
+}

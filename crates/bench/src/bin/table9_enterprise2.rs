@@ -1,0 +1,22 @@
+//! Regenerates paper Table IX: the full policy comparison on the
+//! Enterprise Data II scenario (3 tables, ~1.5 GB, Zipf-skewed queries).
+
+use scope_bench::{heading, print_policy_header, print_policy_row};
+use scope_core::{enterprise2_scenario, run_all_policies};
+
+fn main() {
+    heading("Table IX — Enterprise Data II (3 tables, ~1.5 GB, Zipf queries)");
+    let inputs = enterprise2_scenario(1.5, 200, 5).expect("scenario builds");
+    println!(
+        "scenario: {} tables, {:.2} GB, {} query families, horizon {:.1} months\n",
+        inputs.tables.len(),
+        inputs.total_size_gb(),
+        inputs.families.len(),
+        inputs.horizon_months
+    );
+    print_policy_header();
+    for outcome in run_all_policies(&inputs).expect("policies run") {
+        print_policy_row(&outcome);
+    }
+    println!("\nCosts in cents over the horizon. Lower total cost is better; the SCOPe rows should dominate.");
+}

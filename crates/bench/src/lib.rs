@@ -1,0 +1,70 @@
+//! # scope-bench
+//!
+//! Benchmark harness for the SCOPe reproduction.
+//!
+//! Two kinds of targets live in this crate:
+//!
+//! * **Experiment binaries** (`src/bin/*.rs`, run with
+//!   `cargo run --release -p scope-bench --bin <name>`): each regenerates
+//!   one table or figure of the paper and prints the corresponding rows /
+//!   series. The mapping from paper table/figure to binary is listed in
+//!   `DESIGN.md` and `EXPERIMENTS.md`.
+//! * **Criterion benches** (`benches/*.rs`, run with `cargo bench`): timing
+//!   benchmarks backing the paper's performance claims (the optimizer runs
+//!   in tens of milliseconds, scales linearly in the number of partitions,
+//!   G-PART handles hundreds of query families, the codecs process MBs in
+//!   milliseconds).
+//!
+//! This library only holds small shared formatting helpers.
+
+/// Format a floating-point cell with a fixed width for the printed tables.
+pub fn cell(value: f64) -> String {
+    if value.abs() >= 1000.0 {
+        format!("{value:>10.1}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:>10.2}")
+    } else {
+        format!("{value:>10.4}")
+    }
+}
+
+/// Print a titled separator so the binary outputs are easy to scan.
+pub fn heading(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Print one row of a pipeline-policy table (Tables IX–XI style).
+pub fn print_policy_row(outcome: &scope_core::PolicyOutcome) {
+    println!(
+        "{:<42} {:>10.1} {:>9.2} {:>9.1} {:>10.1} {:>9.4} {:>10.3}  {:?}",
+        outcome.policy,
+        outcome.storage_cost,
+        outcome.decompression_cost,
+        outcome.read_cost,
+        outcome.total_cost,
+        outcome.read_latency_ttfb,
+        outcome.expected_decompression_ms,
+        outcome.tiering_scheme
+    );
+}
+
+/// Print the header matching [`print_policy_row`].
+pub fn print_policy_header() {
+    println!(
+        "{:<42} {:>10} {:>9} {:>9} {:>10} {:>9} {:>10}  {}",
+        "Policy", "Storage", "Decomp", "Read", "Total", "TTFB(s)", "Decomp(ms)", "Tiering"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_widths_adapt_to_magnitude() {
+        assert!(cell(12345.6).contains("12345.6"));
+        assert!(cell(3.14159).contains("3.14"));
+        assert!(cell(0.01234).contains("0.0123"));
+        assert_eq!(cell(1.0).len(), 10);
+    }
+}

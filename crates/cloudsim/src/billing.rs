@@ -1,0 +1,427 @@
+//! Billing simulator: replays an access trace against a tier placement and
+//! accrues the real monthly costs the cloud provider would charge.
+//!
+//! The optimizer works with *projected* accesses; the billing simulator is
+//! what we use to evaluate a placement against the accesses that actually
+//! happen, exactly as the paper computes "% cost benefit compared to the
+//! platform baseline" for Tables II and IV. It also charges early-deletion
+//! penalties when an object is moved off a tier before the tier's minimum
+//! residency period, one of the reasons the paper recommends per-billing-
+//! period (not ad-hoc) tier changes.
+
+use crate::cost::{CostBreakdown, CostModel, ObjectSpec};
+use crate::error::CloudSimError;
+use crate::tiers::{TierCatalog, TierId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kind of an access event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A read of (part of) the object.
+    Read,
+    /// A write / append to the object.
+    Write,
+}
+
+/// One access to an object during the billed horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Name of the object being accessed (must match an [`ObjectSpec`]).
+    pub object: String,
+    /// Month index (0-based) within the billing horizon.
+    pub month: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Volume touched by this access in GB. For full-object scans this is
+    /// the object size; selective queries touch less.
+    pub volume_gb: f64,
+}
+
+impl AccessEvent {
+    /// Convenience constructor for a read event.
+    pub fn read(object: impl Into<String>, month: u32, volume_gb: f64) -> Self {
+        AccessEvent {
+            object: object.into(),
+            month,
+            kind: AccessKind::Read,
+            volume_gb,
+        }
+    }
+
+    /// Convenience constructor for a write event.
+    pub fn write(object: impl Into<String>, month: u32, volume_gb: f64) -> Self {
+        AccessEvent {
+            object: object.into(),
+            month,
+            kind: AccessKind::Write,
+            volume_gb,
+        }
+    }
+}
+
+/// Cost accrued in a single month of the simulated horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MonthlyCost {
+    /// Month index (0-based).
+    pub month: u32,
+    /// Cost breakdown for the month, cents.
+    pub breakdown: CostBreakdown,
+    /// Early-deletion penalties charged this month, cents.
+    pub early_deletion_penalty: f64,
+}
+
+impl MonthlyCost {
+    /// Total cost of the month including penalties.
+    pub fn total(&self) -> f64 {
+        self.breakdown.total() + self.early_deletion_penalty
+    }
+}
+
+/// Result of a billing simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BillingReport {
+    /// Per-month costs, indexed by month.
+    pub months: Vec<MonthlyCost>,
+    /// Per-object totals in cents.
+    pub per_object: HashMap<String, f64>,
+}
+
+impl BillingReport {
+    /// Grand total over the horizon, cents.
+    pub fn total(&self) -> f64 {
+        self.months.iter().map(|m| m.total()).sum()
+    }
+
+    /// Total of one cost component over the horizon.
+    pub fn total_breakdown(&self) -> CostBreakdown {
+        let mut acc = CostBreakdown::default();
+        for m in &self.months {
+            acc.accumulate(&m.breakdown);
+        }
+        acc
+    }
+
+    /// Percentage benefit of this report relative to a baseline report:
+    /// `100 * (baseline - this) / baseline`. This is the "% cost benefit"
+    /// reported in Tables II and IV.
+    pub fn percent_benefit_vs(&self, baseline: &BillingReport) -> f64 {
+        let b = baseline.total();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (b - self.total()) / b
+    }
+}
+
+/// A placement decision for one object over the billed horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Tier the object is stored on for the horizon.
+    pub tier: TierId,
+    /// Compression ratio the object is stored at (1.0 = uncompressed).
+    pub compression_ratio: f64,
+    /// Decompression seconds paid per read access.
+    pub decompression_seconds: f64,
+}
+
+impl Placement {
+    /// Uncompressed placement on `tier`.
+    pub fn uncompressed(tier: TierId) -> Self {
+        Placement {
+            tier,
+            compression_ratio: 1.0,
+            decompression_seconds: 0.0,
+        }
+    }
+}
+
+/// Replays accesses against placements and accrues monthly costs.
+#[derive(Debug, Clone)]
+pub struct BillingSimulator {
+    model: CostModel,
+    objects: Vec<ObjectSpec>,
+    placements: HashMap<String, Placement>,
+}
+
+impl BillingSimulator {
+    /// Create a simulator over the given catalog.
+    pub fn new(catalog: TierCatalog) -> Self {
+        BillingSimulator {
+            model: CostModel::new(catalog),
+            objects: Vec::new(),
+            placements: HashMap::new(),
+        }
+    }
+
+    /// Register an object and its placement for the horizon.
+    pub fn place(&mut self, obj: ObjectSpec, placement: Placement) -> Result<(), CloudSimError> {
+        obj.validate()?;
+        // Validate the tier exists in the catalog.
+        self.model.catalog().tier(placement.tier)?;
+        self.placements.insert(obj.name.clone(), placement);
+        self.objects.push(obj);
+        Ok(())
+    }
+
+    /// Number of placed objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Run the simulation over `horizon_months` months with the given access
+    /// trace. Storage is charged for every month of the horizon; the tier
+    /// change (write) cost of moving each object from its `current_tier` to
+    /// its placement tier is charged in month 0; reads and writes are
+    /// charged in the month they occur.
+    ///
+    /// If an object's current tier has an early-deletion period and the
+    /// object is moved away in month 0, the remaining months of the minimum
+    /// residency are charged as a penalty at the old tier's storage rate
+    /// (this is how Azure bills early deletion from Cool/Archive).
+    pub fn run(
+        &self,
+        horizon_months: u32,
+        accesses: &[AccessEvent],
+    ) -> Result<BillingReport, CloudSimError> {
+        if horizon_months == 0 {
+            return Err(CloudSimError::InvalidParameter {
+                name: "horizon_months",
+                value: 0.0,
+            });
+        }
+        let mut months: Vec<MonthlyCost> = (0..horizon_months)
+            .map(|m| MonthlyCost {
+                month: m,
+                ..Default::default()
+            })
+            .collect();
+        let mut per_object: HashMap<String, f64> = HashMap::with_capacity(self.objects.len());
+
+        // Storage + migration costs.
+        for obj in &self.objects {
+            let placement = &self.placements[&obj.name];
+            let stored_gb = obj.size_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
+            let mut obj_total = 0.0;
+
+            // Monthly storage.
+            for m in months.iter_mut() {
+                let c = self.model.storage_cost(placement.tier, stored_gb, 1.0);
+                m.breakdown.storage += c;
+                obj_total += c;
+            }
+
+            // One-time migration / ingest write in month 0.
+            let change = self
+                .model
+                .tier_change_cost(obj.current_tier, placement.tier, stored_gb);
+            months[0].breakdown.write += change;
+            obj_total += change;
+
+            // Early deletion penalty if moved off a tier with a minimum
+            // residency period.
+            if let Some(from) = obj.current_tier {
+                if from != placement.tier {
+                    let from_tier = self.model.catalog().tier(from)?;
+                    if from_tier.early_deletion_days > 0 {
+                        let remaining_months = from_tier.early_deletion_days as f64 / 30.0;
+                        let penalty = from_tier.storage_cost_cents_per_gb_month
+                            * obj.size_gb
+                            * remaining_months;
+                        months[0].early_deletion_penalty += penalty;
+                        obj_total += penalty;
+                    }
+                }
+            }
+
+            per_object.insert(obj.name.clone(), obj_total);
+        }
+
+        // Access costs.
+        for ev in accesses {
+            if ev.month >= horizon_months {
+                continue; // outside the billed horizon
+            }
+            let Some(placement) = self.placements.get(&ev.object) else {
+                continue; // accesses to unknown objects are ignored
+            };
+            if !ev.volume_gb.is_finite() || ev.volume_gb < 0.0 {
+                return Err(CloudSimError::InvalidParameter {
+                    name: "volume_gb",
+                    value: ev.volume_gb,
+                });
+            }
+            let effective_gb = ev.volume_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
+            let m = &mut months[ev.month as usize];
+            let cost = match ev.kind {
+                AccessKind::Read => {
+                    let read = self.model.read_cost(placement.tier, effective_gb, 1.0);
+                    let decomp = self
+                        .model
+                        .decompression_cost(placement.decompression_seconds, 1.0);
+                    m.breakdown.read += read;
+                    m.breakdown.decompression += decomp;
+                    read + decomp
+                }
+                AccessKind::Write => {
+                    let w = self.model.write_cost(placement.tier, effective_gb);
+                    m.breakdown.write += w;
+                    w
+                }
+            };
+            *per_object.entry(ev.object.clone()).or_insert(0.0) += cost;
+        }
+
+        Ok(BillingReport { months, per_object })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> BillingSimulator {
+        BillingSimulator::new(TierCatalog::azure_adls_gen2())
+    }
+
+    #[test]
+    fn storage_is_charged_every_month() {
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        s.place(ObjectSpec::new("a", 10.0), Placement::uncompressed(hot))
+            .unwrap();
+        let report = s.run(6, &[]).unwrap();
+        assert_eq!(report.months.len(), 6);
+        let per_month = 10.0 * 2.08;
+        for m in &report.months {
+            assert!((m.breakdown.storage - per_month).abs() < 1e-9);
+        }
+        // Month 0 also carries the ingest write.
+        assert!(report.months[0].breakdown.write > 0.0);
+        assert!(report.months[1].breakdown.write == 0.0);
+    }
+
+    #[test]
+    fn reads_are_charged_in_their_month() {
+        let mut s = sim();
+        let cool = s.model.catalog().tier_id("Cool").unwrap();
+        s.place(ObjectSpec::new("a", 10.0), Placement::uncompressed(cool))
+            .unwrap();
+        let trace = vec![AccessEvent::read("a", 2, 10.0), AccessEvent::read("a", 2, 10.0)];
+        let report = s.run(4, &trace).unwrap();
+        assert_eq!(report.months[0].breakdown.read, 0.0);
+        assert!((report.months[2].breakdown.read - 2.0 * 10.0 * 0.0333).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_deletion_penalty_applies_when_leaving_archive_early() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let archive = catalog.tier_id("Archive").unwrap();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        s.place(
+            ObjectSpec::new("a", 100.0).on_tier(archive),
+            Placement::uncompressed(hot),
+        )
+        .unwrap();
+        let report = s.run(2, &[]).unwrap();
+        assert!(report.months[0].early_deletion_penalty > 0.0);
+        // 180 days = 6 months at the archive storage rate.
+        let expected = 0.099 * 100.0 * 6.0;
+        assert!((report.months[0].early_deletion_penalty - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_penalty_when_staying_on_tier() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let archive = catalog.tier_id("Archive").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        s.place(
+            ObjectSpec::new("a", 100.0).on_tier(archive),
+            Placement::uncompressed(archive),
+        )
+        .unwrap();
+        let report = s.run(2, &[]).unwrap();
+        assert_eq!(report.months[0].early_deletion_penalty, 0.0);
+        assert_eq!(report.months[0].breakdown.write, 0.0);
+    }
+
+    #[test]
+    fn compression_reduces_billed_storage_and_read_volume() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let mut plain = BillingSimulator::new(catalog.clone());
+        plain
+            .place(ObjectSpec::new("a", 100.0), Placement::uncompressed(hot))
+            .unwrap();
+        let mut comp = BillingSimulator::new(catalog);
+        comp.place(
+            ObjectSpec::new("a", 100.0),
+            Placement {
+                tier: hot,
+                compression_ratio: 5.0,
+                decompression_seconds: 1.0,
+            },
+        )
+        .unwrap();
+        let trace = vec![AccessEvent::read("a", 0, 100.0)];
+        let rp = plain.run(3, &trace).unwrap();
+        let rc = comp.run(3, &trace).unwrap();
+        assert!(rc.total_breakdown().storage < rp.total_breakdown().storage);
+        assert!(rc.total_breakdown().read < rp.total_breakdown().read);
+        assert!(rc.total_breakdown().decompression > 0.0);
+    }
+
+    #[test]
+    fn percent_benefit_vs_baseline() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut base = BillingSimulator::new(catalog.clone());
+        base.place(ObjectSpec::new("a", 1000.0), Placement::uncompressed(hot))
+            .unwrap();
+        let mut opt = BillingSimulator::new(catalog);
+        opt.place(ObjectSpec::new("a", 1000.0), Placement::uncompressed(cool))
+            .unwrap();
+        let rb = base.run(6, &[]).unwrap();
+        let ro = opt.run(6, &[]).unwrap();
+        let benefit = ro.percent_benefit_vs(&rb);
+        assert!(benefit > 0.0 && benefit < 100.0);
+    }
+
+    #[test]
+    fn zero_horizon_and_bad_volume_are_rejected() {
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        s.place(ObjectSpec::new("a", 1.0), Placement::uncompressed(hot))
+            .unwrap();
+        assert!(s.run(0, &[]).is_err());
+        let bad = vec![AccessEvent::read("a", 0, f64::NAN)];
+        assert!(s.run(1, &bad).is_err());
+    }
+
+    #[test]
+    fn accesses_to_unknown_objects_or_outside_horizon_are_ignored() {
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        s.place(ObjectSpec::new("a", 1.0), Placement::uncompressed(hot))
+            .unwrap();
+        let trace = vec![
+            AccessEvent::read("nonexistent", 0, 1.0),
+            AccessEvent::read("a", 99, 1.0),
+        ];
+        let report = s.run(2, &trace).unwrap();
+        assert_eq!(report.total_breakdown().read, 0.0);
+    }
+
+    #[test]
+    fn writes_are_charged_at_write_rate() {
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        s.place(ObjectSpec::new("a", 10.0), Placement::uncompressed(hot))
+            .unwrap();
+        let trace = vec![AccessEvent::write("a", 1, 5.0)];
+        let report = s.run(2, &trace).unwrap();
+        assert!(report.months[1].breakdown.write > 0.0);
+    }
+}

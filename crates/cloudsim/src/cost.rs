@@ -1,0 +1,395 @@
+//! Cost model mirroring the OPTASSIGN objective (Eq. 1 of the paper).
+//!
+//! For a partition `P_n` assigned to tier `l` with compression scheme `k`
+//! the paper's objective charges
+//!
+//! ```text
+//!   (alpha * C^s_l + gamma * Delta_{L(P_n),l}) * Sp(P_n) / R^k_n
+//! + beta * rho(P_n) * (C^c * D^k_n + C^r_l * Sp(P_n) / R^k_n)
+//! ```
+//!
+//! [`CostModel`] computes each of these terms; [`CostWeights`] carries the
+//! `alpha`/`beta`/`gamma` hyper-parameters that the pipeline sweeps to obtain
+//! the "latency focused" / "read+decompression focused" / "total cost
+//! focused" variants of Tables IX–XI.
+
+use crate::error::CloudSimError;
+use crate::tiers::{TierCatalog, TierId};
+use serde::{Deserialize, Serialize};
+
+/// Description of a stored object (a data partition or whole dataset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectSpec {
+    /// Stable identifier used in reports.
+    pub name: String,
+    /// Uncompressed size in GB (`Sp(P_n)`).
+    pub size_gb: f64,
+    /// Tier the object currently lives on, if it already exists.
+    /// `None` models newly-ingested data (the paper's `L(P_i) = -1`).
+    pub current_tier: Option<TierId>,
+}
+
+impl ObjectSpec {
+    /// Create a new (not-yet-placed) object of `size_gb` gigabytes.
+    pub fn new(name: impl Into<String>, size_gb: f64) -> Self {
+        ObjectSpec {
+            name: name.into(),
+            size_gb,
+            current_tier: None,
+        }
+    }
+
+    /// Builder-style setter recording the tier the object currently occupies.
+    pub fn on_tier(mut self, tier: TierId) -> Self {
+        self.current_tier = Some(tier);
+        self
+    }
+
+    /// Validate that the size is finite and non-negative.
+    pub fn validate(&self) -> Result<(), CloudSimError> {
+        if !self.size_gb.is_finite() || self.size_gb < 0.0 {
+            return Err(CloudSimError::InvalidParameter {
+                name: "size_gb",
+                value: self.size_gb,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The `alpha`, `beta`, `gamma` weights of the OPTASSIGN objective.
+///
+/// * `alpha` scales the storage cost term,
+/// * `beta` scales the (read + decompression-compute) term,
+/// * `gamma` scales the tier-change / write cost term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Weight on storage cost.
+    pub alpha: f64,
+    /// Weight on read + decompression cost.
+    pub beta: f64,
+    /// Weight on tier-change (write) cost.
+    pub gamma: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Equal weights — the "total cost focused" configuration.
+    pub fn total_cost_focused() -> Self {
+        Self::default()
+    }
+
+    /// Latency-time focused configuration (`alpha = 0`): storage cost is
+    /// ignored and the optimizer minimizes read + decompression latency
+    /// cost, the adaptation of HCompress used as a baseline in the paper.
+    pub fn latency_focused() -> Self {
+        CostWeights {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// Read + decompression cost focused configuration: the read/compute
+    /// term dominates but storage still carries a small weight so that ties
+    /// break towards cheaper storage.
+    pub fn read_decomp_focused() -> Self {
+        CostWeights {
+            alpha: 0.05,
+            beta: 1.0,
+            gamma: 0.05,
+        }
+    }
+
+    /// Custom weights.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Self {
+        CostWeights { alpha, beta, gamma }
+    }
+}
+
+/// Breakdown of the cost of one placement decision (all values in cents).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Storage cost over the projection horizon.
+    pub storage: f64,
+    /// Read cost (per-GB read charges times expected volume read).
+    pub read: f64,
+    /// Write / tier-change cost.
+    pub write: f64,
+    /// Decompression compute cost.
+    pub decompression: f64,
+}
+
+impl CostBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.storage + self.read + self.write + self.decompression
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn add(&self, other: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            storage: self.storage + other.storage,
+            read: self.read + other.read,
+            write: self.write + other.write,
+            decompression: self.decompression + other.decompression,
+        }
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn accumulate(&mut self, other: &CostBreakdown) {
+        self.storage += other.storage;
+        self.read += other.read;
+        self.write += other.write;
+        self.decompression += other.decompression;
+    }
+}
+
+/// Cost model over a [`TierCatalog`].
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    catalog: TierCatalog,
+}
+
+impl CostModel {
+    /// Create a cost model for the given catalog.
+    pub fn new(catalog: TierCatalog) -> Self {
+        CostModel { catalog }
+    }
+
+    /// The underlying tier catalog.
+    pub fn catalog(&self) -> &TierCatalog {
+        &self.catalog
+    }
+
+    /// Storage cost (cents) of keeping `size_gb` gigabytes on `tier` for
+    /// `months` months.
+    pub fn storage_cost(&self, tier: TierId, size_gb: f64, months: f64) -> f64 {
+        let t = self.catalog.tier(tier).expect("tier id from this catalog");
+        t.storage_cost_cents_per_gb_month * size_gb * months
+    }
+
+    /// Read cost (cents) of reading `size_gb` gigabytes `accesses` times
+    /// from `tier`.
+    pub fn read_cost(&self, tier: TierId, size_gb: f64, accesses: f64) -> f64 {
+        let t = self.catalog.tier(tier).expect("tier id from this catalog");
+        t.read_cost_cents_per_gb * size_gb * accesses
+    }
+
+    /// Write cost (cents) of landing `size_gb` gigabytes on `tier`
+    /// (`Delta_{-1,l}` — used both for new ingests and as the write half of
+    /// a tier change).
+    pub fn write_cost(&self, tier: TierId, size_gb: f64) -> f64 {
+        let t = self.catalog.tier(tier).expect("tier id from this catalog");
+        t.write_cost_cents_per_gb * size_gb
+    }
+
+    /// Tier change cost `Delta_{u,v}` for moving `size_gb` GB from `from` to
+    /// `to`: a read from the source tier plus a write to the destination.
+    /// Moving data to the tier it already occupies is free; newly ingested
+    /// data (`from == None`) only pays the write.
+    pub fn tier_change_cost(&self, from: Option<TierId>, to: TierId, size_gb: f64) -> f64 {
+        match from {
+            Some(f) if f == to => 0.0,
+            Some(f) => self.read_cost(f, size_gb, 1.0) + self.write_cost(to, size_gb),
+            None => self.write_cost(to, size_gb),
+        }
+    }
+
+    /// Decompression compute cost (cents) for `accesses` accesses each
+    /// paying `decompression_seconds` of CPU.
+    pub fn decompression_cost(&self, decompression_seconds: f64, accesses: f64) -> f64 {
+        self.catalog.compute_cost_cents_per_second * decompression_seconds * accesses
+    }
+
+    /// Unweighted cost breakdown for placing `obj` on `tier` for `months`
+    /// months with `accesses` expected full-object reads, stored at
+    /// `compression_ratio` (>= 1, 1.0 = uncompressed) and paying
+    /// `decompression_seconds` of CPU per access.
+    pub fn total_cost(
+        &self,
+        obj: &ObjectSpec,
+        tier: TierId,
+        months: f64,
+        accesses: f64,
+        compression_ratio: f64,
+        decompression_seconds: f64,
+    ) -> CostBreakdown {
+        let stored_gb = obj.size_gb / compression_ratio.max(f64::MIN_POSITIVE);
+        CostBreakdown {
+            storage: self.storage_cost(tier, stored_gb, months),
+            read: self.read_cost(tier, stored_gb, accesses),
+            write: self.tier_change_cost(obj.current_tier, tier, stored_gb),
+            decompression: self.decompression_cost(decompression_seconds, accesses),
+        }
+    }
+
+    /// The OPTASSIGN objective value (Eq. 1) for a single placement, i.e.
+    /// the weighted combination of the breakdown computed by
+    /// [`CostModel::total_cost`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn objective(
+        &self,
+        obj: &ObjectSpec,
+        tier: TierId,
+        months: f64,
+        accesses: f64,
+        compression_ratio: f64,
+        decompression_seconds: f64,
+        weights: &CostWeights,
+    ) -> f64 {
+        let b = self.total_cost(
+            obj,
+            tier,
+            months,
+            accesses,
+            compression_ratio,
+            decompression_seconds,
+        );
+        weights.alpha * b.storage
+            + weights.gamma * b.write
+            + weights.beta * (b.read + b.decompression)
+    }
+
+    /// Expected access latency (seconds) of one read of `obj` from `tier`
+    /// when `decompression_seconds` of CPU are needed before the data is
+    /// usable: TTFB plus decompression. This is the quantity bounded by the
+    /// per-partition latency threshold `T(P_n)` in the ILP.
+    pub fn access_latency_seconds(&self, tier: TierId, decompression_seconds: f64) -> f64 {
+        let t = self.catalog.tier(tier).expect("tier id from this catalog");
+        t.ttfb_seconds + decompression_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(TierCatalog::azure_adls_gen2())
+    }
+
+    #[test]
+    fn storage_cost_is_linear_in_size_and_months() {
+        let m = model();
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        let c1 = m.storage_cost(hot, 10.0, 1.0);
+        let c2 = m.storage_cost(hot, 20.0, 1.0);
+        let c3 = m.storage_cost(hot, 10.0, 3.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+        assert!((c3 - 3.0 * c1).abs() < 1e-12);
+        assert!((c1 - 20.8).abs() < 1e-9); // 10 GB * 2.08 c/GB/mo
+    }
+
+    #[test]
+    fn read_cost_uses_per_tier_rate() {
+        let m = model();
+        let premium = m.catalog().tier_id("Premium").unwrap();
+        let archive = m.catalog().tier_id("Archive").unwrap();
+        // Reading 1 GB once.
+        assert!(m.read_cost(premium, 1.0, 1.0) < m.read_cost(archive, 1.0, 1.0));
+        assert!((m.read_cost(archive, 1.0, 1.0) - 16.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_change_cost_same_tier_is_free_and_new_data_only_writes() {
+        let m = model();
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        let cool = m.catalog().tier_id("Cool").unwrap();
+        assert_eq!(m.tier_change_cost(Some(hot), hot, 100.0), 0.0);
+        let new_ingest = m.tier_change_cost(None, cool, 100.0);
+        assert!((new_ingest - m.write_cost(cool, 100.0)).abs() < 1e-12);
+        let change = m.tier_change_cost(Some(hot), cool, 100.0);
+        assert!(change > new_ingest, "a move pays a read plus the write");
+    }
+
+    #[test]
+    fn compression_reduces_storage_and_read_but_adds_compute() {
+        let m = model();
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        let obj = ObjectSpec::new("d", 100.0);
+        let plain = m.total_cost(&obj, hot, 6.0, 10.0, 1.0, 0.0);
+        let compressed = m.total_cost(&obj, hot, 6.0, 10.0, 4.0, 2.0);
+        assert!(compressed.storage < plain.storage);
+        assert!(compressed.read < plain.read);
+        assert_eq!(plain.decompression, 0.0);
+        assert!(compressed.decompression > 0.0);
+        assert!((compressed.storage * 4.0 - plain.storage).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_respects_weights() {
+        let m = model();
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        let obj = ObjectSpec::new("d", 50.0);
+        let storage_only = m.objective(&obj, hot, 6.0, 10.0, 1.0, 0.0, &CostWeights::new(1.0, 0.0, 0.0));
+        let read_only = m.objective(&obj, hot, 6.0, 10.0, 1.0, 0.0, &CostWeights::new(0.0, 1.0, 0.0));
+        let b = m.total_cost(&obj, hot, 6.0, 10.0, 1.0, 0.0);
+        assert!((storage_only - b.storage).abs() < 1e-12);
+        assert!((read_only - (b.read + b.decompression)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_is_ttfb_plus_decompression() {
+        let m = model();
+        let archive = m.catalog().tier_id("Archive").unwrap();
+        let lat = m.access_latency_seconds(archive, 12.0);
+        assert!((lat - 3612.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_total_and_accumulate() {
+        let a = CostBreakdown {
+            storage: 1.0,
+            read: 2.0,
+            write: 3.0,
+            decompression: 4.0,
+        };
+        let b = CostBreakdown {
+            storage: 0.5,
+            read: 0.5,
+            write: 0.5,
+            decompression: 0.5,
+        };
+        assert_eq!(a.total(), 10.0);
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(acc.total(), 12.0);
+        assert_eq!(a.add(&b).total(), 12.0);
+    }
+
+    #[test]
+    fn object_spec_validation() {
+        assert!(ObjectSpec::new("ok", 1.0).validate().is_ok());
+        assert!(ObjectSpec::new("neg", -1.0).validate().is_err());
+        assert!(ObjectSpec::new("nan", f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn cheapest_tier_depends_on_access_frequency() {
+        // The core economic trade-off the paper exploits: rarely-read data is
+        // cheaper on Cool/Archive, hot data is cheaper on Hot even though its
+        // storage rate is higher.
+        let m = model();
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        let archive = m.catalog().tier_id("Archive").unwrap();
+        let obj = ObjectSpec::new("d", 1000.0);
+        // 0 accesses over 6 months: archive wins.
+        let cold_hot = m.total_cost(&obj, hot, 6.0, 0.0, 1.0, 0.0).total();
+        let cold_arch = m.total_cost(&obj, archive, 6.0, 0.0, 1.0, 0.0).total();
+        assert!(cold_arch < cold_hot);
+        // 100 full reads over 6 months: hot wins.
+        let busy_hot = m.total_cost(&obj, hot, 6.0, 100.0, 1.0, 0.0).total();
+        let busy_arch = m.total_cost(&obj, archive, 6.0, 100.0, 1.0, 0.0).total();
+        assert!(busy_hot < busy_arch);
+    }
+}

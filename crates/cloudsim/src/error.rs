@@ -1,0 +1,80 @@
+//! Error type for the cloud simulator.
+
+use std::fmt;
+
+/// Errors produced by the cloud storage simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudSimError {
+    /// A tier name or id was requested that does not exist in the catalog.
+    UnknownTier(String),
+    /// A tier catalog was constructed with no tiers.
+    EmptyCatalog,
+    /// An object size, access count or horizon was negative or non-finite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was rejected.
+        value: f64,
+    },
+    /// Capacity reservation on a tier was exceeded by a placement.
+    CapacityExceeded {
+        /// Tier whose reservation was exceeded.
+        tier: String,
+        /// Reserved capacity in GB.
+        capacity_gb: f64,
+        /// Requested placement volume in GB.
+        requested_gb: f64,
+    },
+}
+
+impl fmt::Display for CloudSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudSimError::UnknownTier(name) => write!(f, "unknown storage tier: {name}"),
+            CloudSimError::EmptyCatalog => write!(f, "tier catalog must contain at least one tier"),
+            CloudSimError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+            CloudSimError::CapacityExceeded {
+                tier,
+                capacity_gb,
+                requested_gb,
+            } => write!(
+                f,
+                "capacity exceeded on tier {tier}: reserved {capacity_gb} GB, requested {requested_gb} GB"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CloudSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_tier() {
+        let e = CloudSimError::UnknownTier("Frozen".to_string());
+        assert_eq!(e.to_string(), "unknown storage tier: Frozen");
+    }
+
+    #[test]
+    fn display_capacity_exceeded_mentions_tier_and_sizes() {
+        let e = CloudSimError::CapacityExceeded {
+            tier: "Premium".to_string(),
+            capacity_gb: 10.0,
+            requested_gb: 12.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Premium"));
+        assert!(s.contains("10"));
+        assert!(s.contains("12.5"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(CloudSimError::EmptyCatalog);
+        assert!(e.to_string().contains("at least one tier"));
+    }
+}

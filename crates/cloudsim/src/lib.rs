@@ -1,0 +1,53 @@
+//! # scope-cloudsim
+//!
+//! Cloud storage tier catalog, cost model and billing simulator.
+//!
+//! This crate is the *substrate* that replaces the real cloud (Azure ADLS
+//! Gen2 in the paper) for the SCOPe reproduction. The optimizer in
+//! `scope-optassign` never talks to a real cloud provider — it only needs
+//! the per-tier cost/latency parameters (paper Table I and Table XII) and a
+//! way of accounting costs over a billing horizon. Both are provided here.
+//!
+//! The main entry points are:
+//!
+//! * [`TierCatalog`] — the set of storage tiers with their storage cost,
+//!   read cost, write cost, time-to-first-byte and early-deletion period.
+//!   [`TierCatalog::azure_adls_gen2`] reproduces the numbers of the paper.
+//! * [`CostModel`] — computes storage / read / write / tier-change /
+//!   decompression-compute costs for an object of a given size over a
+//!   projection horizon, exactly mirroring the terms of the OPTASSIGN
+//!   objective (Eq. 1 of the paper).
+//! * [`BillingSimulator`] — replays an access trace against a placement and
+//!   accrues actual monthly costs, including early-deletion penalties,
+//!   which is how the "% cost benefit" numbers of Tables II and IV are
+//!   produced.
+//!
+//! ```
+//! use scope_cloudsim::{TierCatalog, CostModel, ObjectSpec};
+//!
+//! let catalog = TierCatalog::azure_adls_gen2();
+//! let model = CostModel::new(catalog.clone());
+//! let obj = ObjectSpec::new("dataset-42", 100.0); // 100 GB
+//! let hot = catalog.tier_id("Hot").unwrap();
+//! let cool = catalog.tier_id("Cool").unwrap();
+//! // Storing 100 GB for 6 months is cheaper on Cool, but reads are more
+//! // expensive there than on Hot.
+//! let cost_hot = model.total_cost(&obj, hot, 6.0, 50.0, 1.0, 0.0);
+//! let cost_cool = model.total_cost(&obj, cool, 6.0, 50.0, 1.0, 0.0);
+//! assert!(cost_hot.storage > cost_cool.storage);
+//! assert!(cost_hot.read < cost_cool.read);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod cost;
+pub mod error;
+pub mod sla;
+pub mod tiers;
+
+pub use billing::{AccessEvent, AccessKind, BillingReport, BillingSimulator, MonthlyCost};
+pub use cost::{CostBreakdown, CostModel, CostWeights, ObjectSpec};
+pub use error::CloudSimError;
+pub use sla::{LatencyEstimate, SlaPolicy};
+pub use tiers::{Tier, TierCatalog, TierId};

@@ -1,0 +1,119 @@
+//! Latency SLA policies.
+//!
+//! Every partition carries a latency threshold `T(P_n)`; the OPTASSIGN ILP
+//! only allows assignments whose time-to-first-byte plus decompression time
+//! stays under that threshold. [`SlaPolicy`] captures common threshold
+//! choices and [`LatencyEstimate`] is the quantity compared against it.
+
+use serde::{Deserialize, Serialize};
+
+/// An estimated access latency for a candidate placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEstimate {
+    /// Time to first byte of the chosen tier, seconds.
+    pub ttfb_seconds: f64,
+    /// Expected decompression time per access, seconds.
+    pub decompression_seconds: f64,
+}
+
+impl LatencyEstimate {
+    /// Total expected latency in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.ttfb_seconds + self.decompression_seconds
+    }
+}
+
+/// Latency service-level agreement for a partition or dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlaPolicy {
+    /// No latency requirement — any tier (including Archive) is acceptable.
+    BestEffort,
+    /// Interactive access: single-digit milliseconds. Effectively pins the
+    /// data to the Premium tier in the Azure catalog.
+    Interactive,
+    /// Online analytics: sub-second first byte. Excludes Archive.
+    Online,
+    /// Batch analytics: latency up to the given number of seconds.
+    MaxSeconds(f64),
+}
+
+impl SlaPolicy {
+    /// Threshold in seconds that an access latency must not exceed.
+    pub fn threshold_seconds(&self) -> f64 {
+        match self {
+            SlaPolicy::BestEffort => f64::INFINITY,
+            SlaPolicy::Interactive => 0.010,
+            SlaPolicy::Online => 1.0,
+            SlaPolicy::MaxSeconds(s) => *s,
+        }
+    }
+
+    /// Does the estimated latency satisfy this SLA?
+    pub fn admits(&self, estimate: &LatencyEstimate) -> bool {
+        estimate.total_seconds() <= self.threshold_seconds()
+    }
+
+    /// Relax the policy by a multiplicative factor. Used by the pipeline
+    /// when the ILP is infeasible and the paper prescribes that "latency
+    /// requirements need to be relaxed iteratively till a feasible solution
+    /// is found".
+    pub fn relaxed(&self, factor: f64) -> SlaPolicy {
+        match self {
+            SlaPolicy::BestEffort => SlaPolicy::BestEffort,
+            other => SlaPolicy::MaxSeconds(other.threshold_seconds() * factor),
+        }
+    }
+}
+
+impl Default for SlaPolicy {
+    fn default() -> Self {
+        SlaPolicy::BestEffort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_ordered() {
+        assert!(SlaPolicy::Interactive.threshold_seconds() < SlaPolicy::Online.threshold_seconds());
+        assert!(SlaPolicy::Online.threshold_seconds() < SlaPolicy::BestEffort.threshold_seconds());
+    }
+
+    #[test]
+    fn admits_compares_total_latency() {
+        let est = LatencyEstimate {
+            ttfb_seconds: 0.06,
+            decompression_seconds: 0.5,
+        };
+        assert!(!SlaPolicy::Interactive.admits(&est));
+        assert!(SlaPolicy::Online.admits(&est));
+        assert!(SlaPolicy::BestEffort.admits(&est));
+        assert!(SlaPolicy::MaxSeconds(0.5).admits(&est) == false);
+        assert!(SlaPolicy::MaxSeconds(0.6).admits(&est));
+    }
+
+    #[test]
+    fn relaxation_scales_threshold() {
+        let sla = SlaPolicy::Online;
+        let relaxed = sla.relaxed(10.0);
+        assert_eq!(relaxed.threshold_seconds(), 10.0);
+        // BestEffort stays unbounded.
+        assert_eq!(
+            SlaPolicy::BestEffort.relaxed(10.0).threshold_seconds(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn archive_excluded_by_online_sla() {
+        // An archive read has a 1 hour TTFB; the Online SLA must reject it.
+        let est = LatencyEstimate {
+            ttfb_seconds: 3600.0,
+            decompression_seconds: 0.0,
+        };
+        assert!(!SlaPolicy::Online.admits(&est));
+        assert!(SlaPolicy::BestEffort.admits(&est));
+    }
+}

@@ -1,0 +1,299 @@
+//! Feature extraction for compression prediction.
+//!
+//! The paper's key finding is that dataset size or datatype alone do not
+//! predict compression well; what does is the *weighted entropy* per data
+//! type,
+//!
+//! ```text
+//! H(P, d) = - Σ_{s ∈ P[:, d]} len(s) · pr(s) · log(pr(s))
+//! ```
+//!
+//! computed over the string representations `s` of all values of columns of
+//! type `d` in partition `P` — an approximate measure of how much repetition
+//! the columns of that type carry. The *bucketed* variant computes the same
+//! quantity per successive 20% of rows to capture the effect of sorting.
+
+use scope_table::{ColumnData, ColumnType, Table};
+use std::collections::HashMap;
+
+/// Which feature set to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// Only the serialized size (and row count) of the partition — the
+    /// baseline the paper shows is insufficient on query-derived samples.
+    SizeOnly,
+    /// Size features plus one weighted-entropy feature per data type.
+    WeightedEntropy,
+    /// Size features plus bucketed (per-20%-of-rows) weighted entropy per
+    /// data type — the variant proposed for sorted data.
+    BucketedEntropy,
+}
+
+impl FeatureSet {
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureSet::SizeOnly => "size",
+            FeatureSet::WeightedEntropy => "weighted-entropy",
+            FeatureSet::BucketedEntropy => "bucketed-weighted-entropy",
+        }
+    }
+}
+
+/// Number of row buckets used by [`FeatureSet::BucketedEntropy`] (successive
+/// 20% chunks, as in the paper).
+pub const ENTROPY_BUCKETS: usize = 5;
+
+/// Extracts feature vectors from tables / partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureExtractor {
+    /// The feature set to extract.
+    pub feature_set: FeatureSet,
+}
+
+impl FeatureExtractor {
+    /// Create an extractor for the given feature set.
+    pub fn new(feature_set: FeatureSet) -> Self {
+        FeatureExtractor { feature_set }
+    }
+
+    /// Names of the features produced, in order.
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = vec!["rows".to_string(), "approx_bytes".to_string()];
+        match self.feature_set {
+            FeatureSet::SizeOnly => {}
+            FeatureSet::WeightedEntropy => {
+                for t in ColumnType::all() {
+                    names.push(format!("H_{}", t.name()));
+                }
+            }
+            FeatureSet::BucketedEntropy => {
+                for bucket in 0..ENTROPY_BUCKETS {
+                    for t in ColumnType::all() {
+                        names.push(format!("H_{}_b{}", t.name(), bucket));
+                    }
+                }
+            }
+        }
+        names
+    }
+
+    /// Extract the feature vector for a table (partition).
+    pub fn extract(&self, table: &Table) -> Vec<f64> {
+        let rows = table.n_rows() as f64;
+        let approx_bytes = approximate_bytes(table);
+        let mut features = vec![rows, approx_bytes];
+        match self.feature_set {
+            FeatureSet::SizeOnly => {}
+            FeatureSet::WeightedEntropy => {
+                let h = weighted_entropy_by_type(table, 0, table.n_rows());
+                for t in ColumnType::all() {
+                    features.push(*h.get(&t).unwrap_or(&0.0));
+                }
+            }
+            FeatureSet::BucketedEntropy => {
+                let n = table.n_rows();
+                for bucket in 0..ENTROPY_BUCKETS {
+                    let start = bucket * n / ENTROPY_BUCKETS;
+                    let end = ((bucket + 1) * n / ENTROPY_BUCKETS).max(start);
+                    let h = weighted_entropy_by_type(table, start, end);
+                    for t in ColumnType::all() {
+                        features.push(*h.get(&t).unwrap_or(&0.0));
+                    }
+                }
+            }
+        }
+        features
+    }
+}
+
+/// Approximate serialized size of the table in bytes (sum of CSV cell
+/// lengths), cheap to compute and monotone in the actual size.
+pub fn approximate_bytes(table: &Table) -> f64 {
+    let mut total = 0usize;
+    for c in 0..table.n_columns() {
+        total += match table.column(c) {
+            ColumnData::Int(v) => v.iter().map(|x| int_len(*x)).sum::<usize>(),
+            ColumnData::Date(v) => v.len() * 10,
+            ColumnData::Float(v) => v.iter().map(|x| int_len(*x as i64) + 3).sum::<usize>(),
+            ColumnData::Text(v) => v.iter().map(|s| s.len()).sum::<usize>(),
+        };
+        total += table.n_rows(); // separators
+    }
+    total as f64
+}
+
+fn int_len(x: i64) -> usize {
+    let mut len = if x < 0 { 1 } else { 0 };
+    let mut v = x.unsigned_abs();
+    loop {
+        len += 1;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    len
+}
+
+/// Weighted entropy per data type over the row range `[start, end)`:
+/// `H(P, d) = -Σ_s len(s) · pr(s) · log(pr(s))` where the sum runs over the
+/// distinct string values `s` of columns of type `d`.
+pub fn weighted_entropy_by_type(
+    table: &Table,
+    start: usize,
+    end: usize,
+) -> HashMap<ColumnType, f64> {
+    let end = end.min(table.n_rows());
+    let start = start.min(end);
+    let mut result: HashMap<ColumnType, f64> = HashMap::new();
+    // Group columns by type, pooling their values (the paper computes one
+    // feature per data type present in the partition).
+    for t in ColumnType::all() {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut total = 0usize;
+        for c in 0..table.n_columns() {
+            let col = table.column(c);
+            if col.column_type() != t {
+                continue;
+            }
+            for row in start..end {
+                *counts.entry(col.value_string(row)).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            continue;
+        }
+        let mut h = 0.0;
+        for (s, count) in counts {
+            let pr = count as f64 / total as f64;
+            h -= s.len() as f64 * pr * pr.ln();
+        }
+        result.insert(t, h);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_table::{ColumnDef, Schema};
+
+    fn table_with(text_values: Vec<&str>) -> Table {
+        let n = text_values.len();
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("status", ColumnType::Text),
+        ]);
+        Table::new(
+            "t",
+            schema,
+            vec![
+                ColumnData::Int((0..n as i64).collect()),
+                ColumnData::Text(text_values.into_iter().map(String::from).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repeated_values_have_lower_entropy_than_distinct_ones() {
+        let repetitive = table_with(vec!["OPEN"; 100]);
+        let distinct = table_with((0..100).map(|i| Box::leak(format!("VAL{i:03}").into_boxed_str()) as &str).collect());
+        let h_rep = weighted_entropy_by_type(&repetitive, 0, 100);
+        let h_dis = weighted_entropy_by_type(&distinct, 0, 100);
+        // A constant column has zero entropy; 100 distinct values have a lot.
+        assert!(h_rep[&ColumnType::Text] < 1e-9);
+        assert!(h_dis[&ColumnType::Text] > 1.0);
+    }
+
+    #[test]
+    fn entropy_weights_by_string_length() {
+        let short = table_with(vec!["A", "B", "A", "B"]);
+        let long = table_with(vec!["AAAAAAAAAA", "BBBBBBBBBB", "AAAAAAAAAA", "BBBBBBBBBB"]);
+        let h_short = weighted_entropy_by_type(&short, 0, 4)[&ColumnType::Text];
+        let h_long = weighted_entropy_by_type(&long, 0, 4)[&ColumnType::Text];
+        assert!((h_long / h_short - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feature_vector_lengths_match_names() {
+        let t = table_with(vec!["x", "y", "z", "x"]);
+        for set in [
+            FeatureSet::SizeOnly,
+            FeatureSet::WeightedEntropy,
+            FeatureSet::BucketedEntropy,
+        ] {
+            let ex = FeatureExtractor::new(set);
+            assert_eq!(ex.extract(&t).len(), ex.feature_names().len(), "{set:?}");
+        }
+        assert_eq!(FeatureExtractor::new(FeatureSet::SizeOnly).extract(&t).len(), 2);
+        assert_eq!(
+            FeatureExtractor::new(FeatureSet::WeightedEntropy).extract(&t).len(),
+            2 + 4
+        );
+        assert_eq!(
+            FeatureExtractor::new(FeatureSet::BucketedEntropy).extract(&t).len(),
+            2 + 4 * ENTROPY_BUCKETS
+        );
+    }
+
+    #[test]
+    fn approximate_bytes_grows_with_rows() {
+        let small = table_with(vec!["abc"; 10]);
+        let large = table_with(vec!["abc"; 100]);
+        assert!(approximate_bytes(&large) > approximate_bytes(&small));
+        assert!(approximate_bytes(&small) > 0.0);
+    }
+
+    #[test]
+    fn int_len_handles_signs_and_zero() {
+        assert_eq!(int_len(0), 1);
+        assert_eq!(int_len(7), 1);
+        assert_eq!(int_len(12345), 5);
+        assert_eq!(int_len(-42), 3);
+    }
+
+    #[test]
+    fn bucketed_entropy_differs_for_sorted_data() {
+        // A column where values cluster by position: sorted data has
+        // low entropy within each bucket even though global entropy is high.
+        let values: Vec<&str> = (0..100)
+            .map(|i| if i < 50 { "AAAA" } else { "BBBB" })
+            .collect();
+        let sorted = table_with(values);
+        let ex = FeatureExtractor::new(FeatureSet::BucketedEntropy);
+        let features = ex.extract(&sorted);
+        // Per-bucket text entropies are at positions 2 + 4*b + 2 (text is the
+        // third type in ColumnType::all()). Buckets fully inside a sorted
+        // run are constant -> zero entropy; only the bucket straddling the
+        // A/B boundary (bucket 2, rows 40..60) carries entropy.
+        let global = FeatureExtractor::new(FeatureSet::WeightedEntropy).extract(&sorted);
+        let global_text = global[2 + 2];
+        assert!(global_text > 0.5);
+        for b in [0, 1, 3, 4] {
+            let text_idx = 2 + 4 * b + 2;
+            assert!(features[text_idx].abs() < 1e-9, "bucket {b} should be constant");
+        }
+        let mean_bucket_text: f64 = (0..ENTROPY_BUCKETS)
+            .map(|b| features[2 + 4 * b + 2])
+            .sum::<f64>()
+            / ENTROPY_BUCKETS as f64;
+        assert!(mean_bucket_text < global_text);
+    }
+
+    #[test]
+    fn feature_set_names() {
+        assert_eq!(FeatureSet::SizeOnly.name(), "size");
+        assert_eq!(FeatureSet::WeightedEntropy.name(), "weighted-entropy");
+        assert_eq!(FeatureSet::BucketedEntropy.name(), "bucketed-weighted-entropy");
+    }
+
+    #[test]
+    fn empty_row_range_yields_no_entropy_entries() {
+        let t = table_with(vec!["a", "b"]);
+        let h = weighted_entropy_by_type(&t, 2, 2);
+        assert!(h.is_empty());
+    }
+}

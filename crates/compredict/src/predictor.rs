@@ -1,0 +1,428 @@
+//! Training and evaluation of compression-performance predictors.
+//!
+//! Ground truth is obtained by actually serializing each sample in the
+//! requested layout (csv / parquet-like) and compressing it with the
+//! requested `scope-compress` codec; the targets are the measured
+//! compression ratio and decompression seconds-per-GB. Models are the
+//! families swept in Tables VI–VIII: an averaging baseline, Random Forest,
+//! gradient-boosted trees (the "XGBoost" row), a small MLP (the "Neural
+//! Network" row) and k-NN (standing in for SVR). Evaluation reports MAE,
+//! MAPE and R² exactly as the paper's tables do.
+
+use crate::features::FeatureExtractor;
+use crate::CompredictError;
+use scope_compress::{measure, CompressionScheme};
+use scope_learn::{
+    mae, mape, r2_score, GradientBoostingRegressor, KnnRegressor, MeanRegressor, MlpRegressor,
+    RandomForestRegressor, Regressor, Standardizer,
+};
+use scope_table::{format, DataLayout, Table};
+
+/// Which quantity is being predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionTask {
+    /// Compression ratio (uncompressed / compressed size).
+    CompressionRatio,
+    /// Decompression speed in seconds per GB of uncompressed data.
+    DecompressionSpeed,
+}
+
+impl PredictionTask {
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictionTask::CompressionRatio => "compression-ratio",
+            PredictionTask::DecompressionSpeed => "decompression-speed",
+        }
+    }
+}
+
+/// Model families swept in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Predict the training mean (the "Averaging" baseline row).
+    Averaging,
+    /// Random forest (the paper's best model).
+    RandomForest,
+    /// Gradient-boosted trees (the "XGBoost" row).
+    GradientBoosting,
+    /// Single-hidden-layer MLP (the "Neural Network" row).
+    NeuralNetwork,
+    /// k-nearest neighbours (stand-in for the "SVR" row: a non-parametric
+    /// kernel-flavoured model).
+    Knn,
+}
+
+impl ModelKind {
+    /// All model kinds, in the order the paper's tables list them.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::Averaging,
+            ModelKind::GradientBoosting,
+            ModelKind::NeuralNetwork,
+            ModelKind::Knn,
+            ModelKind::RandomForest,
+        ]
+    }
+
+    /// Display name matching the paper's table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Averaging => "Averaging",
+            ModelKind::RandomForest => "Random Forest",
+            ModelKind::GradientBoosting => "XGBoost",
+            ModelKind::NeuralNetwork => "Neural Network",
+            ModelKind::Knn => "SVR",
+        }
+    }
+}
+
+/// One training / evaluation example: features plus measured targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingExample {
+    /// Feature vector (from [`FeatureExtractor`]).
+    pub features: Vec<f64>,
+    /// Measured compression ratio.
+    pub ratio: f64,
+    /// Measured decompression seconds per GB.
+    pub decompress_sec_per_gb: f64,
+    /// Serialized (uncompressed) size of the sample in bytes.
+    pub serialized_bytes: usize,
+}
+
+/// Build training examples by serializing, compressing and featurising each
+/// sample table.
+pub fn build_examples(
+    samples: &[Table],
+    scheme: CompressionScheme,
+    layout: DataLayout,
+    extractor: &FeatureExtractor,
+) -> Vec<TrainingExample> {
+    let codec = scheme.codec();
+    samples
+        .iter()
+        .map(|sample| {
+            let bytes = format::serialize(sample, layout);
+            let m = measure(codec.as_ref(), &bytes);
+            TrainingExample {
+                features: extractor.extract(sample),
+                ratio: m.ratio,
+                decompress_sec_per_gb: m.decompress_seconds_per_gb,
+                serialized_bytes: bytes.len(),
+            }
+        })
+        .collect()
+}
+
+/// Evaluation metrics for one predictor on one task (a cell group of
+/// Tables V–VIII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluationReport {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean absolute percentage error (percent).
+    pub mape: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+enum TrainedModel {
+    Mean(MeanRegressor),
+    Forest(RandomForestRegressor),
+    Gbt(GradientBoostingRegressor),
+    Mlp(MlpRegressor),
+    Knn {
+        model: KnnRegressor,
+        standardizer: Standardizer,
+    },
+}
+
+impl TrainedModel {
+    fn predict(&self, features: &[f64]) -> f64 {
+        match self {
+            TrainedModel::Mean(m) => m.predict_one(features),
+            TrainedModel::Forest(m) => m.predict_one(features),
+            TrainedModel::Gbt(m) => m.predict_one(features),
+            TrainedModel::Mlp(m) => m.predict_one(features),
+            TrainedModel::Knn { model, standardizer } => {
+                model.predict_one(&standardizer.transform_one(features))
+            }
+        }
+    }
+}
+
+/// A trained compression-performance predictor.
+pub struct CompressionPredictor {
+    model: TrainedModel,
+    extractor: FeatureExtractor,
+    task: PredictionTask,
+    kind: ModelKind,
+}
+
+impl std::fmt::Debug for CompressionPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressionPredictor")
+            .field("task", &self.task.name())
+            .field("model", &self.kind.name())
+            .field("features", &self.extractor.feature_set.name())
+            .finish()
+    }
+}
+
+impl CompressionPredictor {
+    /// Train a predictor of `task` on `examples` using the given model kind.
+    pub fn train(
+        examples: &[TrainingExample],
+        task: PredictionTask,
+        kind: ModelKind,
+        extractor: FeatureExtractor,
+        seed: u64,
+    ) -> Result<Self, CompredictError> {
+        if examples.len() < 4 {
+            return Err(CompredictError::NotEnoughSamples(examples.len()));
+        }
+        let features: Vec<Vec<f64>> = examples.iter().map(|e| e.features.clone()).collect();
+        let targets: Vec<f64> = examples.iter().map(|e| target_of(e, task)).collect();
+        let model = match kind {
+            ModelKind::Averaging => TrainedModel::Mean(MeanRegressor::fit(&targets)?),
+            ModelKind::RandomForest => {
+                TrainedModel::Forest(RandomForestRegressor::fit_default(&features, &targets, seed)?)
+            }
+            ModelKind::GradientBoosting => {
+                TrainedModel::Gbt(GradientBoostingRegressor::fit_default(&features, &targets)?)
+            }
+            ModelKind::NeuralNetwork => {
+                TrainedModel::Mlp(MlpRegressor::fit_default(&features, &targets)?)
+            }
+            ModelKind::Knn => {
+                let standardizer = Standardizer::fit(&features)?;
+                let transformed = standardizer.transform(&features);
+                let k = (examples.len() / 10).clamp(3, 15);
+                TrainedModel::Knn {
+                    model: KnnRegressor::fit(
+                        &transformed,
+                        &targets,
+                        k,
+                        scope_learn::knn::KnnWeighting::InverseDistance,
+                    )?,
+                    standardizer,
+                }
+            }
+        };
+        Ok(CompressionPredictor {
+            model,
+            extractor,
+            task,
+            kind,
+        })
+    }
+
+    /// The task this predictor was trained for.
+    pub fn task(&self) -> PredictionTask {
+        self.task
+    }
+
+    /// The model family used.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Predict from a raw feature vector.
+    pub fn predict_features(&self, features: &[f64]) -> f64 {
+        // Ratios and speeds are physically non-negative; ratios are >= a
+        // small positive floor so downstream divisions are safe.
+        let raw = self.model.predict(features);
+        match self.task {
+            PredictionTask::CompressionRatio => raw.max(0.1),
+            PredictionTask::DecompressionSpeed => raw.max(0.0),
+        }
+    }
+
+    /// Extract features from a partition and predict.
+    pub fn predict_table(&self, table: &Table) -> f64 {
+        self.predict_features(&self.extractor.extract(table))
+    }
+
+    /// Evaluate on held-out examples, producing the MAE / MAPE / R² triple
+    /// of the paper's tables.
+    pub fn evaluate(&self, examples: &[TrainingExample]) -> EvaluationReport {
+        let truth: Vec<f64> = examples.iter().map(|e| target_of(e, self.task)).collect();
+        let preds: Vec<f64> = examples
+            .iter()
+            .map(|e| self.predict_features(&e.features))
+            .collect();
+        EvaluationReport {
+            mae: mae(&truth, &preds),
+            mape: mape(&truth, &preds),
+            r2: r2_score(&truth, &preds),
+        }
+    }
+}
+
+fn target_of(example: &TrainingExample, task: PredictionTask) -> f64 {
+    match task {
+        PredictionTask::CompressionRatio => example.ratio,
+        PredictionTask::DecompressionSpeed => example.decompress_sec_per_gb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use crate::sampling::random_samples;
+    use scope_table::{TpchGenerator, TpchOptions, TpchTable};
+
+    fn examples() -> Vec<TrainingExample> {
+        // Samples of varying size/repetition from two tables give a spread
+        // of ratios to learn from.
+        let gen = TpchGenerator::new(TpchOptions {
+            scale_factor: 0.15,
+            ..Default::default()
+        })
+        .unwrap();
+        let orders = gen.generate(TpchTable::Orders);
+        let lineitem = gen.generate(TpchTable::Lineitem);
+        let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+        let mut samples = Vec::new();
+        for rows in [30, 60, 120, 200] {
+            samples.extend(random_samples(&orders, 4, rows, rows as u64).unwrap());
+            samples.extend(random_samples(&lineitem, 4, rows, rows as u64 + 1).unwrap());
+        }
+        build_examples(
+            &samples,
+            CompressionScheme::Gzip,
+            DataLayout::Csv,
+            &extractor,
+        )
+    }
+
+    #[test]
+    fn examples_have_positive_ratios_and_sizes() {
+        let ex = examples();
+        assert!(ex.len() >= 30);
+        for e in &ex {
+            assert!(e.ratio > 1.0, "gzip should compress tabular text");
+            assert!(e.serialized_bytes > 0);
+            assert!(e.decompress_sec_per_gb >= 0.0);
+            assert!(!e.features.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_forest_beats_averaging_baseline() {
+        let ex = examples();
+        let split = ex.len() * 3 / 4;
+        let (train, test) = ex.split_at(split);
+        let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+        let rf = CompressionPredictor::train(
+            train,
+            PredictionTask::CompressionRatio,
+            ModelKind::RandomForest,
+            extractor,
+            1,
+        )
+        .unwrap();
+        let avg = CompressionPredictor::train(
+            train,
+            PredictionTask::CompressionRatio,
+            ModelKind::Averaging,
+            extractor,
+            1,
+        )
+        .unwrap();
+        let rf_report = rf.evaluate(test);
+        let avg_report = avg.evaluate(test);
+        assert!(
+            rf_report.mae <= avg_report.mae,
+            "rf mae {} vs averaging mae {}",
+            rf_report.mae,
+            avg_report.mae
+        );
+    }
+
+    #[test]
+    fn all_model_kinds_train_and_predict() {
+        let ex = examples();
+        let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+        for kind in ModelKind::all() {
+            let p = CompressionPredictor::train(
+                &ex,
+                PredictionTask::CompressionRatio,
+                kind,
+                extractor,
+                2,
+            )
+            .unwrap();
+            let pred = p.predict_features(&ex[0].features);
+            assert!(pred.is_finite() && pred > 0.0, "{kind:?} produced {pred}");
+            assert_eq!(p.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn decompression_speed_task_trains() {
+        let ex = examples();
+        let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+        let p = CompressionPredictor::train(
+            &ex,
+            PredictionTask::DecompressionSpeed,
+            ModelKind::RandomForest,
+            extractor,
+            3,
+        )
+        .unwrap();
+        assert_eq!(p.task(), PredictionTask::DecompressionSpeed);
+        let report = p.evaluate(&ex);
+        assert!(report.mae >= 0.0);
+        assert!(report.mape >= 0.0);
+    }
+
+    #[test]
+    fn too_few_examples_rejected() {
+        let ex = examples();
+        let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+        assert!(matches!(
+            CompressionPredictor::train(
+                &ex[..2],
+                PredictionTask::CompressionRatio,
+                ModelKind::RandomForest,
+                extractor,
+                1,
+            ),
+            Err(CompredictError::NotEnoughSamples(2))
+        ));
+    }
+
+    #[test]
+    fn predict_table_uses_extractor() {
+        let ex = examples();
+        let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+        let p = CompressionPredictor::train(
+            &ex,
+            PredictionTask::CompressionRatio,
+            ModelKind::RandomForest,
+            extractor,
+            4,
+        )
+        .unwrap();
+        let gen = TpchGenerator::new(TpchOptions {
+            scale_factor: 0.05,
+            ..Default::default()
+        })
+        .unwrap();
+        let t = gen.generate(TpchTable::Customer);
+        let pred = p.predict_table(&t);
+        assert!(pred > 0.5 && pred < 50.0, "unreasonable ratio prediction {pred}");
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("Random Forest"));
+    }
+
+    #[test]
+    fn model_kind_names_match_paper_rows() {
+        assert_eq!(ModelKind::GradientBoosting.name(), "XGBoost");
+        assert_eq!(ModelKind::Knn.name(), "SVR");
+        assert_eq!(ModelKind::all().len(), 5);
+        assert_eq!(PredictionTask::CompressionRatio.name(), "compression-ratio");
+    }
+}

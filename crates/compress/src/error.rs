@@ -1,0 +1,71 @@
+//! Error type for the compression crate.
+
+use std::fmt;
+
+/// Errors produced when decompressing a corrupted or truncated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The stream ended before the declared length was decoded.
+    Truncated,
+    /// The stream's magic bytes or version tag were not recognised.
+    BadHeader,
+    /// A back-reference pointed before the start of the output.
+    InvalidBackreference {
+        /// Offset requested by the match token.
+        offset: usize,
+        /// Bytes decoded so far.
+        decoded: usize,
+    },
+    /// A Huffman code or token tag was invalid.
+    InvalidSymbol,
+    /// The decoded length does not match the declared length.
+    LengthMismatch {
+        /// Length declared in the header.
+        expected: usize,
+        /// Length actually decoded.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Truncated => write!(f, "compressed stream is truncated"),
+            CompressError::BadHeader => write!(f, "unrecognised compressed stream header"),
+            CompressError::InvalidBackreference { offset, decoded } => write!(
+                f,
+                "invalid back-reference: offset {offset} with only {decoded} bytes decoded"
+            ),
+            CompressError::InvalidSymbol => write!(f, "invalid symbol in compressed stream"),
+            CompressError::LengthMismatch { expected, found } => write!(
+                f,
+                "decoded length {found} does not match declared length {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CompressError::Truncated.to_string().contains("truncated"));
+        assert!(CompressError::BadHeader.to_string().contains("header"));
+        assert!(CompressError::InvalidBackreference {
+            offset: 10,
+            decoded: 3
+        }
+        .to_string()
+        .contains("10"));
+        assert!(CompressError::LengthMismatch {
+            expected: 5,
+            found: 2
+        }
+        .to_string()
+        .contains('5'));
+    }
+}

@@ -1,0 +1,383 @@
+//! Canonical Huffman coding over byte symbols, with a bit-level writer and
+//! reader. Used by [`crate::gzipish`] as the entropy-coding stage on top of
+//! the LZ77 token stream.
+
+use crate::error::CompressError;
+
+/// Maximum code length permitted (enough for 256 symbols with any
+/// distribution after length limiting).
+const MAX_CODE_LEN: usize = 15;
+
+/// A canonical Huffman code book for byte symbols 0..=255.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code length per symbol (0 = symbol absent).
+    lengths: [u8; 256],
+    /// Canonical code value per symbol.
+    codes: [u16; 256],
+}
+
+impl HuffmanCode {
+    /// Build a length-limited canonical Huffman code from symbol
+    /// frequencies. Symbols with zero frequency get no code.
+    pub fn from_frequencies(freq: &[u64; 256]) -> HuffmanCode {
+        let mut lengths = [0u8; 256];
+        let present: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+        match present.len() {
+            0 => {}
+            1 => lengths[present[0]] = 1,
+            _ => {
+                assign_lengths(freq, &mut lengths);
+                limit_lengths(&mut lengths, freq);
+            }
+        }
+        let codes = canonical_codes(&lengths);
+        HuffmanCode { lengths, codes }
+    }
+
+    /// Rebuild a code book from its per-symbol code lengths (the decoder
+    /// side of the canonical construction).
+    pub fn from_lengths(lengths: &[u8; 256]) -> HuffmanCode {
+        let codes = canonical_codes(lengths);
+        HuffmanCode {
+            lengths: *lengths,
+            codes,
+        }
+    }
+
+    /// Per-symbol code lengths (what gets stored in the stream header).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Encode one symbol into the bit writer.
+    pub fn encode(&self, writer: &mut BitWriter, symbol: u8) {
+        let len = self.lengths[symbol as usize];
+        debug_assert!(len > 0, "encoding a symbol with no code");
+        writer.write_bits(self.codes[symbol as usize] as u32, len as u32);
+    }
+
+    /// Build a decoding table: sorted (length, code, symbol) triples.
+    pub fn decoder(&self) -> HuffmanDecoder {
+        let mut entries: Vec<(u8, u16, u8)> = (0..256)
+            .filter(|&s| self.lengths[s] > 0)
+            .map(|s| (self.lengths[s], self.codes[s], s as u8))
+            .collect();
+        entries.sort();
+        HuffmanDecoder { entries }
+    }
+}
+
+/// Assign Huffman code lengths by building the tree over a min-heap.
+fn assign_lengths(freq: &[u64; 256], lengths: &mut [u8; 256]) {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        index: usize, // into the nodes arena
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .weight
+                .cmp(&self.weight)
+                .then_with(|| other.index.cmp(&self.index))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    // Arena of (left, right, symbol) — leaves have symbol = Some.
+    let mut arena: Vec<(Option<usize>, Option<usize>, Option<usize>)> = Vec::new();
+    let mut heap = std::collections::BinaryHeap::new();
+    for s in 0..256 {
+        if freq[s] > 0 {
+            arena.push((None, None, Some(s)));
+            heap.push(Node {
+                weight: freq[s],
+                index: arena.len() - 1,
+            });
+        }
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap has >= 2 items");
+        let b = heap.pop().expect("heap has >= 2 items");
+        arena.push((Some(a.index), Some(b.index), None));
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            index: arena.len() - 1,
+        });
+    }
+    let root = heap.pop().expect("non-empty symbol set").index;
+    // Depth-first traversal assigning depths as code lengths.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, depth)) = stack.pop() {
+        let (l, r, sym) = arena[node];
+        if let Some(s) = sym {
+            lengths[s] = depth.max(1);
+        } else {
+            if let Some(l) = l {
+                stack.push((l, depth + 1));
+            }
+            if let Some(r) = r {
+                stack.push((r, depth + 1));
+            }
+        }
+    }
+}
+
+/// Limit code lengths to MAX_CODE_LEN using the simple "push down" heuristic
+/// and rebuild a valid Kraft-satisfying set of lengths.
+fn limit_lengths(lengths: &mut [u8; 256], freq: &[u64; 256]) {
+    if lengths.iter().all(|&l| (l as usize) <= MAX_CODE_LEN) {
+        return;
+    }
+    // Fall back to a flat assignment ordered by frequency: give the most
+    // frequent symbols the shortest codes subject to the Kraft inequality.
+    let mut symbols: Vec<usize> = (0..256).filter(|&s| freq[s] > 0).collect();
+    symbols.sort_by_key(|&s| std::cmp::Reverse(freq[s]));
+    let n = symbols.len();
+    let min_len = (n as f64).log2().ceil() as u8;
+    for &s in &symbols {
+        lengths[s] = min_len.clamp(1, MAX_CODE_LEN as u8);
+    }
+}
+
+/// Compute canonical code values from code lengths.
+fn canonical_codes(lengths: &[u8; 256]) -> [u16; 256] {
+    let mut codes = [0u16; 256];
+    // Count codes of each length.
+    let mut bl_count = [0u16; MAX_CODE_LEN + 1];
+    for &l in lengths.iter() {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    // Smallest code for each length.
+    let mut next_code = [0u16; MAX_CODE_LEN + 2];
+    let mut code = 0u16;
+    for bits in 1..=MAX_CODE_LEN {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    // Assign codes in symbol order (canonical).
+    for s in 0..256 {
+        let len = lengths[s] as usize;
+        if len > 0 {
+            codes[s] = next_code[len];
+            next_code[len] += 1;
+        }
+    }
+    codes
+}
+
+/// Decoder built from a canonical code book.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// Sorted (length, code, symbol) entries.
+    entries: Vec<(u8, u16, u8)>,
+}
+
+impl HuffmanDecoder {
+    /// Decode one symbol from the bit reader.
+    pub fn decode(&self, reader: &mut BitReader) -> Result<u8, CompressError> {
+        let mut code = 0u16;
+        let mut len = 0u8;
+        // Read bit by bit, looking for a matching (len, code) entry. Codes
+        // are at most MAX_CODE_LEN bits so this loop is bounded.
+        for _ in 0..MAX_CODE_LEN {
+            let bit = reader.read_bits(1)? as u16;
+            code = (code << 1) | bit;
+            len += 1;
+            // Binary search over sorted entries for (len, code).
+            if let Ok(idx) = self
+                .entries
+                .binary_search_by(|&(l, c, _)| (l, c).cmp(&(len, code)))
+            {
+                return Ok(self.entries[idx].2);
+            }
+        }
+        Err(CompressError::InvalidSymbol)
+    }
+}
+
+/// MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the low `count` bits of `value`, most significant bit first.
+    pub fn write_bits(&mut self, value: u32, count: u32) {
+        debug_assert!(count <= 32);
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Finish writing and return the byte buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    byte_pos: usize,
+    bit_pos: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            bit_pos: 0,
+        }
+    }
+
+    /// Read `count` bits (MSB first) as the low bits of the returned value.
+    pub fn read_bits(&mut self, count: u32) -> Result<u32, CompressError> {
+        let mut value = 0u32;
+        for _ in 0..count {
+            if self.byte_pos >= self.bytes.len() {
+                return Err(CompressError::Truncated);
+            }
+            let bit = (self.bytes[self.byte_pos] >> (7 - self.bit_pos)) & 1;
+            value = (value << 1) | bit as u32;
+            self.bit_pos += 1;
+            if self.bit_pos == 8 {
+                self.bit_pos = 0;
+                self.byte_pos += 1;
+            }
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(data: &[u8]) -> [u64; 256] {
+        let mut f = [0u64; 256];
+        for &b in data {
+            f[b as usize] += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn bit_writer_reader_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b1111_0000, 8);
+        w.write_bits(1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1111_0000);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn reader_detects_truncation() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert!(r.read_bits(8).is_ok());
+        assert_eq!(r.read_bits(1).unwrap_err(), CompressError::Truncated);
+    }
+
+    #[test]
+    fn huffman_round_trips_text() {
+        let data = b"compression ratios depend on repetition repetition repetition";
+        let code = HuffmanCode::from_frequencies(&frequencies(data));
+        let mut w = BitWriter::new();
+        for &b in data.iter() {
+            code.encode(&mut w, b);
+        }
+        let bytes = w.finish();
+        let decoder = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        let decoded: Vec<u8> = (0..data.len()).map(|_| decoder.decode(&mut r).unwrap()).collect();
+        assert_eq!(decoded, data);
+        // The entropy-coded form of skewed text must be smaller than raw.
+        assert!(bytes.len() < data.len());
+    }
+
+    #[test]
+    fn code_lengths_survive_canonical_reconstruction() {
+        let data = b"aaaaaaaaaabbbbbcccdde";
+        let code = HuffmanCode::from_frequencies(&frequencies(data));
+        let rebuilt = HuffmanCode::from_lengths(code.lengths());
+        let mut w1 = BitWriter::new();
+        let mut w2 = BitWriter::new();
+        for &b in data.iter() {
+            code.encode(&mut w1, b);
+            rebuilt.encode(&mut w2, b);
+        }
+        assert_eq!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let mut freq = [0u64; 256];
+        freq[b'a' as usize] = 1000;
+        freq[b'z' as usize] = 1;
+        freq[b'q' as usize] = 1;
+        freq[b'x' as usize] = 1;
+        let code = HuffmanCode::from_frequencies(&freq);
+        assert!(code.lengths()[b'a' as usize] <= code.lengths()[b'z' as usize]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let mut freq = [0u64; 256];
+        freq[42] = 17;
+        let code = HuffmanCode::from_frequencies(&freq);
+        assert_eq!(code.lengths()[42], 1);
+        let mut w = BitWriter::new();
+        for _ in 0..17 {
+            code.encode(&mut w, 42);
+        }
+        let bytes = w.finish();
+        let decoder = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..17 {
+            assert_eq!(decoder.decode(&mut r).unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn all_256_symbols_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let code = HuffmanCode::from_frequencies(&frequencies(&data));
+        let mut w = BitWriter::new();
+        for &b in &data {
+            code.encode(&mut w, b);
+        }
+        let bytes = w.finish();
+        let decoder = code.decoder();
+        let mut r = BitReader::new(&bytes);
+        for &b in &data {
+            assert_eq!(decoder.decode(&mut r).unwrap(), b);
+        }
+    }
+}

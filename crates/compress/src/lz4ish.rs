@@ -1,0 +1,223 @@
+//! The LZ4 analogue: byte-oriented LZ77 token stream without entropy coding.
+//!
+//! Stream layout:
+//!
+//! ```text
+//! magic "LZ4F" | u64 original length | sequence of blocks
+//! block := token byte | literals | [offset u16 le | extra match length]
+//! ```
+//!
+//! Like real LZ4, each block starts with a token byte whose high nibble is
+//! the literal-run length and low nibble the match length (both with 15 as
+//! the "more bytes follow" escape), followed by the literals and a 2-byte
+//! little-endian match offset. The final block carries only literals.
+
+use crate::error::CompressError;
+use crate::lz77::{tokenize, MatcherParams, Token, MIN_MATCH};
+use crate::Codec;
+
+const MAGIC: &[u8; 4] = b"LZ4F";
+
+/// The LZ4-like codec.
+#[derive(Debug, Clone)]
+pub struct Lz4ishCodec {
+    params: MatcherParams,
+}
+
+impl Default for Lz4ishCodec {
+    fn default() -> Self {
+        Lz4ishCodec {
+            params: MatcherParams::fast(),
+        }
+    }
+}
+
+impl Lz4ishCodec {
+    /// Create a codec with custom matcher parameters.
+    pub fn with_params(params: MatcherParams) -> Self {
+        Lz4ishCodec { params }
+    }
+}
+
+fn write_varlen(out: &mut Vec<u8>, mut value: usize) {
+    // LZ4-style: 255-bytes until the remainder fits.
+    while value >= 255 {
+        out.push(255);
+        value -= 255;
+    }
+    out.push(value as u8);
+}
+
+fn read_varlen(data: &[u8], pos: &mut usize) -> Result<usize, CompressError> {
+    let mut value = 0usize;
+    loop {
+        let b = *data.get(*pos).ok_or(CompressError::Truncated)?;
+        *pos += 1;
+        value += b as usize;
+        if b != 255 {
+            return Ok(value);
+        }
+    }
+}
+
+impl Codec for Lz4ishCodec {
+    fn name(&self) -> &'static str {
+        "lz4"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let tokens = tokenize(data, &self.params);
+        let mut out = Vec::with_capacity(data.len() / 2 + 32);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+        // Walk tokens grouping literal runs followed by one match.
+        let mut literals: Vec<u8> = Vec::new();
+        let flush = |out: &mut Vec<u8>, literals: &mut Vec<u8>, m: Option<(u32, u32)>| {
+            let lit_len = literals.len();
+            let match_len = m.map(|(_, l)| l as usize - MIN_MATCH).unwrap_or(0);
+            let token = (((lit_len.min(15)) as u8) << 4) | (match_len.min(15)) as u8;
+            out.push(token);
+            if lit_len >= 15 {
+                write_varlen(out, lit_len - 15);
+            }
+            out.extend_from_slice(literals);
+            literals.clear();
+            if let Some((offset, len)) = m {
+                out.extend_from_slice(&(offset as u16).to_le_bytes());
+                let extra = len as usize - MIN_MATCH;
+                if extra >= 15 {
+                    write_varlen(out, extra - 15);
+                }
+            }
+        };
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => literals.push(b),
+                Token::Match { offset, len } => flush(&mut out, &mut literals, Some((offset, len))),
+            }
+        }
+        // Trailing literal-only block (always emitted, possibly empty, so the
+        // decoder knows the stream is complete).
+        flush(&mut out, &mut literals, None);
+        out
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
+        if data.len() < 12 || &data[0..4] != MAGIC {
+            return Err(CompressError::BadHeader);
+        }
+        let original_len = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
+        let mut out = Vec::with_capacity(original_len);
+        let mut pos = 12usize;
+        while out.len() < original_len {
+            let token = *data.get(pos).ok_or(CompressError::Truncated)?;
+            pos += 1;
+            let mut lit_len = (token >> 4) as usize;
+            if lit_len == 15 {
+                lit_len += read_varlen(data, &mut pos)?;
+            }
+            if pos + lit_len > data.len() {
+                return Err(CompressError::Truncated);
+            }
+            out.extend_from_slice(&data[pos..pos + lit_len]);
+            pos += lit_len;
+            if out.len() >= original_len {
+                break;
+            }
+            // Match part.
+            if pos + 2 > data.len() {
+                return Err(CompressError::Truncated);
+            }
+            let offset = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+            pos += 2;
+            let mut match_len = (token & 0x0F) as usize;
+            if match_len == 15 {
+                match_len += read_varlen(data, &mut pos)?;
+            }
+            match_len += MIN_MATCH;
+            if offset == 0 || offset > out.len() {
+                return Err(CompressError::InvalidBackreference {
+                    offset,
+                    decoded: out.len(),
+                });
+            }
+            let start = out.len() - offset;
+            for k in 0..match_len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+        if out.len() != original_len {
+            return Err(CompressError::LengthMismatch {
+                expected: original_len,
+                found: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_repetitive_data_and_compresses() {
+        let data = b"1,OPEN,2024-01-01,19.99,carefully packed\n".repeat(200);
+        let codec = Lz4ishCodec::default();
+        let compressed = codec.compress(&data);
+        assert!(compressed.len() < data.len());
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trips_empty_and_small_inputs() {
+        let codec = Lz4ishCodec::default();
+        for data in [&b""[..], &b"a"[..], &b"abcd"[..], &b"abcdefgh"[..]] {
+            let compressed = codec.compress(data);
+            assert_eq!(codec.decompress(&compressed).unwrap(), data, "data {data:?}");
+        }
+    }
+
+    #[test]
+    fn long_literal_runs_use_varlen_encoding() {
+        // 1000 distinct-ish bytes -> literal run > 15 exercises the escape.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let codec = Lz4ishCodec::default();
+        assert_eq!(codec.decompress(&codec.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn long_matches_use_varlen_encoding() {
+        let data = vec![b'z'; 5000];
+        let codec = Lz4ishCodec::default();
+        let compressed = codec.compress(&data);
+        assert!(compressed.len() < 200);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_truncation() {
+        let codec = Lz4ishCodec::default();
+        assert_eq!(
+            codec.decompress(b"nope").unwrap_err(),
+            CompressError::BadHeader
+        );
+        let compressed = codec.compress(&b"hello hello hello hello".repeat(10));
+        assert!(codec.decompress(&compressed[..compressed.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn varlen_round_trip() {
+        for value in [0usize, 5, 254, 255, 256, 1000, 70000] {
+            let mut buf = Vec::new();
+            write_varlen(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_varlen(&buf, &mut pos).unwrap(), value);
+            assert_eq!(pos, buf.len());
+        }
+        let mut pos = 0;
+        assert!(read_varlen(&[255, 255], &mut pos).is_err());
+    }
+}

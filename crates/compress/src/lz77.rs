@@ -1,0 +1,236 @@
+//! Shared LZ77 matcher used by the gzip-, lz4- and snappy-style codecs.
+//!
+//! Matching uses a hash table over 4-byte prefixes with a configurable
+//! search window and chain depth; the three codecs differ only in window
+//! size, how hard they search and how they serialise the token stream.
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte copied verbatim.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `offset` bytes before the
+    /// current output position.
+    Match {
+        /// Distance back from the current position (1-based).
+        offset: u32,
+        /// Number of bytes to copy (>= MIN_MATCH).
+        len: u32,
+    },
+}
+
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 4;
+
+/// Parameters of the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherParams {
+    /// Maximum back-reference distance.
+    pub window: usize,
+    /// Maximum match length.
+    pub max_match: usize,
+    /// Maximum number of hash-chain candidates examined per position
+    /// (higher = better matches, slower compression).
+    pub max_chain: usize,
+}
+
+impl MatcherParams {
+    /// Thorough matching (gzip-like): deep hash chains and the full
+    /// 16-bit-addressable window, so its match coverage is never worse than
+    /// the fast profile's before entropy coding is even applied.
+    pub fn thorough() -> Self {
+        MatcherParams {
+            window: u16::MAX as usize,
+            max_match: 258,
+            max_chain: 128,
+        }
+    }
+
+    /// Fast matching (lz4-like): 64 KiB window, shallow chains. The window
+    /// is capped at `u16::MAX` so offsets always fit the 2-byte encoding
+    /// used by the byte-oriented codecs.
+    pub fn fast() -> Self {
+        MatcherParams {
+            window: u16::MAX as usize,
+            max_match: 255,
+            max_chain: 8,
+        }
+    }
+
+    /// Very fast matching (snappy-like): small window, single candidate.
+    pub fn fastest() -> Self {
+        MatcherParams {
+            window: 8 * 1024,
+            max_match: 64,
+            max_chain: 1,
+        }
+    }
+}
+
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> 16) as usize & 0xFFFF
+}
+
+/// Tokenise `data` into literals and matches.
+pub fn tokenize(data: &[u8], params: &MatcherParams) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i] = previous position
+    // with the same hash as i (hash chains).
+    let mut head = vec![usize::MAX; 1 << 16];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        if i + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+            continue;
+        }
+        let h = hash4(data, i);
+        // Walk the chain looking for the longest match within the window.
+        let mut best_len = 0usize;
+        let mut best_offset = 0usize;
+        let mut candidate = head[h];
+        let mut chain = 0usize;
+        while candidate != usize::MAX
+            && chain < params.max_chain
+            && i - candidate <= params.window
+        {
+            let max_len = (n - i).min(params.max_match);
+            let mut len = 0usize;
+            while len < max_len && data[candidate + len] == data[i + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_offset = i - candidate;
+                if len >= params.max_match {
+                    break;
+                }
+            }
+            candidate = prev[candidate];
+            chain += 1;
+        }
+        // Insert the current position into the chain.
+        prev[i] = head[h];
+        head[h] = i;
+
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                offset: best_offset as u32,
+                len: best_len as u32,
+            });
+            // Insert the skipped positions so later matches can reference them.
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i + 1;
+            while j < end {
+                let hj = hash4(data, j);
+                prev[j] = head[hj];
+                head[hj] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Reconstruct the original bytes from a token stream.
+///
+/// Returns `None` if a back-reference is invalid (points before the start of
+/// the output).
+pub fn detokenize(tokens: &[Token]) -> Option<Vec<u8>> {
+    let mut out: Vec<u8> = Vec::with_capacity(tokens.len() * 2);
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { offset, len } => {
+                let offset = offset as usize;
+                if offset == 0 || offset > out.len() {
+                    return None;
+                }
+                let start = out.len() - offset;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_repetitive_data() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(50);
+        for params in [MatcherParams::thorough(), MatcherParams::fast(), MatcherParams::fastest()] {
+            let tokens = tokenize(&data, &params);
+            assert_eq!(detokenize(&tokens).unwrap(), data);
+            // Repetitive data must produce matches.
+            assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        }
+    }
+
+    #[test]
+    fn round_trip_short_and_empty_inputs() {
+        for data in [&b""[..], &b"a"[..], &b"ab"[..], &b"abc"[..]] {
+            let tokens = tokenize(data, &MatcherParams::thorough());
+            assert_eq!(detokenize(&tokens).unwrap(), data);
+            assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+        }
+    }
+
+    #[test]
+    fn incompressible_data_is_mostly_literals() {
+        // A pseudo-random byte sequence with no 4-byte repeats.
+        let mut data = Vec::with_capacity(2048);
+        let mut x: u64 = 0x12345678;
+        for _ in 0..2048 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            data.push((x & 0xFF) as u8);
+        }
+        let tokens = tokenize(&data, &MatcherParams::thorough());
+        let literals = tokens.iter().filter(|t| matches!(t, Token::Literal(_))).count();
+        assert!(literals as f64 / tokens.len() as f64 > 0.9);
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn thorough_matching_finds_fewer_tokens_than_fastest() {
+        let data = b"abcdefgh".repeat(300);
+        let thorough = tokenize(&data, &MatcherParams::thorough());
+        let fastest = tokenize(&data, &MatcherParams::fastest());
+        assert!(thorough.len() <= fastest.len());
+    }
+
+    #[test]
+    fn overlapping_match_is_handled() {
+        // "aaaaaaaa..." produces matches whose length exceeds their offset
+        // (the classic overlapping-copy case).
+        let data = vec![b'a'; 500];
+        let tokens = tokenize(&data, &MatcherParams::fast());
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn invalid_backreference_detected() {
+        let tokens = vec![Token::Match { offset: 5, len: 3 }];
+        assert!(detokenize(&tokens).is_none());
+        let tokens = vec![Token::Literal(1), Token::Match { offset: 0, len: 3 }];
+        assert!(detokenize(&tokens).is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Measurement of compression ratio and decompression speed.
+//!
+//! COMPREDICT's training targets are (compression ratio, decompression
+//! seconds per GB) pairs obtained by actually compressing sampled data.
+//! [`measure`] produces exactly those two numbers for any [`Codec`], timing
+//! the decompression with enough repetitions that small inputs still get a
+//! stable estimate.
+
+use crate::Codec;
+use std::time::Instant;
+
+/// Result of measuring a codec on a byte buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionMeasurement {
+    /// Uncompressed size in bytes.
+    pub original_bytes: usize,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// Compression ratio `original / compressed` (>= 0; > 1 means the codec
+    /// actually shrank the data).
+    pub ratio: f64,
+    /// Wall-clock seconds taken by one decompression of the buffer.
+    pub decompress_seconds: f64,
+    /// Decompression speed normalised to seconds per GB of *uncompressed*
+    /// data — the unit used in Table VIII.
+    pub decompress_seconds_per_gb: f64,
+    /// Wall-clock seconds taken by one compression of the buffer.
+    pub compress_seconds: f64,
+}
+
+/// Measure `codec` on `data`.
+///
+/// Decompression is repeated until at least ~2 ms have elapsed (or 32
+/// repetitions) and averaged, so tiny buffers do not produce pure-noise
+/// timings. Returns a measurement with ratio 1.0 and zero time for empty
+/// input.
+pub fn measure(codec: &dyn Codec, data: &[u8]) -> CompressionMeasurement {
+    if data.is_empty() {
+        return CompressionMeasurement {
+            original_bytes: 0,
+            compressed_bytes: 0,
+            ratio: 1.0,
+            decompress_seconds: 0.0,
+            decompress_seconds_per_gb: 0.0,
+            compress_seconds: 0.0,
+        };
+    }
+    let c_start = Instant::now();
+    let compressed = codec.compress(data);
+    let compress_seconds = c_start.elapsed().as_secs_f64();
+
+    // Repeat decompression for a stable timing.
+    let mut reps = 0u32;
+    let d_start = Instant::now();
+    loop {
+        let out = codec
+            .decompress(&compressed)
+            .expect("codec must round-trip its own output");
+        debug_assert_eq!(out.len(), data.len());
+        reps += 1;
+        if reps >= 32 || d_start.elapsed().as_secs_f64() > 0.002 {
+            break;
+        }
+    }
+    let decompress_seconds = d_start.elapsed().as_secs_f64() / reps as f64;
+
+    let gb = data.len() as f64 / 1e9;
+    CompressionMeasurement {
+        original_bytes: data.len(),
+        compressed_bytes: compressed.len(),
+        ratio: data.len() as f64 / compressed.len() as f64,
+        decompress_seconds,
+        decompress_seconds_per_gb: if gb > 0.0 { decompress_seconds / gb } else { 0.0 },
+        compress_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressionScheme, GzipishCodec, Lz4ishCodec, NoopCodec, SnappyishCodec};
+
+    fn tabular_text(rows: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..rows {
+            out.extend_from_slice(
+                format!(
+                    "{},Customer#{:09},AUTOMOBILE,199{}-0{}-1{},{}-LOW,carefully final requests\n",
+                    i,
+                    i % 1000,
+                    i % 8,
+                    i % 9 + 1,
+                    i % 9,
+                    i % 5 + 1
+                )
+                .as_bytes(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn ratio_ordering_matches_real_codecs() {
+        // gzip >= lz4 >= snappy in compression ratio on tabular text — this
+        // is the qualitative property the paper's optimizer and predictor
+        // rely on.
+        let data = tabular_text(400);
+        let gz = measure(&GzipishCodec::default(), &data);
+        let lz = measure(&Lz4ishCodec::default(), &data);
+        let sn = measure(&SnappyishCodec::default(), &data);
+        assert!(gz.ratio > 1.5, "gzip ratio = {}", gz.ratio);
+        assert!(gz.ratio >= lz.ratio, "gzip {} vs lz4 {}", gz.ratio, lz.ratio);
+        assert!(lz.ratio >= sn.ratio * 0.95, "lz4 {} vs snappy {}", lz.ratio, sn.ratio);
+    }
+
+    #[test]
+    fn noop_has_ratio_one_and_fast_decompression() {
+        let data = tabular_text(100);
+        let m = measure(&NoopCodec, &data);
+        assert!((m.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(m.original_bytes, m.compressed_bytes);
+        assert!(m.decompress_seconds >= 0.0);
+    }
+
+    #[test]
+    fn empty_input_measurement() {
+        let m = measure(&GzipishCodec::default(), b"");
+        assert_eq!(m.ratio, 1.0);
+        assert_eq!(m.original_bytes, 0);
+        assert_eq!(m.decompress_seconds_per_gb, 0.0);
+    }
+
+    #[test]
+    fn repetitive_data_compresses_better_than_random() {
+        let repetitive = b"AAAA-BBBB-CCCC-".repeat(500);
+        let mut random = Vec::with_capacity(repetitive.len());
+        let mut x: u64 = 3;
+        for _ in 0..repetitive.len() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            random.push((x & 0xFF) as u8);
+        }
+        let codec = GzipishCodec::default();
+        let r1 = measure(&codec, &repetitive);
+        let r2 = measure(&codec, &random);
+        assert!(r1.ratio > 3.0 * r2.ratio);
+    }
+
+    #[test]
+    fn seconds_per_gb_scales_with_measured_time() {
+        let data = tabular_text(200);
+        let m = measure(&GzipishCodec::default(), &data);
+        let expected = m.decompress_seconds / (data.len() as f64 / 1e9);
+        assert!((m.decompress_seconds_per_gb - expected).abs() < 1e-9);
+        assert!(m.decompress_seconds_per_gb > 0.0);
+    }
+
+    #[test]
+    fn all_schemes_produce_valid_measurements() {
+        let data = tabular_text(100);
+        for scheme in CompressionScheme::all() {
+            let codec = scheme.codec();
+            let m = measure(codec.as_ref(), &data);
+            assert!(m.ratio > 0.0);
+            assert!(m.compressed_bytes > 0);
+            assert_eq!(m.original_bytes, data.len());
+        }
+    }
+}

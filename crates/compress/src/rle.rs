@@ -1,0 +1,108 @@
+//! Run-length encoding: the trivial baseline codec.
+//!
+//! Stream layout: magic `RLE1`, u64 original length, then (u8 run length,
+//! u8 value) pairs. Only worthwhile on data with long byte runs (e.g.
+//! constant columns); on text it typically *expands*, which makes it a
+//! useful negative control in the codec-comparison experiments.
+
+use crate::error::CompressError;
+use crate::Codec;
+
+const MAGIC: &[u8; 4] = b"RLE1";
+
+/// Run-length encoding codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RleCodec;
+
+impl Codec for RleCodec {
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        let mut i = 0usize;
+        while i < data.len() {
+            let b = data[i];
+            let mut run = 1usize;
+            while i + run < data.len() && data[i + run] == b && run < 255 {
+                run += 1;
+            }
+            out.push(run as u8);
+            out.push(b);
+            i += run;
+        }
+        out
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
+        if data.len() < 12 || &data[0..4] != MAGIC {
+            return Err(CompressError::BadHeader);
+        }
+        let original_len = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
+        let mut out = Vec::with_capacity(original_len);
+        let body = &data[12..];
+        if body.len() % 2 != 0 {
+            return Err(CompressError::Truncated);
+        }
+        for pair in body.chunks_exact(2) {
+            let run = pair[0] as usize;
+            if run == 0 {
+                return Err(CompressError::InvalidSymbol);
+            }
+            out.extend(std::iter::repeat(pair[1]).take(run));
+        }
+        if out.len() != original_len {
+            return Err(CompressError::LengthMismatch {
+                expected: original_len,
+                found: out.len(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compresses_runs_and_round_trips() {
+        let data = [vec![0u8; 1000], vec![7u8; 500], vec![1u8, 2, 3]].concat();
+        let codec = RleCodec;
+        let compressed = codec.compress(&data);
+        assert!(compressed.len() < 50);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn expands_non_repetitive_data_but_round_trips() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let codec = RleCodec;
+        let compressed = codec.compress(&data);
+        assert!(compressed.len() > data.len()); // negative control
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let codec = RleCodec;
+        assert_eq!(codec.decompress(&codec.compress(b"")).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_corrupted_streams() {
+        let codec = RleCodec;
+        assert_eq!(codec.decompress(b"xx").unwrap_err(), CompressError::BadHeader);
+        let mut c = codec.compress(&[5u8; 100]);
+        c.push(9); // odd body length
+        assert!(codec.decompress(&c).is_err());
+        // Zero-length run is invalid.
+        let mut bad = b"RLE1".to_vec();
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.extend_from_slice(&[0, 42]);
+        assert_eq!(codec.decompress(&bad).unwrap_err(), CompressError::InvalidSymbol);
+    }
+}

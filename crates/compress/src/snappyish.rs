@@ -1,0 +1,87 @@
+//! The Snappy analogue: byte-oriented LZ77 with a small window and a single
+//! match candidate per position — fastest compression and decompression,
+//! lightest ratio.
+//!
+//! Stream layout mirrors [`crate::lz4ish`] but with a different magic tag;
+//! what differs is the matcher effort (and therefore speed/ratio profile),
+//! which is exactly how Snappy differs from LZ4/DEFLATE in practice.
+
+use crate::error::CompressError;
+use crate::lz4ish::Lz4ishCodec;
+use crate::lz77::MatcherParams;
+use crate::Codec;
+
+/// The snappy-like codec.
+#[derive(Debug, Clone)]
+pub struct SnappyishCodec {
+    inner: Lz4ishCodec,
+}
+
+impl Default for SnappyishCodec {
+    fn default() -> Self {
+        SnappyishCodec {
+            inner: Lz4ishCodec::with_params(MatcherParams::fastest()),
+        }
+    }
+}
+
+impl Codec for SnappyishCodec {
+    fn name(&self) -> &'static str {
+        "snappy"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        self.inner.compress(data)
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CompressError> {
+        self.inner.decompress(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GzipishCodec;
+
+    #[test]
+    fn round_trips_and_compresses_repetitive_data() {
+        let data = b"status=SHIPPED;priority=HIGH;qty=10;".repeat(300);
+        let codec = SnappyishCodec::default();
+        let compressed = codec.compress(&data);
+        assert!(compressed.len() < data.len());
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn snappy_is_lighter_than_gzip_on_text() {
+        // The defining relationship the optimizer relies on: gzip compresses
+        // harder than snappy on typical tabular text.
+        let data =
+            b"1024,Customer#000001024,AUTOMOBILE,1995-03-11,5-LOW,furiously final requests\n"
+                .repeat(150);
+        let gz = GzipishCodec::default().compress(&data);
+        let sn = SnappyishCodec::default().compress(&data);
+        assert!(gz.len() < sn.len(), "gzip {} vs snappy {}", gz.len(), sn.len());
+    }
+
+    #[test]
+    fn round_trips_incompressible_data() {
+        let mut data = Vec::with_capacity(2000);
+        let mut x: u64 = 7;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            data.push((x & 0xFF) as u8);
+        }
+        let codec = SnappyishCodec::default();
+        assert_eq!(codec.decompress(&codec.compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        let codec = SnappyishCodec::default();
+        assert_eq!(codec.decompress(&codec.compress(b"")).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,337 @@
+//! The Fig 5 experiment: how compression-prediction quality affects the
+//! cost/latency trade-off curves of the optimizer.
+//!
+//! The paper sweeps the α (storage weight) / β (read + decompression
+//! weight) hyper-parameters of OPTASSIGN and plots, for each compression
+//! predictor, the latency-cost vs storage-cost and total-cost vs latency
+//! curves. The headline result is that the curve obtained with the real
+//! predictor (query samples + weighted-entropy features) is nearly
+//! indistinguishable from the curve obtained with ground-truth compression
+//! values, while naive predictors (averaging, size-only features on random
+//! samples) land on visibly worse trade-off points.
+//!
+//! The predictor variants here perturb the ground-truth per-table profiles
+//! with the *measured error magnitude* of the corresponding model family
+//! (the MAPE columns of Tables V–VII): ~1% for the Random-Forest predictor,
+//! ~3% for the SVR-style predictor, ~20–70% for the averaging and
+//! random-sample baselines. The optimizer plans with the perturbed values
+//! and is then evaluated against the ground truth, exactly like the paper's
+//! "effect of prediction errors on the overall optimization".
+
+use crate::scenario::PipelineInputs;
+use crate::ScopeError;
+use scope_cloudsim::CostWeights;
+use scope_optassign::{solve_greedy, CompressionOption, OptAssignProblem, PartitionSpec};
+use serde::{Deserialize, Serialize};
+
+/// A compression-predictor variant for the Fig 5 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorVariant {
+    /// Plan with the exact measured compression values.
+    GroundTruth,
+    /// Plan with Random-Forest-quality predictions (query samples +
+    /// weighted-entropy features): ~1% relative error.
+    RandomForest,
+    /// Plan with SVR-quality predictions: ~3% relative error.
+    Svr,
+    /// Plan with the averaging baseline: every table gets the global mean
+    /// ratio and decompression speed.
+    Averaging,
+    /// Plan with size-only features fit on random samples: large,
+    /// systematic over-estimation of compressibility (the Table V failure
+    /// mode: random samples look less repetitive than queried data).
+    RandomSampleSizeOnly,
+}
+
+impl PredictorVariant {
+    /// All variants, in plotting order.
+    pub fn all() -> [PredictorVariant; 5] {
+        [
+            PredictorVariant::GroundTruth,
+            PredictorVariant::RandomForest,
+            PredictorVariant::Svr,
+            PredictorVariant::Averaging,
+            PredictorVariant::RandomSampleSizeOnly,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorVariant::GroundTruth => "ground truth",
+            PredictorVariant::RandomForest => "RF (queries + entropy)",
+            PredictorVariant::Svr => "SVR (queries + entropy)",
+            PredictorVariant::Averaging => "averaging",
+            PredictorVariant::RandomSampleSizeOnly => "random samples + size",
+        }
+    }
+
+    /// Relative error magnitude applied to ratios and decompression speeds.
+    fn relative_error(&self) -> f64 {
+        match self {
+            PredictorVariant::GroundTruth => 0.0,
+            PredictorVariant::RandomForest => 0.01,
+            PredictorVariant::Svr => 0.035,
+            PredictorVariant::Averaging => 0.0, // handled specially (global mean)
+            PredictorVariant::RandomSampleSizeOnly => 0.7,
+        }
+    }
+}
+
+/// One point of the Fig 5 curves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Storage weight α used for this point.
+    pub alpha: f64,
+    /// Read/decompression weight β used for this point.
+    pub beta: f64,
+    /// Realised storage cost (ground-truth compression), cents.
+    pub storage_cost: f64,
+    /// Realised read + decompression cost, cents.
+    pub latency_cost: f64,
+    /// Realised total cost, cents.
+    pub total_cost: f64,
+    /// Realised expected access latency (TTFB + decompression), seconds,
+    /// averaged over accesses.
+    pub latency_seconds: f64,
+}
+
+/// Deterministic pseudo-noise in `[-1, 1]` derived from a label and index.
+fn signed_noise(label: &str, index: usize) -> f64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in label.bytes().chain(index.to_le_bytes()) {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    ((hash >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// Build the per-table compression options a predictor variant would hand to
+/// the optimizer.
+fn predicted_options(
+    inputs: &PipelineInputs,
+    variant: PredictorVariant,
+) -> Vec<Vec<CompressionOption>> {
+    let n_schemes = inputs.tables[0].options.len();
+    // Global means for the averaging baseline.
+    let mut mean_ratio = vec![0.0; n_schemes];
+    let mut mean_decomp = vec![0.0; n_schemes];
+    for t in &inputs.tables {
+        for (k, o) in t.options.iter().enumerate() {
+            mean_ratio[k] += o.ratio / inputs.tables.len() as f64;
+            mean_decomp[k] += o.decompress_seconds / inputs.tables.len() as f64;
+        }
+    }
+    inputs
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            t.options
+                .iter()
+                .enumerate()
+                .map(|(k, o)| {
+                    if k == 0 {
+                        return CompressionOption::none();
+                    }
+                    match variant {
+                        PredictorVariant::Averaging => {
+                            CompressionOption::new(o.name.clone(), mean_ratio[k].max(1.0), mean_decomp[k].max(0.0))
+                        }
+                        PredictorVariant::RandomSampleSizeOnly => {
+                            // Random samples look less repetitive than queried
+                            // data, so this predictor systematically
+                            // *underestimates* ratios and overestimates cost.
+                            let err = variant.relative_error();
+                            CompressionOption::new(
+                                o.name.clone(),
+                                (o.ratio * (1.0 - 0.5 * err)).max(1.0),
+                                o.decompress_seconds * (1.0 + err * signed_noise(&t.name, i * 7 + k).abs()),
+                            )
+                        }
+                        _ => {
+                            let err = variant.relative_error();
+                            let nr = signed_noise(&t.name, i * 31 + k);
+                            let nd = signed_noise(&t.name, i * 53 + k + 1000);
+                            CompressionOption::new(
+                                o.name.clone(),
+                                (o.ratio * (1.0 + err * nr)).max(1.0),
+                                (o.decompress_seconds * (1.0 + err * nd)).max(0.0),
+                            )
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Build one partition spec per table (the Fig 5 sweep operates at table
+/// granularity, like the paper's TPC-H 1 GB experiment).
+fn table_specs(
+    inputs: &PipelineInputs,
+    options: &[Vec<CompressionOption>],
+) -> Vec<PartitionSpec> {
+    // Access frequency per table from the query families.
+    let mut freq: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+    for family in &inputs.families {
+        let tables: std::collections::BTreeSet<&str> =
+            family.files.iter().map(|f| f.table.as_str()).collect();
+        for t in tables {
+            *freq.entry(t).or_insert(0.0) += family.frequency;
+        }
+    }
+    inputs
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut spec = PartitionSpec::new(
+                i,
+                t.name.clone(),
+                t.size_gb,
+                freq.get(t.name.as_str()).copied().unwrap_or(0.0),
+            )
+            .with_latency_threshold(t.latency_threshold_seconds);
+            for o in options[i].iter().skip(1) {
+                // Decompression is per GB in the profile; scale to the table.
+                spec = spec.with_compression_option(CompressionOption::new(
+                    o.name.clone(),
+                    o.ratio,
+                    o.decompress_seconds * t.size_gb,
+                ));
+            }
+            spec
+        })
+        .collect()
+}
+
+/// Run the α/β sweep for one predictor variant.
+///
+/// For every `(alpha, beta)` pair the optimizer plans with the variant's
+/// *predicted* compression values; the returned point reports the cost and
+/// latency the plan actually achieves under the *ground-truth* values.
+pub fn tradeoff_sweep(
+    inputs: &PipelineInputs,
+    variant: PredictorVariant,
+    alphas: &[f64],
+    beta: f64,
+) -> Result<Vec<TradeoffPoint>, ScopeError> {
+    inputs.validate()?;
+    let predicted = predicted_options(inputs, variant);
+    let truth = predicted_options(inputs, PredictorVariant::GroundTruth);
+    let mut points = Vec::with_capacity(alphas.len());
+    for &alpha in alphas {
+        let weights = CostWeights::new(alpha, beta, alpha.max(0.01));
+        // Plan with predicted values.
+        let plan_problem = OptAssignProblem::new(
+            inputs.catalog.clone(),
+            table_specs(inputs, &predicted),
+            inputs.horizon_months,
+        )
+        .with_weights(weights);
+        let plan = solve_greedy(&plan_problem)?;
+        // Evaluate the chosen (tier, scheme) under ground truth.
+        let eval_problem = OptAssignProblem::new(
+            inputs.catalog.clone(),
+            table_specs(inputs, &truth),
+            inputs.horizon_months,
+        )
+        .with_weights(weights);
+        let realized =
+            scope_optassign::Assignment::from_choices(&eval_problem, plan.choices.clone())?;
+        let latency = realized.expected_ttfb(&eval_problem)
+            + realized.expected_decompression_latency(&eval_problem);
+        points.push(TradeoffPoint {
+            alpha,
+            beta,
+            storage_cost: realized.breakdown.storage,
+            latency_cost: realized.breakdown.read + realized.breakdown.decompression,
+            total_cost: realized.breakdown.total(),
+            latency_seconds: latency,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{tpch_scenario, ScenarioOptions};
+
+    fn inputs() -> PipelineInputs {
+        tpch_scenario(&ScenarioOptions {
+            nominal_total_gb: 1.0, // the paper's Fig 5 uses TPC-H 1 GB
+            generator_scale: 0.05,
+            queries_per_template: 4,
+            total_files: 24,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    fn alphas() -> Vec<f64> {
+        vec![0.0, 0.1, 0.3, 1.0, 3.0, 10.0]
+    }
+
+    #[test]
+    fn sweep_produces_monotone_storage_cost_in_alpha() {
+        let inputs = inputs();
+        let points = tradeoff_sweep(&inputs, PredictorVariant::GroundTruth, &alphas(), 1.0).unwrap();
+        assert_eq!(points.len(), 6);
+        // As alpha grows the optimizer cares more about storage, so the
+        // realised storage cost must not increase.
+        for w in points.windows(2) {
+            assert!(w[1].storage_cost <= w[0].storage_cost + 1e-6);
+        }
+        for p in &points {
+            assert!(p.total_cost > 0.0);
+            assert!(p.latency_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn good_predictors_track_the_ground_truth_curve() {
+        let inputs = inputs();
+        let a = alphas();
+        let truth = tradeoff_sweep(&inputs, PredictorVariant::GroundTruth, &a, 1.0).unwrap();
+        let rf = tradeoff_sweep(&inputs, PredictorVariant::RandomForest, &a, 1.0).unwrap();
+        let naive = tradeoff_sweep(&inputs, PredictorVariant::RandomSampleSizeOnly, &a, 1.0).unwrap();
+        // The RF curve must stay very close to ground truth (within 5% total
+        // cost at every sweep point) — the Fig 5 conclusion.
+        let mut rf_gap = 0.0f64;
+        let mut naive_gap = 0.0f64;
+        for ((t, r), n) in truth.iter().zip(&rf).zip(&naive) {
+            rf_gap = rf_gap.max((r.total_cost - t.total_cost).abs() / t.total_cost);
+            naive_gap = naive_gap.max((n.total_cost - t.total_cost).abs() / t.total_cost);
+        }
+        assert!(rf_gap < 0.05, "RF deviates {rf_gap}");
+        // The naive predictor is allowed to deviate more (and in this
+        // workload it does at some sweep points); what matters is that it is
+        // never *better* tracked than RF.
+        assert!(naive_gap >= rf_gap, "naive {naive_gap} vs rf {rf_gap}");
+    }
+
+    #[test]
+    fn averaging_variant_uses_global_means() {
+        let inputs = inputs();
+        let opts = predicted_options(&inputs, PredictorVariant::Averaging);
+        // Every table gets the same predicted gzip ratio under averaging.
+        let first = opts[0][1].ratio;
+        assert!(opts.iter().all(|o| (o[1].ratio - first).abs() < 1e-12));
+        // Ground truth differs across tables.
+        let gt = predicted_options(&inputs, PredictorVariant::GroundTruth);
+        let ratios: Vec<f64> = gt.iter().map(|o| o[1].ratio).collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max - min > 1e-3, "tables should differ in compressibility");
+    }
+
+    #[test]
+    fn variant_names_and_errors() {
+        assert_eq!(PredictorVariant::all().len(), 5);
+        assert_eq!(PredictorVariant::GroundTruth.relative_error(), 0.0);
+        assert!(PredictorVariant::RandomForest.relative_error() < PredictorVariant::Svr.relative_error());
+        assert_eq!(PredictorVariant::RandomForest.name(), "RF (queries + entropy)");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the partitioning crate.
+
+use std::fmt;
+
+/// Errors produced by the partitioning algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataPartError {
+    /// An algorithm option was invalid.
+    InvalidOption(String),
+    /// The cost threshold is too small for any feasible covering.
+    InfeasibleCostThreshold {
+        /// The requested threshold.
+        threshold: f64,
+        /// The minimum achievable total cost.
+        minimum: f64,
+    },
+    /// A file referenced by a partition is missing from the file catalog.
+    UnknownFile(String),
+}
+
+impl fmt::Display for DataPartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataPartError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
+            DataPartError::InfeasibleCostThreshold { threshold, minimum } => write!(
+                f,
+                "cost threshold {threshold} is below the minimum achievable cost {minimum}"
+            ),
+            DataPartError::UnknownFile(name) => write!(f, "unknown file in partition: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DataPartError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DataPartError::InvalidOption("x".into()).to_string().contains('x'));
+        assert!(DataPartError::UnknownFile("f".into()).to_string().contains('f'));
+        assert!(DataPartError::InfeasibleCostThreshold {
+            threshold: 1.0,
+            minimum: 2.0
+        }
+        .to_string()
+        .contains('2'));
+    }
+}

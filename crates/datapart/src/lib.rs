@@ -1,0 +1,34 @@
+//! # scope-datapart
+//!
+//! DATAPART (§VI of the paper): access-pattern-aware data partitioning.
+//!
+//! Query families define *initial partitions* — the sets of files each
+//! family reads together. DATAPART merges these initial partitions into
+//! final partitions so that the total stored space is minimized (overlap is
+//! deduplicated) while the total expected read cost of the merges stays
+//! under a budget, and partitions with wildly different access frequencies
+//! are not merged together. The problem is NP-hard
+//! (MERGEPARTITIONS, Theorem 4), so the crate provides:
+//!
+//! * [`gpart`] — the G-PART greedy heuristic for the general (graph) case:
+//!   repeatedly merge the pair of partitions with the largest fractional
+//!   overlap, subject to the frequency-compatibility constraints and a
+//!   span threshold (Algorithm 1),
+//! * [`ordered`] — the exact dynamic program and the (1, 1+Nε) bi-criteria
+//!   approximation for time-ordered partitions (Theorems 5 and 6),
+//! * [`metrics`] — duplication / space / read-cost metrics and the
+//!   no-merge / merge-all baselines used in Fig 7.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod gpart;
+pub mod metrics;
+pub mod ordered;
+pub mod partition;
+
+pub use error::DataPartError;
+pub use gpart::{gpart_merge, MergeConfig};
+pub use metrics::{merge_all, no_merge, PartitioningMetrics};
+pub use ordered::{solve_ordered_bicriteria, solve_ordered_exact, OrderedPartition, OrderedSolution};
+pub use partition::{FileCatalog, Partition};

@@ -1,0 +1,167 @@
+//! Partitioning quality metrics and the no-merge / merge-all baselines.
+//!
+//! Fig 7 of the paper compares three points per table: (i) no merging (keep
+//! every query family's file set as its own partition), (ii) G-PART, and
+//! (iii) merging all partitions of a table into one. The two axes are
+//! *duplication* (how much data is stored more than once across partitions)
+//! and the increase in expected *read cost* caused by merging.
+
+use crate::error::DataPartError;
+use crate::partition::{FileCatalog, Partition};
+use scope_workload::FileRef;
+use std::collections::BTreeSet;
+
+/// Aggregate metrics of a partitioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitioningMetrics {
+    /// Number of final partitions.
+    pub n_partitions: usize,
+    /// Total stored space (sum of partition spans; overlap across partitions
+    /// is counted every time it is stored).
+    pub total_space: f64,
+    /// Space of the distinct files referenced by any partition.
+    pub distinct_space: f64,
+    /// Duplication `1 − distinct/total` (0 = no file stored twice).
+    pub duplication: f64,
+    /// Total expected read cost `Σ Sp(M)·ρ(M)`.
+    pub read_cost: f64,
+}
+
+/// Compute the metrics of a set of partitions.
+pub fn evaluate(
+    partitions: &[Partition],
+    catalog: &FileCatalog,
+) -> Result<PartitioningMetrics, DataPartError> {
+    let mut total_space = 0.0;
+    let mut read_cost = 0.0;
+    let mut distinct: BTreeSet<&FileRef> = BTreeSet::new();
+    for p in partitions {
+        total_space += p.span(catalog)?;
+        read_cost += p.read_cost(catalog)?;
+        distinct.extend(p.files.iter());
+    }
+    let distinct_space = catalog.span_of(distinct.into_iter())?;
+    let duplication = if total_space > 0.0 {
+        1.0 - distinct_space / total_space
+    } else {
+        0.0
+    };
+    Ok(PartitioningMetrics {
+        n_partitions: partitions.len(),
+        total_space,
+        distinct_space,
+        duplication,
+        read_cost,
+    })
+}
+
+/// The "no merging" baseline: every initial partition stays as it is.
+pub fn no_merge(initial: &[Partition]) -> Vec<Partition> {
+    initial.to_vec()
+}
+
+/// The "merge all" baseline: all initial partitions are collapsed into a
+/// single partition (per call), summing frequencies.
+pub fn merge_all(initial: &[Partition]) -> Vec<Partition> {
+    if initial.is_empty() {
+        return Vec::new();
+    }
+    let mut merged = initial[0].clone();
+    for p in &initial[1..] {
+        merged = merged.merge(p, 0);
+    }
+    merged.id = 0;
+    vec![merged]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpart::{gpart_merge, MergeConfig};
+
+    fn catalog() -> FileCatalog {
+        FileCatalog::uniform(&[("t", 20, 1.0)])
+    }
+
+    fn partition(id: usize, indices: &[usize], freq: f64) -> Partition {
+        Partition::new(id, indices.iter().map(|&i| FileRef::new("t", i)), freq)
+    }
+
+    fn overlapping_initial() -> Vec<Partition> {
+        (0..6)
+            .map(|i| {
+                let files: Vec<usize> = (0..4).map(|j| i + j).collect();
+                partition(i, &files, 2.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn metrics_of_disjoint_partitions_have_zero_duplication() {
+        let c = catalog();
+        let parts = vec![partition(0, &[0, 1], 1.0), partition(1, &[5, 6], 2.0)];
+        let m = evaluate(&parts, &c).unwrap();
+        assert_eq!(m.n_partitions, 2);
+        assert_eq!(m.total_space, 4.0);
+        assert_eq!(m.distinct_space, 4.0);
+        assert_eq!(m.duplication, 0.0);
+        assert_eq!(m.read_cost, 2.0 + 4.0);
+    }
+
+    #[test]
+    fn duplication_reflects_shared_files() {
+        let c = catalog();
+        let parts = vec![partition(0, &[0, 1, 2], 1.0), partition(1, &[1, 2, 3], 1.0)];
+        let m = evaluate(&parts, &c).unwrap();
+        assert_eq!(m.total_space, 6.0);
+        assert_eq!(m.distinct_space, 4.0);
+        assert!((m.duplication - (1.0 - 4.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig7_ordering_no_merge_vs_gpart_vs_merge_all() {
+        // The qualitative shape of Fig 7: no-merge has the highest
+        // duplication but the lowest read cost; merge-all has zero
+        // duplication but the highest read cost; G-PART sits in between on
+        // both axes (a good trade-off).
+        let c = catalog();
+        let initial = overlapping_initial();
+        let nm = evaluate(&no_merge(&initial), &c).unwrap();
+        let gp = evaluate(
+            &gpart_merge(&initial, &c, &MergeConfig::default()).unwrap(),
+            &c,
+        )
+        .unwrap();
+        let ma = evaluate(&merge_all(&initial), &c).unwrap();
+
+        assert!(nm.duplication >= gp.duplication);
+        assert!(gp.duplication >= ma.duplication);
+        assert_eq!(ma.duplication, 0.0);
+
+        assert!(nm.read_cost <= gp.read_cost + 1e-9);
+        assert!(gp.read_cost <= ma.read_cost + 1e-9);
+
+        assert!(nm.n_partitions >= gp.n_partitions);
+        assert!(gp.n_partitions >= ma.n_partitions);
+        assert_eq!(ma.n_partitions, 1);
+    }
+
+    #[test]
+    fn merge_all_sums_frequencies_and_covers_all_files() {
+        let initial = overlapping_initial();
+        let merged = merge_all(&initial);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].frequency, 12.0);
+        assert_eq!(merged[0].file_count(), 9); // files 0..=8
+        assert!(merge_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn empty_partitioning_metrics() {
+        let c = catalog();
+        let m = evaluate(&[], &c).unwrap();
+        assert_eq!(m.n_partitions, 0);
+        assert_eq!(m.total_space, 0.0);
+        assert_eq!(m.duplication, 0.0);
+    }
+}

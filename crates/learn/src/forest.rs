@@ -1,0 +1,293 @@
+//! Random forests: bagged ensembles of CART trees.
+//!
+//! The paper finds the Random Forest to be the best-performing model both
+//! for the compression predictor (Tables VI–VIII) and the tier predictor
+//! (Table III, F1 > 0.96). The implementation here uses bootstrap sampling
+//! and per-split feature subsampling, with deterministic seeding so that
+//! experiment outputs are reproducible.
+
+use crate::error::LearnError;
+use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeParams};
+use crate::{Classifier, Regressor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters for random forests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Per-tree parameters. If `max_features` is `None` it is defaulted to
+    /// `sqrt(width)` for classification and `width / 3` for regression, the
+    /// conventional random-forest defaults.
+    pub tree: TreeParams,
+    /// Seed controlling bootstrap sampling and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 50,
+            tree: TreeParams::default(),
+            seed: 42,
+        }
+    }
+}
+
+fn default_max_features(width: usize, classification: bool) -> usize {
+    if classification {
+        ((width as f64).sqrt().round() as usize).max(1)
+    } else {
+        (width / 3).max(1)
+    }
+}
+
+/// Random forest regressor (average of tree predictions).
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl RandomForestRegressor {
+    /// Fit a forest with the given parameters.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: ForestParams,
+    ) -> Result<Self, LearnError> {
+        if params.n_trees == 0 {
+            return Err(LearnError::InvalidHyperParameter("n_trees must be > 0"));
+        }
+        if features.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        let width = features[0].len();
+        let mut tree_params = params.tree;
+        if tree_params.max_features.is_none() {
+            tree_params.max_features = Some(default_max_features(width, false));
+        }
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            trees.push(DecisionTreeRegressor::fit_bootstrap(
+                features,
+                targets,
+                tree_params,
+                &mut rng,
+            )?);
+        }
+        Ok(RandomForestRegressor { trees })
+    }
+
+    /// Fit with default parameters and the given seed.
+    pub fn fit_default(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        seed: u64,
+    ) -> Result<Self, LearnError> {
+        Self::fit(
+            features,
+            targets,
+            ForestParams {
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict_one(features)).sum();
+        sum / self.trees.len() as f64
+    }
+}
+
+/// Random forest classifier (majority vote).
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    trees: Vec<DecisionTreeClassifier>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Fit a forest classifier with the given parameters.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        params: ForestParams,
+    ) -> Result<Self, LearnError> {
+        if params.n_trees == 0 {
+            return Err(LearnError::InvalidHyperParameter("n_trees must be > 0"));
+        }
+        if features.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if features.len() != labels.len() {
+            return Err(LearnError::LengthMismatch {
+                features: features.len(),
+                targets: labels.len(),
+            });
+        }
+        let width = features[0].len();
+        let mut tree_params = params.tree;
+        if tree_params.max_features.is_none() {
+            tree_params.max_features = Some(default_max_features(width, true));
+        }
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            trees.push(DecisionTreeClassifier::fit_bootstrap(
+                features,
+                labels,
+                tree_params,
+                &mut rng,
+            )?);
+        }
+        Ok(RandomForestClassifier { trees, n_classes })
+    }
+
+    /// Fit with default parameters and the given seed.
+    pub fn fit_default(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        seed: u64,
+    ) -> Result<Self, LearnError> {
+        Self::fit(
+            features,
+            labels,
+            ForestParams {
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Per-class vote fractions for one feature vector (a calibrated-ish
+    /// probability estimate used when a score is needed instead of a label).
+    pub fn predict_proba_one(&self, features: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            let c = Classifier::predict_one(t, features).min(self.n_classes - 1);
+            votes[c] += 1;
+        }
+        votes
+            .into_iter()
+            .map(|v| v as f64 / self.trees.len() as f64)
+            .collect()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn predict_one(&self, features: &[f64]) -> usize {
+        let proba = self.predict_proba_one(features);
+        proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{confusion_matrix, f1_score, mae, r2_score};
+
+    fn friedman_like(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Smooth nonlinear target; deterministic pseudo-random features.
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut features = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: Vec<f64> = (0..4).map(|_| next()).collect();
+            let y = 10.0 * (std::f64::consts::PI * x[0] * x[1]).sin()
+                + 20.0 * (x[2] - 0.5).powi(2)
+                + 10.0 * x[3];
+            features.push(x);
+            targets.push(y);
+        }
+        (features, targets)
+    }
+
+    #[test]
+    fn forest_regressor_beats_mean_baseline() {
+        let (f, t) = friedman_like(300, 3);
+        let (ft, tt) = friedman_like(100, 77);
+        let forest = RandomForestRegressor::fit_default(&f, &t, 1).unwrap();
+        let preds: Vec<f64> = ft.iter().map(|x| forest.predict_one(x)).collect();
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let mean_preds = vec![mean; tt.len()];
+        assert!(mae(&tt, &preds) < mae(&tt, &mean_preds));
+        assert!(r2_score(&tt, &preds) > 0.5, "r2 = {}", r2_score(&tt, &preds));
+    }
+
+    #[test]
+    fn forest_is_deterministic_for_a_seed() {
+        let (f, t) = friedman_like(100, 5);
+        let a = RandomForestRegressor::fit_default(&f, &t, 9).unwrap();
+        let b = RandomForestRegressor::fit_default(&f, &t, 9).unwrap();
+        let xs = vec![0.3, 0.4, 0.5, 0.6];
+        assert_eq!(a.predict_one(&xs), b.predict_one(&xs));
+    }
+
+    #[test]
+    fn forest_classifier_learns_threshold_rule() {
+        // Label is 1 when x0 + x1 > 1.0 — mimics the "hot if enough accesses"
+        // structure of the tier predictor.
+        let (f, _) = friedman_like(400, 11);
+        let labels: Vec<usize> = f.iter().map(|x| usize::from(x[0] + x[1] > 1.0)).collect();
+        let clf = RandomForestClassifier::fit_default(&f, &labels, 2).unwrap();
+        let (ftest, _) = friedman_like(200, 99);
+        let truth: Vec<usize> = ftest.iter().map(|x| usize::from(x[0] + x[1] > 1.0)).collect();
+        let preds = Classifier::predict(&clf, &ftest);
+        let cm = confusion_matrix(&truth, &preds, 2);
+        assert!(cm.accuracy() > 0.85, "accuracy = {}", cm.accuracy());
+        assert!(f1_score(&cm, 1) > 0.8);
+    }
+
+    #[test]
+    fn predict_proba_sums_to_one() {
+        let (f, _) = friedman_like(100, 13);
+        let labels: Vec<usize> = f.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+        let clf = RandomForestClassifier::fit_default(&f, &labels, 3).unwrap();
+        let p = clf.predict_proba_one(&[0.9, 0.1, 0.1, 0.1]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let params = ForestParams {
+            n_trees: 0,
+            ..Default::default()
+        };
+        assert!(RandomForestRegressor::fit(&[vec![1.0]], &[1.0], params).is_err());
+        assert!(RandomForestClassifier::fit(&[vec![1.0]], &[0], params).is_err());
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        assert!(RandomForestClassifier::fit_default(&[vec![1.0]], &[0, 1], 1).is_err());
+        assert!(RandomForestRegressor::fit_default(&[], &[], 1).is_err());
+    }
+}

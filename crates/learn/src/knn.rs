@@ -1,0 +1,156 @@
+//! k-nearest-neighbour regression.
+//!
+//! Used as the stand-in for the paper's SVR rows: a non-parametric,
+//! kernel-flavoured model with very different bias/variance behaviour from
+//! the tree ensembles, so the model-comparison tables still compare
+//! genuinely different model families. Distances are Euclidean over
+//! standardized features (the caller is responsible for standardization,
+//! see [`crate::data::Standardizer`]).
+
+use crate::error::LearnError;
+use crate::Regressor;
+
+/// Distance weighting applied to neighbour targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnWeighting {
+    /// Every neighbour counts equally.
+    Uniform,
+    /// Neighbours are weighted by 1 / (distance + epsilon).
+    InverseDistance,
+}
+
+/// k-nearest-neighbour regressor.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    k: usize,
+    weighting: KnnWeighting,
+}
+
+impl KnnRegressor {
+    /// "Fit" (memorise) the training data.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        k: usize,
+        weighting: KnnWeighting,
+    ) -> Result<Self, LearnError> {
+        if features.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if features.len() != targets.len() {
+            return Err(LearnError::LengthMismatch {
+                features: features.len(),
+                targets: targets.len(),
+            });
+        }
+        if k == 0 {
+            return Err(LearnError::InvalidHyperParameter("k must be > 0"));
+        }
+        let width = features[0].len();
+        for row in features {
+            if row.len() != width {
+                return Err(LearnError::RaggedFeatures {
+                    expected: width,
+                    found: row.len(),
+                });
+            }
+        }
+        Ok(KnnRegressor {
+            features: features.to_vec(),
+            targets: targets.to_vec(),
+            k: k.min(features.len()),
+            weighting,
+        })
+    }
+
+    /// Number of neighbours actually used (clamped to the training size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Regressor for KnnRegressor {
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        // Collect (distance², target) and take the k smallest.
+        let mut dist: Vec<(f64, f64)> = self
+            .features
+            .iter()
+            .zip(&self.targets)
+            .map(|(row, &t)| (squared_distance(row, features), t))
+            .collect();
+        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dist.truncate(self.k);
+        match self.weighting {
+            KnnWeighting::Uniform => {
+                dist.iter().map(|(_, t)| t).sum::<f64>() / dist.len() as f64
+            }
+            KnnWeighting::InverseDistance => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (d2, t) in dist {
+                    let w = 1.0 / (d2.sqrt() + 1e-9);
+                    num += w * t;
+                    den += w;
+                }
+                num / den
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn exact_neighbour_dominates_with_inverse_distance() {
+        let f: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let t: Vec<f64> = (0..10).map(|i| i as f64 * 10.0).collect();
+        let knn = KnnRegressor::fit(&f, &t, 3, KnnWeighting::InverseDistance).unwrap();
+        // Querying an exact training point should return (almost) its target.
+        assert!((knn.predict_one(&[4.0]) - 40.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_weighting_averages_neighbours() {
+        let f = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let t = vec![0.0, 10.0, 100.0];
+        let knn = KnnRegressor::fit(&f, &t, 2, KnnWeighting::Uniform).unwrap();
+        // Nearest two neighbours of 0.4 are 0.0 and 1.0 -> (0 + 10) / 2.
+        assert!((knn.predict_one(&[0.4]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learns_smooth_function_reasonably() {
+        let f: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let t: Vec<f64> = f.iter().map(|x| (x[0]).sin() * 3.0 + x[0]).collect();
+        let knn = KnnRegressor::fit(&f, &t, 5, KnnWeighting::InverseDistance).unwrap();
+        let test_f: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 5.0 + 0.03]).collect();
+        let test_t: Vec<f64> = test_f.iter().map(|x| (x[0]).sin() * 3.0 + x[0]).collect();
+        let preds: Vec<f64> = test_f.iter().map(|x| knn.predict_one(x)).collect();
+        assert!(r2_score(&test_t, &preds) > 0.95);
+    }
+
+    #[test]
+    fn k_is_clamped_to_training_size() {
+        let f = vec![vec![0.0], vec![1.0]];
+        let t = vec![1.0, 3.0];
+        let knn = KnnRegressor::fit(&f, &t, 10, KnnWeighting::Uniform).unwrap();
+        assert_eq!(knn.k(), 2);
+        assert!((knn.predict_one(&[0.5]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(KnnRegressor::fit(&[], &[], 3, KnnWeighting::Uniform).is_err());
+        assert!(KnnRegressor::fit(&[vec![1.0]], &[1.0], 0, KnnWeighting::Uniform).is_err());
+        assert!(KnnRegressor::fit(&[vec![1.0]], &[1.0, 2.0], 1, KnnWeighting::Uniform).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Ridge (L2-regularised linear) regression.
+//!
+//! Serves as the linear baseline and as the stand-in for the paper's SVR
+//! rows when a fast, deterministic, closed-form model is wanted. The normal
+//! equations are solved with Gaussian elimination and partial pivoting over
+//! the (small) feature dimension.
+
+use crate::error::LearnError;
+use crate::Regressor;
+
+/// Ridge regression model: `y = w . x + b`.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Fit with L2 penalty `lambda >= 0` (0 = ordinary least squares).
+    pub fn fit(features: &[Vec<f64>], targets: &[f64], lambda: f64) -> Result<Self, LearnError> {
+        if features.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if features.len() != targets.len() {
+            return Err(LearnError::LengthMismatch {
+                features: features.len(),
+                targets: targets.len(),
+            });
+        }
+        if !(lambda >= 0.0) {
+            return Err(LearnError::InvalidHyperParameter("lambda must be >= 0"));
+        }
+        let width = features[0].len();
+        for row in features {
+            if row.len() != width {
+                return Err(LearnError::RaggedFeatures {
+                    expected: width,
+                    found: row.len(),
+                });
+            }
+        }
+        // Augment with a bias column; do not regularise the bias.
+        let d = width + 1;
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        for (row, &y) in features.iter().zip(targets) {
+            let aug: Vec<f64> = row.iter().copied().chain(std::iter::once(1.0)).collect();
+            for i in 0..d {
+                xty[i] += aug[i] * y;
+                for j in 0..d {
+                    xtx[i][j] += aug[i] * aug[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate().take(width) {
+            row[i] += lambda;
+        }
+        let solution = solve_linear_system(xtx, xty)?;
+        let (weights, intercept) = solution.split_at(width);
+        Ok(RidgeRegression {
+            weights: weights.to_vec(),
+            intercept: intercept[0],
+        })
+    }
+
+    /// Fitted weights (one per feature).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, LearnError> {
+    let n = a.len();
+    for col in 0..n {
+        // Pivot selection.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(LearnError::Numerical("singular normal-equation matrix"));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 x0 - 2 x1 + 5
+        let features: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|f| 3.0 * f[0] - 2.0 * f[1] + 5.0).collect();
+        let model = RidgeRegression::fit(&features, &targets, 0.0).unwrap();
+        assert!((model.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((model.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((model.intercept() - 5.0).abs() < 1e-6);
+        assert!((model.predict_one(&[10.0, 4.0]) - (30.0 - 8.0 + 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regularisation_shrinks_weights() {
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = features.iter().map(|f| 4.0 * f[0]).collect();
+        let ols = RidgeRegression::fit(&features, &targets, 0.0).unwrap();
+        let ridge = RidgeRegression::fit(&features, &targets, 1e4).unwrap();
+        assert!(ridge.weights()[0].abs() < ols.weights()[0].abs());
+    }
+
+    #[test]
+    fn singular_matrix_handled_by_regularisation() {
+        // Duplicate (perfectly collinear) features make OLS singular, but a
+        // small ridge penalty fixes it.
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| 2.0 * i as f64).collect();
+        assert!(RidgeRegression::fit(&features, &targets, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(RidgeRegression::fit(&[], &[], 1.0).is_err());
+        assert!(RidgeRegression::fit(&[vec![1.0]], &[1.0, 2.0], 1.0).is_err());
+        assert!(RidgeRegression::fit(&[vec![1.0]], &[1.0], -1.0).is_err());
+        assert!(RidgeRegression::fit(&[vec![1.0]], &[1.0], f64::NAN).is_err());
+        assert!(RidgeRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn constant_feature_column_does_not_break_fit() {
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 1.0]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| i as f64 * 0.5 + 2.0).collect();
+        let model = RidgeRegression::fit(&features, &targets, 1e-6).unwrap();
+        assert!((model.predict_one(&[10.0, 1.0]) - 7.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,511 @@
+//! CART decision trees for regression and classification.
+//!
+//! These are the building blocks of the [`crate::forest`] and
+//! [`crate::boosting`] ensembles. Splits are chosen greedily: variance
+//! reduction for regression, Gini impurity reduction for classification.
+//! Candidate thresholds are the midpoints between consecutive distinct
+//! sorted feature values, which is exact for the small-to-medium feature
+//! spaces used by COMPREDICT and the tier predictor.
+
+use crate::error::LearnError;
+use crate::{Classifier, Regressor};
+use rand::Rng;
+
+/// Hyper-parameters shared by regression and classification trees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth of the tree (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Number of features considered at each split. `None` means all
+    /// features; forests set this to sqrt / one-third of the feature count.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, features: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if features.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                    left.predict(features)
+                } else {
+                    right.predict(features)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.leaves() + right.leaves(),
+        }
+    }
+}
+
+/// Criterion used to score candidate splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Criterion {
+    /// Sum of squared deviations from the mean (regression).
+    Variance,
+    /// Gini impurity (classification); targets are class labels cast to f64.
+    Gini,
+}
+
+fn leaf_value(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
+    match criterion {
+        Criterion::Variance => idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len() as f64,
+        Criterion::Gini => {
+            // Majority vote over integer labels.
+            let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            for &i in idx {
+                *counts.entry(targets[i] as i64).or_insert(0) += 1;
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(_, c)| c)
+                .map(|(label, _)| label as f64)
+                .unwrap_or(0.0)
+        }
+    }
+}
+
+fn impurity(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
+    match criterion {
+        Criterion::Variance => {
+            let n = idx.len() as f64;
+            let mean = idx.iter().map(|&i| targets[i]).sum::<f64>() / n;
+            idx.iter().map(|&i| (targets[i] - mean).powi(2)).sum::<f64>()
+        }
+        Criterion::Gini => {
+            let n = idx.len() as f64;
+            let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            for &i in idx {
+                *counts.entry(targets[i] as i64).or_insert(0) += 1;
+            }
+            let gini = 1.0
+                - counts
+                    .values()
+                    .map(|&c| {
+                        let p = c as f64 / n;
+                        p * p
+                    })
+                    .sum::<f64>();
+            gini * n
+        }
+    }
+}
+
+struct Builder<'a> {
+    features: &'a [Vec<f64>],
+    targets: &'a [f64],
+    params: TreeParams,
+    criterion: Criterion,
+    rng_state: u64,
+}
+
+impl<'a> Builder<'a> {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic, dependency-free feature subsampling.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn candidate_features(&mut self, width: usize) -> Vec<usize> {
+        match self.params.max_features {
+            None => (0..width).collect(),
+            Some(k) if k >= width => (0..width).collect(),
+            Some(k) => {
+                // Sample k distinct features (Fisher-Yates over indices).
+                let mut all: Vec<usize> = (0..width).collect();
+                for i in 0..k {
+                    let j = i + (self.next_rand() as usize) % (width - i);
+                    all.swap(i, j);
+                }
+                all.truncate(k);
+                all
+            }
+        }
+    }
+
+    fn build(&mut self, idx: &[usize], depth: usize) -> Node {
+        let targets = self.targets;
+        let criterion = self.criterion;
+        let make_leaf = || Node::Leaf {
+            value: leaf_value(targets, idx, criterion),
+        };
+        if depth >= self.params.max_depth
+            || idx.len() < self.params.min_samples_split
+            || idx.len() < 2 * self.params.min_samples_leaf
+        {
+            return make_leaf();
+        }
+        let parent_impurity = impurity(self.targets, idx, self.criterion);
+        if parent_impurity <= 1e-12 {
+            return make_leaf();
+        }
+        let width = self.features[0].len();
+        let candidates = self.candidate_features(width);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let mut sorted_idx = idx.to_vec();
+        for &feat in &candidates {
+            sorted_idx.sort_by(|&a, &b| {
+                self.features[a][feat]
+                    .partial_cmp(&self.features[b][feat])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Scan split positions between distinct values.
+            for pos in self.params.min_samples_leaf..=(sorted_idx.len() - self.params.min_samples_leaf)
+            {
+                if pos == 0 || pos == sorted_idx.len() {
+                    continue;
+                }
+                let lo = self.features[sorted_idx[pos - 1]][feat];
+                let hi = self.features[sorted_idx[pos]][feat];
+                if (hi - lo).abs() <= f64::EPSILON {
+                    continue;
+                }
+                let threshold = 0.5 * (lo + hi);
+                let (left, right) = sorted_idx.split_at(pos);
+                let score = impurity(self.targets, left, self.criterion)
+                    + impurity(self.targets, right, self.criterion);
+                if best.map(|(_, _, s)| score < s).unwrap_or(true) {
+                    best = Some((feat, threshold, score));
+                }
+            }
+        }
+
+        let Some((feature, threshold, score)) = best else {
+            return make_leaf();
+        };
+        if score >= parent_impurity - 1e-12 {
+            return make_leaf();
+        }
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.features[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return make_leaf();
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(&left_idx, depth + 1)),
+            right: Box::new(self.build(&right_idx, depth + 1)),
+        }
+    }
+}
+
+fn validate(features: &[Vec<f64>], targets: &[f64]) -> Result<(), LearnError> {
+    if features.is_empty() {
+        return Err(LearnError::EmptyTrainingSet);
+    }
+    if features.len() != targets.len() {
+        return Err(LearnError::LengthMismatch {
+            features: features.len(),
+            targets: targets.len(),
+        });
+    }
+    let width = features[0].len();
+    for row in features {
+        if row.len() != width {
+            return Err(LearnError::RaggedFeatures {
+                expected: width,
+                found: row.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    root: Node,
+    params: TreeParams,
+}
+
+impl DecisionTreeRegressor {
+    /// Fit a regression tree with the given parameters.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: TreeParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_seeded(features, targets, params, 0x5EED)
+    }
+
+    /// Fit with an explicit seed for deterministic feature subsampling.
+    pub fn fit_seeded(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: TreeParams,
+        seed: u64,
+    ) -> Result<Self, LearnError> {
+        validate(features, targets)?;
+        let mut builder = Builder {
+            features,
+            targets,
+            params,
+            criterion: Criterion::Variance,
+            rng_state: seed | 1,
+        };
+        let idx: Vec<usize> = (0..features.len()).collect();
+        let root = builder.build(&idx, 0);
+        Ok(DecisionTreeRegressor { root, params })
+    }
+
+    /// Fit on a bootstrap sample drawn with the provided RNG (used by
+    /// random forests).
+    pub(crate) fn fit_bootstrap<R: Rng>(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: TreeParams,
+        rng: &mut R,
+    ) -> Result<Self, LearnError> {
+        validate(features, targets)?;
+        let n = features.len();
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let boot_features: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+        let boot_targets: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
+        Self::fit_seeded(&boot_features, &boot_targets, params, rng.gen())
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Number of leaves in the fitted tree.
+    pub fn leaf_count(&self) -> usize {
+        self.root.leaves()
+    }
+
+    /// The parameters the tree was fit with.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        self.root.predict(features)
+    }
+}
+
+/// A CART classification tree (Gini impurity).
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    root: Node,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Fit a classification tree on integer labels.
+    pub fn fit(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        params: TreeParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_seeded(features, labels, params, 0x5EED)
+    }
+
+    /// Fit with an explicit seed for deterministic feature subsampling.
+    pub fn fit_seeded(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        params: TreeParams,
+        seed: u64,
+    ) -> Result<Self, LearnError> {
+        let targets: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        validate(features, &targets)?;
+        let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut builder = Builder {
+            features,
+            targets: &targets,
+            params,
+            criterion: Criterion::Gini,
+            rng_state: seed | 1,
+        };
+        let idx: Vec<usize> = (0..features.len()).collect();
+        let root = builder.build(&idx, 0);
+        Ok(DecisionTreeClassifier { root, n_classes })
+    }
+
+    /// Fit on a bootstrap sample drawn with the provided RNG.
+    pub(crate) fn fit_bootstrap<R: Rng>(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        params: TreeParams,
+        rng: &mut R,
+    ) -> Result<Self, LearnError> {
+        if features.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        let n = features.len();
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let boot_features: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+        let boot_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+        Self::fit_seeded(&boot_features, &boot_labels, params, rng.gen())
+    }
+
+    /// Number of classes seen during training.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn predict_one(&self, features: &[f64]) -> usize {
+        self.root.predict(features).round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 10 if x < 5 else 20, with a second irrelevant feature.
+        let features: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 / 5.0, (i % 3) as f64])
+            .collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|f| if f[0] < 5.0 { 10.0 } else { 20.0 })
+            .collect();
+        (features, targets)
+    }
+
+    #[test]
+    fn regression_tree_learns_step_function() {
+        let (f, t) = step_data();
+        let tree = DecisionTreeRegressor::fit(&f, &t, TreeParams::default()).unwrap();
+        assert_eq!(tree.predict_one(&[1.0, 0.0]), 10.0);
+        assert_eq!(tree.predict_one(&[9.0, 0.0]), 20.0);
+        assert!(tree.depth() >= 1);
+        assert!(tree.leaf_count() >= 2);
+    }
+
+    #[test]
+    fn regression_tree_respects_max_depth_zero() {
+        let (f, t) = step_data();
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let tree = DecisionTreeRegressor::fit(&f, &t, params).unwrap();
+        assert_eq!(tree.depth(), 0);
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        assert!((tree.predict_one(&[0.0, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_tree_fits_piecewise_linear_reasonably() {
+        let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        let targets: Vec<f64> = features.iter().map(|f| f[0] * 2.0 + 1.0).collect();
+        let tree = DecisionTreeRegressor::fit(&features, &targets, TreeParams::default()).unwrap();
+        let preds: Vec<f64> = features.iter().map(|f| tree.predict_one(f)).collect();
+        let err = crate::metrics::mae(&targets, &preds);
+        assert!(err < 0.5, "mae = {err}");
+    }
+
+    #[test]
+    fn classification_tree_separates_two_blobs() {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            features.push(vec![i as f64 * 0.1, 0.0]);
+            labels.push(0);
+            features.push(vec![10.0 + i as f64 * 0.1, 0.0]);
+            labels.push(1);
+        }
+        let tree = DecisionTreeClassifier::fit(&features, &labels, TreeParams::default()).unwrap();
+        assert_eq!(tree.predict_one(&[1.0, 0.0]), 0);
+        assert_eq!(tree.predict_one(&[12.0, 0.0]), 1);
+        assert_eq!(tree.n_classes(), 2);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(DecisionTreeRegressor::fit(&[], &[], TreeParams::default()).is_err());
+        assert!(DecisionTreeRegressor::fit(
+            &[vec![1.0]],
+            &[1.0, 2.0],
+            TreeParams::default()
+        )
+        .is_err());
+        assert!(DecisionTreeRegressor::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[1.0, 2.0],
+            TreeParams::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let targets = vec![7.0; 20];
+        let tree = DecisionTreeRegressor::fit(&features, &targets, TreeParams::default()).unwrap();
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict_one(&[3.0]), 7.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let (f, t) = step_data();
+        let params = TreeParams {
+            min_samples_leaf: 10,
+            ..Default::default()
+        };
+        let tree = DecisionTreeRegressor::fit(&f, &t, params).unwrap();
+        // With 50 rows and min 10 per leaf, there can be at most 5 leaves.
+        assert!(tree.leaf_count() <= 5);
+    }
+}

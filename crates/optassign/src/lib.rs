@@ -1,0 +1,46 @@
+//! # scope-optassign
+//!
+//! OPTASSIGN (§IV of the paper): optimal assignment of storage tier and
+//! compression scheme to data partitions with predicted access volumes,
+//! subject to per-tier capacity reservations and per-partition latency
+//! thresholds.
+//!
+//! The crate implements the full algorithm portfolio of the paper:
+//!
+//! * [`problem`] — the cost model of the ILP objective (Eq. 1) and the
+//!   feasibility predicates (latency, fixed-compression and capacity
+//!   constraints),
+//! * [`greedy`] — the optimal polynomial algorithm for the *unbounded
+//!   capacity* case (Theorem 3): per partition, pick the cheapest feasible
+//!   (tier, scheme) pair,
+//! * [`ilp`] — an exact branch-and-bound 0/1 solver for the general,
+//!   capacity-constrained case (the problem is strongly NP-hard, Theorem 1,
+//!   so exponential worst-case time is expected; the bound makes realistic
+//!   instances fast),
+//! * [`matching`] — the minimum-weight bipartite matching (Hungarian
+//!   algorithm) specialisation for equal-sized partitions with no
+//!   compression (Theorem 2),
+//! * [`predictor`] — the Random-Forest tier predictor of §IV-C (features:
+//!   dataset size, age, recent monthly reads/writes; labels: the
+//!   cost-optimal tier) together with the caching/recency baselines of
+//!   Table IV.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod greedy;
+pub mod ilp;
+pub mod matching;
+pub mod predictor;
+pub mod problem;
+
+pub use error::OptAssignError;
+pub use greedy::solve_greedy;
+pub use ilp::{solve_branch_and_bound, BranchAndBoundStats};
+pub use matching::solve_equal_size_matching;
+pub use predictor::{
+    ideal_tier_labels, PredictorFeatures, TierPredictor, TieringBaseline,
+};
+pub use problem::{
+    Assignment, CompressionOption, OptAssignProblem, PartitionSpec, NO_COMPRESSION,
+};

@@ -1,0 +1,311 @@
+//! Minimum-weight bipartite matching for the equal-size / no-compression
+//! special case (Theorem 2).
+//!
+//! When all partitions have the same span and compression is disabled, each
+//! tier `l` with capacity `S_l` can be replaced by `Z_l = min(N, ⌊S_l/S⌋)`
+//! copies; an edge connects a partition to a tier copy iff the tier's TTFB
+//! satisfies the partition's latency threshold, weighted by the storage +
+//! expected read cost. A minimum-weight perfect matching on this bipartite
+//! graph is an optimal feasible assignment. The matching itself is solved
+//! with the Hungarian algorithm (Jonker-Volgenant style potentials),
+//! `O(n³)` in the number of partitions.
+
+use crate::error::OptAssignError;
+use crate::problem::{Assignment, OptAssignProblem, NO_COMPRESSION};
+use scope_cloudsim::TierId;
+
+/// Tolerance used when checking that all partitions have equal spans.
+const SIZE_TOLERANCE: f64 = 1e-9;
+
+/// Solve the equal-size / no-compression special case by minimum-weight
+/// bipartite matching.
+///
+/// Requirements checked:
+/// * every partition has the same `size_gb`,
+/// * every partition offers only the "no compression" option,
+///
+/// Capacity reservations are honoured exactly (via the tier-copy
+/// construction). Returns an error if the instance does not satisfy the
+/// requirements, if capacities cannot hold all partitions, or if some
+/// partition has no latency-feasible tier.
+pub fn solve_equal_size_matching(problem: &OptAssignProblem) -> Result<Assignment, OptAssignError> {
+    problem.validate()?;
+    let n = problem.partitions.len();
+    let size = problem.partitions[0].size_gb;
+    for p in &problem.partitions {
+        if (p.size_gb - size).abs() > SIZE_TOLERANCE {
+            return Err(OptAssignError::NotEqualSizeInstance(format!(
+                "partition {} has size {} != {}",
+                p.name, p.size_gb, size
+            )));
+        }
+        if p.compression_options.len() != 1 {
+            return Err(OptAssignError::NotEqualSizeInstance(format!(
+                "partition {} offers compression options",
+                p.name
+            )));
+        }
+    }
+
+    // Build tier copies.
+    let mut copy_tier: Vec<TierId> = Vec::new();
+    for (tier_id, tier) in problem.catalog.iter() {
+        let copies = match tier.capacity_gb {
+            None => n,
+            Some(cap) => {
+                if size <= SIZE_TOLERANCE {
+                    n
+                } else {
+                    ((cap / size).floor() as usize).min(n)
+                }
+            }
+        };
+        copy_tier.extend(std::iter::repeat(tier_id).take(copies));
+    }
+    if copy_tier.len() < n {
+        return Err(OptAssignError::InfeasibleCapacity);
+    }
+
+    // Cost matrix: rows = partitions, columns = tier copies. Infeasible
+    // (latency-violating) edges get a large-but-finite penalty so the
+    // Hungarian algorithm still finds a matching; we reject afterwards if a
+    // penalty edge was selected.
+    let m = copy_tier.len();
+    let mut finite_max = 0.0f64;
+    let mut cost = vec![vec![0.0f64; m]; n];
+    for (i, p) in problem.partitions.iter().enumerate() {
+        for (j, &tier) in copy_tier.iter().enumerate() {
+            if problem.is_feasible(p, tier, NO_COMPRESSION) {
+                let c = problem.placement_cost(p, tier, NO_COMPRESSION);
+                cost[i][j] = c;
+                finite_max = finite_max.max(c);
+            } else {
+                cost[i][j] = f64::NAN; // placeholder, replaced below
+            }
+        }
+    }
+    let penalty = (finite_max + 1.0) * 1e6;
+    for row in &mut cost {
+        for c in row.iter_mut() {
+            if c.is_nan() {
+                *c = penalty;
+            }
+        }
+    }
+
+    let col_of_row = hungarian(&cost);
+    let mut choices = vec![(TierId(0), NO_COMPRESSION); n];
+    for (i, &j) in col_of_row.iter().enumerate() {
+        if cost[i][j] >= penalty {
+            return Err(OptAssignError::InfeasiblePartition {
+                partition: problem.partitions[i].id,
+                name: problem.partitions[i].name.clone(),
+            });
+        }
+        choices[i] = (copy_tier[j], NO_COMPRESSION);
+    }
+    Assignment::from_choices(problem, choices)
+}
+
+/// Hungarian algorithm (shortest augmenting path / potentials formulation)
+/// for rectangular cost matrices with `rows <= cols`. Returns, for each row,
+/// the column it is matched to. `O(rows² · cols)`.
+fn hungarian(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    assert!(n <= m, "hungarian requires rows <= cols");
+    // Potentials and matching arrays are 1-indexed internally (0 = sentinel).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![0usize; n];
+    for j in 1..=m {
+        if p[j] > 0 {
+            result[p[j] - 1] = j - 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::solve_greedy;
+    use crate::problem::{CompressionOption, PartitionSpec};
+    use scope_cloudsim::TierCatalog;
+
+    #[test]
+    fn hungarian_solves_small_known_instance() {
+        // Classic 3x3 assignment problem; optimum = 5 (1+2+2 on the
+        // anti-diagonal-ish selection).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let assignment = hungarian(&cost);
+        let total: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        assert!((total - 5.0).abs() < 1e-9);
+        // Columns are distinct.
+        let mut cols = assignment.clone();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3);
+    }
+
+    #[test]
+    fn hungarian_handles_rectangular_matrices() {
+        let cost = vec![vec![10.0, 1.0, 10.0, 10.0], vec![1.0, 10.0, 10.0, 10.0]];
+        let assignment = hungarian(&cost);
+        assert_eq!(assignment, vec![1, 0]);
+    }
+
+    #[test]
+    fn matching_matches_greedy_when_unbounded() {
+        // Without capacity bounds the matching and the greedy must agree on
+        // the objective (both are optimal).
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts: Vec<_> = (0..6)
+            .map(|i| PartitionSpec::new(i, format!("p{i}"), 50.0, (i * 10) as f64))
+            .collect();
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let matched = solve_equal_size_matching(&problem).unwrap();
+        let greedy = solve_greedy(&problem).unwrap();
+        assert!((matched.objective - greedy.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_limits_number_of_partitions_per_tier() {
+        let mut catalog = TierCatalog::azure_adls_gen2();
+        // Premium holds only 1 copy of a 50 GB partition, Hot only 2.
+        catalog.set_capacity("Premium", 60.0).unwrap();
+        catalog.set_capacity("Hot", 110.0).unwrap();
+        let premium = catalog.tier_id("Premium").unwrap();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let parts: Vec<_> = (0..5)
+            .map(|i| PartitionSpec::new(i, format!("p{i}"), 50.0, 1000.0))
+            .collect();
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let a = solve_equal_size_matching(&problem).unwrap();
+        let count = |tier| a.choices.iter().filter(|&&(t, _)| t == tier).count();
+        assert!(count(premium) <= 1);
+        assert!(count(hot) <= 2);
+        assert_eq!(a.choices.len(), 5);
+    }
+
+    #[test]
+    fn matching_is_better_than_naive_fill_under_capacity_pressure() {
+        // Two heavily-read partitions but premium only fits one: the matching
+        // puts the *more* heavily read one on premium.
+        let mut catalog = TierCatalog::azure_adls_gen2();
+        catalog.set_capacity("Premium", 50.0).unwrap();
+        let premium = catalog.tier_id("Premium").unwrap();
+        let parts = vec![
+            PartitionSpec::new(0, "light", 50.0, 100.0),
+            PartitionSpec::new(1, "heavy", 50.0, 100_000.0),
+        ];
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let a = solve_equal_size_matching(&problem).unwrap();
+        assert_eq!(a.choices[1].0, premium);
+        assert_ne!(a.choices[0].0, premium);
+    }
+
+    #[test]
+    fn non_equal_sizes_or_compression_are_rejected() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts = vec![
+            PartitionSpec::new(0, "a", 50.0, 1.0),
+            PartitionSpec::new(1, "b", 60.0, 1.0),
+        ];
+        let problem = OptAssignProblem::new(catalog.clone(), parts, 6.0);
+        assert!(matches!(
+            solve_equal_size_matching(&problem),
+            Err(OptAssignError::NotEqualSizeInstance(_))
+        ));
+        let parts = vec![PartitionSpec::new(0, "a", 50.0, 1.0)
+            .with_compression_option(CompressionOption::new("gzip", 3.0, 1.0))];
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        assert!(matches!(
+            solve_equal_size_matching(&problem),
+            Err(OptAssignError::NotEqualSizeInstance(_))
+        ));
+    }
+
+    #[test]
+    fn insufficient_total_capacity_is_detected() {
+        let mut catalog = TierCatalog::azure_hot_cool();
+        catalog.set_capacity("Hot", 40.0).unwrap();
+        catalog.set_capacity("Cool", 40.0).unwrap();
+        let parts: Vec<_> = (0..3)
+            .map(|i| PartitionSpec::new(i, format!("p{i}"), 50.0, 1.0))
+            .collect();
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        assert!(matches!(
+            solve_equal_size_matching(&problem),
+            Err(OptAssignError::InfeasibleCapacity)
+        ));
+    }
+
+    #[test]
+    fn latency_infeasible_partition_is_reported() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts = vec![PartitionSpec::new(0, "a", 50.0, 1.0).with_latency_threshold(1e-9)];
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        assert!(matches!(
+            solve_equal_size_matching(&problem),
+            Err(OptAssignError::InfeasiblePartition { .. })
+        ));
+    }
+}

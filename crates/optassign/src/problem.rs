@@ -1,0 +1,552 @@
+//! Problem definition and the cost model of the OPTASSIGN ILP (Eq. 1).
+//!
+//! For partition `P_n` assigned to tier `l` with compression scheme `k`
+//! (ratio `R^k_n`, decompression time `D^k_n`), the objective charges
+//!
+//! ```text
+//!   (α·C^s_l·horizon + γ·Δ_{L(P_n),l}) · Sp(P_n)/R^k_n
+//! + β·(1−f)·ρ(P_n)·(C^c·D^k_n + C^r_l·Sp(P_n)·read_fraction/R^k_n)
+//! ```
+//!
+//! subject to: every partition gets exactly one (tier, scheme); the stored
+//! (compressed) bytes per tier respect the capacity reservation `S_l`; the
+//! access latency `D^k_n + B_l` respects the partition's threshold
+//! `T(P_n)`; and existing partitions keep their current compression scheme.
+//! `f` is the fraction of queries that can be answered by computation
+//! pushdown / directly on compressed data (0 when pushdown is unsupported).
+
+use crate::error::OptAssignError;
+use scope_cloudsim::{CostBreakdown, CostModel, CostWeights, TierCatalog, TierId};
+use serde::{Deserialize, Serialize};
+
+/// Index of the mandatory "no compression" option in every partition's
+/// option list.
+pub const NO_COMPRESSION: usize = 0;
+
+/// One candidate compression scheme for a partition, with its (predicted or
+/// measured) performance on that partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionOption {
+    /// Scheme name ("none", "gzip", "snappy", "lz4", ...).
+    pub name: String,
+    /// Compression ratio `R^k_n` (>= 1 in practice; 1.0 for "none").
+    pub ratio: f64,
+    /// Decompression time `D^k_n` in seconds per access (0.0 for "none").
+    pub decompress_seconds: f64,
+}
+
+impl CompressionOption {
+    /// The mandatory "no compression" option.
+    pub fn none() -> Self {
+        CompressionOption {
+            name: "none".to_string(),
+            ratio: 1.0,
+            decompress_seconds: 0.0,
+        }
+    }
+
+    /// A named compression option.
+    pub fn new(name: impl Into<String>, ratio: f64, decompress_seconds: f64) -> Self {
+        CompressionOption {
+            name: name.into(),
+            ratio,
+            decompress_seconds,
+        }
+    }
+}
+
+/// A data partition (or whole dataset) to be placed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Dense id (index in the problem's partition list).
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Uncompressed size in GB (`Sp(P_n)`).
+    pub size_gb: f64,
+    /// Projected number of accesses over the horizon (`ρ(P_n)`).
+    pub predicted_accesses: f64,
+    /// Fraction of the partition read per access (1.0 = full scans).
+    pub read_fraction: f64,
+    /// Latency threshold `T(P_n)` in seconds.
+    pub latency_threshold_seconds: f64,
+    /// Tier the partition currently occupies (`None` = newly ingested,
+    /// the paper's `L(P_i) = -1`).
+    pub current_tier: Option<TierId>,
+    /// For existing partitions whose compression must not change: the index
+    /// of the only allowed compression option (`K(P_n)`).
+    pub fixed_compression: Option<usize>,
+    /// Candidate compression options; index [`NO_COMPRESSION`] must be the
+    /// "no compression" option.
+    pub compression_options: Vec<CompressionOption>,
+}
+
+impl PartitionSpec {
+    /// Create a partition with only the "no compression" option and a
+    /// best-effort latency threshold.
+    pub fn new(id: usize, name: impl Into<String>, size_gb: f64, predicted_accesses: f64) -> Self {
+        PartitionSpec {
+            id,
+            name: name.into(),
+            size_gb,
+            predicted_accesses,
+            read_fraction: 1.0,
+            latency_threshold_seconds: f64::INFINITY,
+            current_tier: None,
+            fixed_compression: None,
+            compression_options: vec![CompressionOption::none()],
+        }
+    }
+
+    /// Builder-style setter for the latency threshold.
+    pub fn with_latency_threshold(mut self, seconds: f64) -> Self {
+        self.latency_threshold_seconds = seconds;
+        self
+    }
+
+    /// Builder-style setter for the current tier.
+    pub fn with_current_tier(mut self, tier: TierId) -> Self {
+        self.current_tier = Some(tier);
+        self
+    }
+
+    /// Builder-style setter for the read fraction.
+    pub fn with_read_fraction(mut self, fraction: f64) -> Self {
+        self.read_fraction = fraction;
+        self
+    }
+
+    /// Builder-style addition of a compression option, returning its index.
+    pub fn with_compression_option(mut self, option: CompressionOption) -> Self {
+        self.compression_options.push(option);
+        self
+    }
+
+    /// Validate the partition specification.
+    pub fn validate(&self) -> Result<(), OptAssignError> {
+        if !(self.size_gb >= 0.0) || !self.size_gb.is_finite() {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "partition {} has invalid size {}",
+                self.name, self.size_gb
+            )));
+        }
+        if !(self.predicted_accesses >= 0.0) {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "partition {} has invalid access count {}",
+                self.name, self.predicted_accesses
+            )));
+        }
+        if self.compression_options.is_empty()
+            || self.compression_options[NO_COMPRESSION].ratio != 1.0
+        {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "partition {} must have the 'no compression' option at index 0",
+                self.name
+            )));
+        }
+        if let Some(k) = self.fixed_compression {
+            if k >= self.compression_options.len() {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "partition {} fixes compression option {k} which does not exist",
+                    self.name
+                )));
+            }
+        }
+        for opt in &self.compression_options {
+            if !(opt.ratio > 0.0) || !(opt.decompress_seconds >= 0.0) {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "partition {} has an invalid compression option {}",
+                    self.name, opt.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stored size in GB under compression option `k`.
+    pub fn stored_gb(&self, k: usize) -> f64 {
+        self.size_gb / self.compression_options[k].ratio
+    }
+}
+
+/// An OPTASSIGN problem instance.
+#[derive(Debug, Clone)]
+pub struct OptAssignProblem {
+    /// The tier catalog (costs, latencies, capacities).
+    pub catalog: TierCatalog,
+    /// Partitions to place.
+    pub partitions: Vec<PartitionSpec>,
+    /// Objective weights (α, β, γ).
+    pub weights: CostWeights,
+    /// Projection horizon in months (storage is charged per month).
+    pub horizon_months: f64,
+    /// Fraction `f` of queries answered by pushdown / directly on compressed
+    /// data (they pay neither read nor decompression cost).
+    pub pushdown_fraction: f64,
+}
+
+impl OptAssignProblem {
+    /// Create a problem with default weights, no pushdown.
+    pub fn new(catalog: TierCatalog, partitions: Vec<PartitionSpec>, horizon_months: f64) -> Self {
+        OptAssignProblem {
+            catalog,
+            partitions,
+            weights: CostWeights::default(),
+            horizon_months,
+            pushdown_fraction: 0.0,
+        }
+    }
+
+    /// Builder-style setter for the objective weights.
+    pub fn with_weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Builder-style setter for the pushdown fraction.
+    pub fn with_pushdown_fraction(mut self, f: f64) -> Self {
+        self.pushdown_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Validate the whole problem.
+    pub fn validate(&self) -> Result<(), OptAssignError> {
+        if self.partitions.is_empty() {
+            return Err(OptAssignError::InvalidProblem(
+                "no partitions to place".to_string(),
+            ));
+        }
+        if !(self.horizon_months > 0.0) {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "horizon_months must be positive, got {}",
+                self.horizon_months
+            )));
+        }
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.id != i {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "partition ids must be dense indices: expected {i}, found {}",
+                    p.id
+                )));
+            }
+            p.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Number of tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Effective accesses that pay read + decompression (the `(1-f)ρ` term).
+    fn effective_accesses(&self, p: &PartitionSpec) -> f64 {
+        (1.0 - self.pushdown_fraction) * p.predicted_accesses
+    }
+
+    /// Access latency of partition `p` on tier `tier` under option `k`.
+    pub fn latency_seconds(&self, p: &PartitionSpec, tier: TierId, k: usize) -> f64 {
+        let ttfb = self
+            .catalog
+            .tier(tier)
+            .map(|t| t.ttfb_seconds)
+            .unwrap_or(f64::INFINITY);
+        ttfb + p.compression_options[k].decompress_seconds
+    }
+
+    /// Is the (tier, option) choice feasible for partition `p` with respect
+    /// to the latency threshold and the fixed-compression constraint?
+    /// (Capacity is a coupling constraint handled by the solvers.)
+    pub fn is_feasible(&self, p: &PartitionSpec, tier: TierId, k: usize) -> bool {
+        if k >= p.compression_options.len() {
+            return false;
+        }
+        if let Some(fixed) = p.fixed_compression {
+            if k != fixed {
+                return false;
+            }
+        }
+        self.latency_seconds(p, tier, k) <= p.latency_threshold_seconds
+    }
+
+    /// Unweighted cost breakdown of placing partition `p` on `tier` with
+    /// option `k` over the horizon.
+    pub fn cost_breakdown(&self, p: &PartitionSpec, tier: TierId, k: usize) -> CostBreakdown {
+        let model = CostModel::new(self.catalog.clone());
+        let opt = &p.compression_options[k];
+        // Storage and migration are charged on the full stored size; reads
+        // only touch `read_fraction` of it.
+        let stored_gb = p.stored_gb(k);
+        let accesses = self.effective_accesses(p);
+        CostBreakdown {
+            storage: model.storage_cost(tier, stored_gb, self.horizon_months),
+            read: model.read_cost(tier, stored_gb * p.read_fraction.clamp(0.0, 1.0), accesses),
+            write: model.tier_change_cost(p.current_tier, tier, stored_gb),
+            decompression: model.decompression_cost(opt.decompress_seconds, accesses),
+        }
+    }
+
+    /// The weighted objective contribution (Eq. 1) of one placement.
+    pub fn placement_cost(&self, p: &PartitionSpec, tier: TierId, k: usize) -> f64 {
+        let b = self.cost_breakdown(p, tier, k);
+        self.weights.alpha * b.storage
+            + self.weights.gamma * b.write
+            + self.weights.beta * (b.read + b.decompression)
+    }
+
+    /// The cheapest feasible placement cost for a partition ignoring
+    /// capacity — used both by the greedy solver and as the branch-and-bound
+    /// lower bound.
+    pub fn min_feasible_cost(&self, p: &PartitionSpec) -> Option<(f64, TierId, usize)> {
+        let mut best: Option<(f64, TierId, usize)> = None;
+        for tier in self.catalog.tier_ids() {
+            for k in 0..p.compression_options.len() {
+                if !self.is_feasible(p, tier, k) {
+                    continue;
+                }
+                let cost = self.placement_cost(p, tier, k);
+                if best.map(|(c, _, _)| cost < c).unwrap_or(true) {
+                    best = Some((cost, tier, k));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The result of solving an OPTASSIGN instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Per-partition choice of (tier, compression option index), indexed by
+    /// partition id.
+    pub choices: Vec<(TierId, usize)>,
+    /// Weighted objective value (Eq. 1).
+    pub objective: f64,
+    /// Unweighted total cost breakdown (cents over the horizon).
+    pub breakdown: CostBreakdown,
+}
+
+impl Assignment {
+    /// Build an assignment from explicit choices, recomputing costs.
+    pub fn from_choices(
+        problem: &OptAssignProblem,
+        choices: Vec<(TierId, usize)>,
+    ) -> Result<Self, OptAssignError> {
+        if choices.len() != problem.partitions.len() {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "expected {} choices, got {}",
+                problem.partitions.len(),
+                choices.len()
+            )));
+        }
+        let mut objective = 0.0;
+        let mut breakdown = CostBreakdown::default();
+        for (p, &(tier, k)) in problem.partitions.iter().zip(&choices) {
+            objective += problem.placement_cost(p, tier, k);
+            breakdown.accumulate(&problem.cost_breakdown(p, tier, k));
+        }
+        Ok(Assignment {
+            choices,
+            objective,
+            breakdown,
+        })
+    }
+
+    /// Number of partitions assigned to each tier — the "Tiering Scheme"
+    /// column of Tables IX–XI.
+    pub fn tier_histogram(&self, n_tiers: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; n_tiers];
+        for &(tier, _) in &self.choices {
+            if tier.index() < n_tiers {
+                hist[tier.index()] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Maximum access latency (TTFB + decompression) over all partitions.
+    pub fn max_latency_seconds(&self, problem: &OptAssignProblem) -> f64 {
+        problem
+            .partitions
+            .iter()
+            .zip(&self.choices)
+            .map(|(p, &(tier, k))| problem.latency_seconds(p, tier, k))
+            .fold(0.0, f64::max)
+    }
+
+    /// Expected decompression latency per access, averaged over accesses
+    /// (the "Expected Decomp. Latency" column of Tables IX–XI), in seconds.
+    pub fn expected_decompression_latency(&self, problem: &OptAssignProblem) -> f64 {
+        let mut total_accesses = 0.0;
+        let mut weighted = 0.0;
+        for (p, &(_, k)) in problem.partitions.iter().zip(&self.choices) {
+            weighted += p.predicted_accesses * p.compression_options[k].decompress_seconds;
+            total_accesses += p.predicted_accesses;
+        }
+        if total_accesses > 0.0 {
+            weighted / total_accesses
+        } else {
+            0.0
+        }
+    }
+
+    /// Expected time-to-first-byte per access, averaged over accesses.
+    pub fn expected_ttfb(&self, problem: &OptAssignProblem) -> f64 {
+        let mut total_accesses = 0.0;
+        let mut weighted = 0.0;
+        for (p, &(tier, _)) in problem.partitions.iter().zip(&self.choices) {
+            let ttfb = problem
+                .catalog
+                .tier(tier)
+                .map(|t| t.ttfb_seconds)
+                .unwrap_or(0.0);
+            weighted += p.predicted_accesses * ttfb;
+            total_accesses += p.predicted_accesses;
+        }
+        if total_accesses > 0.0 {
+            weighted / total_accesses
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> TierCatalog {
+        TierCatalog::azure_adls_gen2()
+    }
+
+    fn simple_partition(id: usize, size: f64, accesses: f64) -> PartitionSpec {
+        PartitionSpec::new(id, format!("p{id}"), size, accesses)
+            .with_compression_option(CompressionOption::new("gzip", 4.0, 10.0))
+            .with_compression_option(CompressionOption::new("snappy", 2.0, 1.0))
+    }
+
+    #[test]
+    fn validation_catches_malformed_problems() {
+        let c = catalog();
+        assert!(OptAssignProblem::new(c.clone(), vec![], 6.0).validate().is_err());
+        let mut p = simple_partition(0, 10.0, 5.0);
+        p.compression_options[0].ratio = 2.0; // index 0 must be "none" (ratio 1)
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0).validate().is_err());
+        let mut p = simple_partition(0, 10.0, 5.0);
+        p.id = 5;
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0).validate().is_err());
+        let p = simple_partition(0, f64::NAN, 5.0);
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0).validate().is_err());
+        let p = simple_partition(0, 10.0, 5.0);
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 0.0).validate().is_err());
+        let good = OptAssignProblem::new(c, vec![simple_partition(0, 10.0, 5.0)], 6.0);
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn latency_feasibility_excludes_archive_for_tight_thresholds() {
+        let c = catalog();
+        let archive = c.tier_id("Archive").unwrap();
+        let hot = c.tier_id("Hot").unwrap();
+        let p = simple_partition(0, 10.0, 5.0).with_latency_threshold(1.0);
+        let problem = OptAssignProblem::new(c, vec![p], 6.0);
+        let part = &problem.partitions[0];
+        assert!(problem.is_feasible(part, hot, 0));
+        assert!(!problem.is_feasible(part, archive, 0));
+        // gzip adds 10 s of decompression: infeasible even on hot.
+        assert!(!problem.is_feasible(part, hot, 1));
+        // snappy adds 1 s: also infeasible at a 1 s threshold (0.06 + 1 > 1).
+        assert!(!problem.is_feasible(part, hot, 2));
+    }
+
+    #[test]
+    fn fixed_compression_restricts_choices() {
+        let c = catalog();
+        let hot = c.tier_id("Hot").unwrap();
+        let mut p = simple_partition(0, 10.0, 5.0);
+        p.fixed_compression = Some(1);
+        let problem = OptAssignProblem::new(c, vec![p], 6.0);
+        let part = &problem.partitions[0];
+        assert!(!problem.is_feasible(part, hot, 0));
+        assert!(problem.is_feasible(part, hot, 1));
+        assert!(!problem.is_feasible(part, hot, 2));
+    }
+
+    #[test]
+    fn compression_shrinks_storage_term_but_adds_compute() {
+        let c = catalog();
+        let hot = c.tier_id("Hot").unwrap();
+        let p = simple_partition(0, 100.0, 20.0);
+        let problem = OptAssignProblem::new(c, vec![p], 6.0);
+        let part = &problem.partitions[0];
+        let none = problem.cost_breakdown(part, hot, 0);
+        let gzip = problem.cost_breakdown(part, hot, 1);
+        assert!(gzip.storage < none.storage);
+        assert!(gzip.read < none.read);
+        assert!(gzip.decompression > none.decompression);
+        assert_eq!(none.decompression, 0.0);
+    }
+
+    #[test]
+    fn pushdown_fraction_reduces_read_and_decompression_costs() {
+        let c = catalog();
+        let hot = c.tier_id("Hot").unwrap();
+        let p = simple_partition(0, 100.0, 20.0);
+        let base = OptAssignProblem::new(c.clone(), vec![p.clone()], 6.0);
+        let pushdown = OptAssignProblem::new(c, vec![p], 6.0).with_pushdown_fraction(0.5);
+        let b0 = base.cost_breakdown(&base.partitions[0], hot, 1);
+        let b1 = pushdown.cost_breakdown(&pushdown.partitions[0], hot, 1);
+        assert!((b1.read - b0.read * 0.5).abs() < 1e-9);
+        assert!((b1.decompression - b0.decompression * 0.5).abs() < 1e-9);
+        assert_eq!(b1.storage, b0.storage);
+    }
+
+    #[test]
+    fn placement_cost_respects_weights() {
+        let c = catalog();
+        let hot = c.tier_id("Hot").unwrap();
+        let p = simple_partition(0, 100.0, 20.0);
+        let storage_only = OptAssignProblem::new(c.clone(), vec![p.clone()], 6.0)
+            .with_weights(CostWeights::new(1.0, 0.0, 0.0));
+        let read_only = OptAssignProblem::new(c, vec![p], 6.0)
+            .with_weights(CostWeights::new(0.0, 1.0, 0.0));
+        let part = &storage_only.partitions[0];
+        let b = storage_only.cost_breakdown(part, hot, 0);
+        assert!((storage_only.placement_cost(part, hot, 0) - b.storage).abs() < 1e-9);
+        assert!(
+            (read_only.placement_cost(&read_only.partitions[0], hot, 0) - (b.read + b.decompression))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn min_feasible_cost_finds_the_archive_for_cold_data() {
+        let c = catalog();
+        let archive = c.tier_id("Archive").unwrap();
+        let p = PartitionSpec::new(0, "cold", 1000.0, 0.0);
+        let problem = OptAssignProblem::new(c, vec![p], 6.0);
+        let (cost, tier, k) = problem.min_feasible_cost(&problem.partitions[0]).unwrap();
+        assert_eq!(tier, archive);
+        assert_eq!(k, NO_COMPRESSION);
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn assignment_statistics() {
+        let c = catalog();
+        let hot = c.tier_id("Hot").unwrap();
+        let cool = c.tier_id("Cool").unwrap();
+        let parts = vec![simple_partition(0, 10.0, 5.0), simple_partition(1, 20.0, 1.0)];
+        let problem = OptAssignProblem::new(c, parts, 6.0);
+        let a = Assignment::from_choices(&problem, vec![(hot, 1), (cool, 0)]).unwrap();
+        assert_eq!(a.tier_histogram(4), vec![0, 1, 1, 0]);
+        assert!(a.objective > 0.0);
+        assert!(a.breakdown.total() > 0.0);
+        assert!(a.max_latency_seconds(&problem) >= 10.0); // gzip on p0
+        assert!(a.expected_decompression_latency(&problem) > 0.0);
+        assert!(a.expected_ttfb(&problem) > 0.0);
+        // Wrong number of choices is rejected.
+        assert!(Assignment::from_choices(&problem, vec![(hot, 0)]).is_err());
+    }
+}

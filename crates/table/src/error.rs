@@ -1,0 +1,81 @@
+//! Error type for the table crate.
+
+use std::fmt;
+
+/// Errors produced when building or manipulating tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A column was added whose length differs from the table's row count.
+    ColumnLengthMismatch {
+        /// Name of the column being added.
+        column: String,
+        /// Expected number of rows.
+        expected: usize,
+        /// Length actually provided.
+        found: usize,
+    },
+    /// A column name was referenced that does not exist.
+    UnknownColumn(String),
+    /// The schema and the provided column data disagree on types.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// Expected type name.
+        expected: &'static str,
+        /// Provided type name.
+        found: &'static str,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// A generator or format option was invalid.
+    InvalidOption(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnLengthMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "column {column} has {found} values but the table has {expected} rows"
+            ),
+            TableError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            TableError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(f, "column {column}: expected {expected}, found {found}"),
+            TableError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (table has {len} rows)")
+            }
+            TableError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = TableError::ColumnLengthMismatch {
+            column: "price".into(),
+            expected: 10,
+            found: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("price") && s.contains("10") && s.contains('7'));
+        assert!(TableError::UnknownColumn("x".into()).to_string().contains('x'));
+    }
+}

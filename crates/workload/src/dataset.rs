@@ -1,0 +1,120 @@
+//! Dataset catalog: the metadata-level view of a data lake.
+//!
+//! Enterprise Data I in the paper is "hundreds of datasets ranging from TB
+//! to PB in size" for which only metadata and historical access logs are
+//! available. [`DatasetCatalog`] is that metadata view: per-dataset size,
+//! creation month, latency requirement and access pattern. Sizes are plain
+//! numbers (GB) — costs are linear in bytes, so the petabyte scale of the
+//! paper is reached by the size values, not by materialising data.
+
+use crate::patterns::AccessPattern;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for one dataset in the lake.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Stable integer id (index in the catalog).
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Size in GB.
+    pub size_gb: f64,
+    /// Month (0-based, relative to the start of the simulated history) in
+    /// which the dataset was created / ingested.
+    pub created_month: u32,
+    /// Latency SLA threshold in seconds for accesses to this dataset
+    /// (infinity = best effort).
+    pub latency_threshold_seconds: f64,
+    /// The dataset's temporal access pattern.
+    pub pattern: AccessPattern,
+}
+
+impl DatasetMeta {
+    /// Age of the dataset (in months) at a given absolute month; `None` if
+    /// the dataset does not exist yet.
+    pub fn age_at(&self, month: u32) -> Option<u32> {
+        month.checked_sub(self.created_month)
+    }
+}
+
+/// An ordered collection of dataset metadata.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DatasetCatalog {
+    datasets: Vec<DatasetMeta>,
+}
+
+impl DatasetCatalog {
+    /// Build a catalog from dataset metadata, re-assigning ids to match
+    /// positions.
+    pub fn new(mut datasets: Vec<DatasetMeta>) -> Self {
+        for (i, d) in datasets.iter_mut().enumerate() {
+            d.id = i;
+        }
+        DatasetCatalog { datasets }
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Iterate over datasets.
+    pub fn iter(&self) -> impl Iterator<Item = &DatasetMeta> {
+        self.datasets.iter()
+    }
+
+    /// Dataset by id.
+    pub fn get(&self, id: usize) -> Option<&DatasetMeta> {
+        self.datasets.get(id)
+    }
+
+    /// Total size of the catalog in GB.
+    pub fn total_size_gb(&self) -> f64 {
+        self.datasets.iter().map(|d| d.size_gb).sum()
+    }
+
+    /// Total size in PB (the unit of Table II).
+    pub fn total_size_pb(&self) -> f64 {
+        self.total_size_gb() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: f64, created: u32) -> DatasetMeta {
+        DatasetMeta {
+            id: 0,
+            name: "d".into(),
+            size_gb: size,
+            created_month: created,
+            latency_threshold_seconds: f64::INFINITY,
+            pattern: AccessPattern::Constant { rate: 1.0 },
+        }
+    }
+
+    #[test]
+    fn catalog_reassigns_ids_and_sums_sizes() {
+        let c = DatasetCatalog::new(vec![meta(100.0, 0), meta(200.0, 1), meta(300.0, 2)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1).unwrap().id, 1);
+        assert_eq!(c.total_size_gb(), 600.0);
+        assert!((c.total_size_pb() - 0.0006).abs() < 1e-12);
+        assert!(c.get(99).is_none());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn age_at_handles_not_yet_created() {
+        let d = meta(1.0, 5);
+        assert_eq!(d.age_at(5), Some(0));
+        assert_eq!(d.age_at(8), Some(3));
+        assert_eq!(d.age_at(3), None);
+    }
+}

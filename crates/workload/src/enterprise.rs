@@ -1,0 +1,374 @@
+//! Enterprise Data Lake workload generator.
+//!
+//! Generates a dataset catalog plus a monthly access-log series whose
+//! statistics reproduce the published enterprise characteristics:
+//!
+//! * **Dataset-level skew** (Fig 1a): a small fraction of datasets receive
+//!   most of the read accesses — the per-dataset access *volume scale* is
+//!   drawn from a Zipf distribution over the dataset rank.
+//! * **Recency** (Fig 1b): access frequency falls with dataset age — most
+//!   datasets get a `Decreasing` pattern and creation months are spread
+//!   over the history window.
+//! * **Pattern mix** (Fig 2): some datasets are constant readers, a class of
+//!   datasets peaks periodically (seasonality / year-on-year analysis),
+//!   marketing-style datasets see a one-shot activation spike, and a long
+//!   tail is dormant after ingestion.
+//! * **Size skew**: dataset sizes span ~4 orders of magnitude (GB to
+//!   hundreds of TB) drawn from a log-uniform distribution, so a catalog of
+//!   a few hundred datasets totals 0.05–0.6 PB as in Table II.
+
+use crate::access_log::{AccessSeries, MonthlyAccess};
+use crate::dataset::{DatasetCatalog, DatasetMeta};
+use crate::error::WorkloadError;
+use crate::patterns::AccessPattern;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_table::Zipf;
+
+/// Options for the enterprise workload generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnterpriseOptions {
+    /// Number of datasets in the account (the paper's storage account has
+    /// 760 datasets / ~700 TB).
+    pub n_datasets: usize,
+    /// Number of months of history to generate (the tier predictor trains
+    /// on this history).
+    pub history_months: u32,
+    /// Number of future months to generate (the projection horizon the
+    /// optimizer plans for and the billing simulator replays).
+    pub future_months: u32,
+    /// Zipf exponent of the per-dataset access-volume skew (Fig 1a).
+    pub access_skew: f64,
+    /// Smallest dataset size in GB.
+    pub min_size_gb: f64,
+    /// Largest dataset size in GB.
+    pub max_size_gb: f64,
+    /// Fraction of reads that scan the full dataset (the rest scan a
+    /// uniformly random fraction).
+    pub full_scan_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EnterpriseOptions {
+    fn default() -> Self {
+        EnterpriseOptions {
+            n_datasets: 760,
+            history_months: 12,
+            future_months: 6,
+            access_skew: 1.2,
+            min_size_gb: 1.0,
+            max_size_gb: 100_000.0, // 100 TB
+            full_scan_fraction: 0.3,
+            seed: 17,
+        }
+    }
+}
+
+impl EnterpriseOptions {
+    /// Validate the options.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.n_datasets == 0 {
+            return Err(WorkloadError::InvalidOption(
+                "n_datasets must be > 0".to_string(),
+            ));
+        }
+        if self.history_months + self.future_months == 0 {
+            return Err(WorkloadError::InvalidOption(
+                "at least one month must be generated".to_string(),
+            ));
+        }
+        if !(self.min_size_gb > 0.0 && self.max_size_gb >= self.min_size_gb) {
+            return Err(WorkloadError::InvalidOption(format!(
+                "invalid size range [{}, {}]",
+                self.min_size_gb, self.max_size_gb
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.full_scan_fraction) {
+            return Err(WorkloadError::InvalidOption(
+                "full_scan_fraction must be in [0, 1]".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total number of generated months (history + future).
+    pub fn total_months(&self) -> u32 {
+        self.history_months + self.future_months
+    }
+}
+
+/// A generated enterprise workload: catalog + access series.
+#[derive(Debug, Clone)]
+pub struct EnterpriseWorkload {
+    /// The dataset catalog.
+    pub catalog: DatasetCatalog,
+    /// Monthly access counts over history + future months.
+    pub series: AccessSeries,
+    /// The options the workload was generated with.
+    pub options: EnterpriseOptions,
+}
+
+impl EnterpriseWorkload {
+    /// Generate a workload.
+    pub fn generate(options: EnterpriseOptions) -> Result<Self, WorkloadError> {
+        options.validate()?;
+        let mut rng = SmallRng::seed_from_u64(options.seed);
+        let zipf = Zipf::new(options.n_datasets, options.access_skew);
+        let total_months = options.total_months();
+
+        // Per-dataset access scale: datasets are ranked by a random
+        // permutation and the Zipf pmf of the rank fixes their share of the
+        // lake's total read volume.
+        let total_reads_budget = options.n_datasets as f64 * 40.0;
+        let mut ranks: Vec<usize> = (0..options.n_datasets).collect();
+        for i in (1..ranks.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ranks.swap(i, j);
+        }
+
+        let mut datasets = Vec::with_capacity(options.n_datasets);
+        for (idx, &rank) in ranks.iter().enumerate() {
+            // Log-uniform size in [min, max] GB.
+            let log_min = options.min_size_gb.ln();
+            let log_max = options.max_size_gb.ln();
+            let size_gb = (log_min + rng.gen::<f64>() * (log_max - log_min)).exp();
+            // Creation month spread over the history window (recency).
+            let created_month = rng.gen_range(0..options.history_months.max(1));
+            // Total expected reads for this dataset over the horizon.
+            let volume = total_reads_budget * zipf.pmf(rank);
+            // Pattern mix: 45% decreasing, 20% constant, 15% periodic,
+            // 10% spike, 10% dormant.
+            let roll: f64 = rng.gen();
+            let pattern = if volume < 0.5 || roll < 0.10 {
+                AccessPattern::Dormant
+            } else if roll < 0.55 {
+                AccessPattern::Decreasing {
+                    initial: volume * 0.4,
+                    decay: rng.gen_range(0.5..0.9),
+                }
+            } else if roll < 0.75 {
+                AccessPattern::Constant {
+                    rate: (volume / total_months as f64).max(0.2),
+                }
+            } else if roll < 0.90 {
+                AccessPattern::Periodic {
+                    base: (volume / total_months as f64 * 0.3).max(0.1),
+                    peak: volume * 0.3,
+                    period: *[6u32, 12].get(rng.gen_range(0..2)).expect("two options"),
+                }
+            } else {
+                AccessPattern::Spike {
+                    month: rng.gen_range(0..3),
+                    magnitude: volume,
+                }
+            };
+            // Latency SLAs: most data is best-effort; 10% needs sub-second.
+            let latency_threshold_seconds = if rng.gen::<f64>() < 0.1 { 1.0 } else { f64::INFINITY };
+            datasets.push(DatasetMeta {
+                id: idx,
+                name: format!("dataset-{idx:04}"),
+                size_gb,
+                created_month,
+                latency_threshold_seconds,
+                pattern,
+            });
+        }
+        let catalog = DatasetCatalog::new(datasets);
+
+        // Sample the monthly access series by drawing Poisson-ish counts
+        // around each pattern's expectation.
+        let mut series = AccessSeries::new(total_months);
+        for d in catalog.iter() {
+            for month in d.created_month..total_months {
+                let age = month - d.created_month;
+                let expected_reads = d.pattern.expected_reads(age);
+                let expected_writes = d.pattern.expected_writes(age);
+                let reads = sample_count(&mut rng, expected_reads);
+                let writes = sample_count(&mut rng, expected_writes);
+                let read_fraction = if rng.gen::<f64>() < options.full_scan_fraction {
+                    1.0
+                } else {
+                    rng.gen_range(0.05..0.6)
+                };
+                series.set(
+                    d.id,
+                    month,
+                    MonthlyAccess {
+                        reads,
+                        writes,
+                        read_fraction,
+                    },
+                );
+            }
+        }
+        Ok(EnterpriseWorkload {
+            catalog,
+            series,
+            options,
+        })
+    }
+
+    /// The first future month (the start of the projection horizon).
+    pub fn projection_start(&self) -> u32 {
+        self.options.history_months
+    }
+
+    /// Percentage of datasets created in each age bucket that received at
+    /// least one read in the final history month — the decreasing curve of
+    /// Fig 1b ("% accesses vs months since file was created").
+    pub fn access_share_by_age(&self) -> Vec<(u32, f64)> {
+        let month = self.options.history_months.saturating_sub(1);
+        let mut total_reads = 0.0;
+        let mut by_age: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+        for d in self.catalog.iter() {
+            if let Some(age) = d.age_at(month) {
+                let reads = self.series.get(d.id, month).reads;
+                *by_age.entry(age).or_insert(0.0) += reads;
+                total_reads += reads;
+            }
+        }
+        by_age
+            .into_iter()
+            .map(|(age, reads)| {
+                (
+                    age,
+                    if total_reads > 0.0 {
+                        100.0 * reads / total_reads
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Sample an integer-ish count around an expectation (a cheap Poisson
+/// stand-in: expectation plus bounded multiplicative noise, floored at 0).
+fn sample_count<R: Rng>(rng: &mut R, expected: f64) -> f64 {
+    if expected <= 0.0 {
+        return 0.0;
+    }
+    let noise = rng.gen_range(0.7..1.3);
+    (expected * noise).round().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_options() -> EnterpriseOptions {
+        EnterpriseOptions {
+            n_datasets: 200,
+            history_months: 8,
+            future_months: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_catalog_and_series_shape() {
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        assert_eq!(w.catalog.len(), 200);
+        assert_eq!(w.series.months(), 12);
+        assert_eq!(w.projection_start(), 8);
+        // Sizes must be within bounds and span a wide range.
+        let sizes: Vec<f64> = w.catalog.iter().map(|d| d.size_gb).collect();
+        assert!(sizes.iter().all(|&s| s >= 1.0 && s <= 100_000.0));
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 100.0, "size range too narrow: {min}..{max}");
+    }
+
+    #[test]
+    fn access_distribution_is_skewed_like_fig1a() {
+        let w = EnterpriseWorkload::generate(EnterpriseOptions {
+            n_datasets: 400,
+            access_skew: 1.5,
+            ..small_options()
+        })
+        .unwrap();
+        let shares = w.series.access_share_sorted();
+        // The top 10% of datasets should receive well over half the accesses.
+        let top_decile: f64 = shares.iter().take(40).sum();
+        assert!(top_decile > 50.0, "top decile share = {top_decile}");
+        // And a long tail should receive (almost) nothing.
+        let tail: f64 = shares.iter().skip(200).sum();
+        assert!(tail < 20.0, "tail share = {tail}");
+    }
+
+    #[test]
+    fn recency_access_falls_with_age() {
+        let w = EnterpriseWorkload::generate(EnterpriseOptions {
+            n_datasets: 500,
+            history_months: 12,
+            ..small_options()
+        })
+        .unwrap();
+        let by_age = w.access_share_by_age();
+        assert!(!by_age.is_empty());
+        // Young datasets (age <= 2 months) should take a larger share than
+        // old ones (age >= 8 months) in aggregate.
+        let young: f64 = by_age.iter().filter(|(a, _)| *a <= 2).map(|(_, s)| s).sum();
+        let old: f64 = by_age.iter().filter(|(a, _)| *a >= 8).map(|(_, s)| s).sum();
+        assert!(young > old, "young share {young} vs old share {old}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = EnterpriseWorkload::generate(small_options()).unwrap();
+        let b = EnterpriseWorkload::generate(small_options()).unwrap();
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.series, b.series);
+    }
+
+    #[test]
+    fn no_accesses_before_creation() {
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        for d in w.catalog.iter() {
+            for month in 0..d.created_month {
+                let acc = w.series.get(d.id, month);
+                assert_eq!(acc.reads, 0.0);
+                assert_eq!(acc.writes, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn writes_happen_at_ingestion() {
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        let with_ingest_write = w
+            .catalog
+            .iter()
+            .filter(|d| w.series.get(d.id, d.created_month).writes >= 1.0)
+            .count();
+        assert!(with_ingest_write as f64 / w.catalog.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        assert!(EnterpriseWorkload::generate(EnterpriseOptions {
+            n_datasets: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(EnterpriseWorkload::generate(EnterpriseOptions {
+            history_months: 0,
+            future_months: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(EnterpriseWorkload::generate(EnterpriseOptions {
+            min_size_gb: 10.0,
+            max_size_gb: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(EnterpriseWorkload::generate(EnterpriseOptions {
+            full_scan_fraction: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

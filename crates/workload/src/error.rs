@@ -1,0 +1,34 @@
+//! Error type for the workload crate.
+
+use std::fmt;
+
+/// Errors produced by workload generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A generator option was invalid.
+    InvalidOption(String),
+    /// A dataset id was referenced that does not exist in the catalog.
+    UnknownDataset(usize),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
+            WorkloadError::UnknownDataset(id) => write!(f, "unknown dataset id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(WorkloadError::InvalidOption("x".into()).to_string().contains('x'));
+        assert!(WorkloadError::UnknownDataset(3).to_string().contains('3'));
+    }
+}

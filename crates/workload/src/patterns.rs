@@ -1,0 +1,191 @@
+//! Per-dataset access-trend patterns.
+//!
+//! Fig. 2 of the paper shows four representative enterprise trends: read
+//! accesses *decreasing* over time, reads remaining roughly *constant*,
+//! *periodic* (seasonal) read peaks for a class of datasets, and the
+//! write-activity trend, plus the marketing "activation" case of a one-time
+//! read/write *spike* followed by long inactivity. [`AccessPattern`] models
+//! each of these as an expected-accesses-per-month curve which the access
+//! log generator then samples.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-dataset temporal access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Reads decay geometrically with the dataset's age (top-left of Fig 2,
+    /// and the recency effect of Fig 1b).
+    Decreasing {
+        /// Expected reads in the dataset's first month.
+        initial: f64,
+        /// Multiplicative decay per month (0 < decay < 1).
+        decay: f64,
+    },
+    /// Roughly constant read rate (top-right of Fig 2).
+    Constant {
+        /// Expected reads every month.
+        rate: f64,
+    },
+    /// Periodic / seasonal peaks, e.g. year-on-year analysis
+    /// (bottom-left of Fig 2).
+    Periodic {
+        /// Baseline reads per month between peaks.
+        base: f64,
+        /// Additional reads during a peak month.
+        peak: f64,
+        /// Number of months between peaks (e.g. 12 for yearly).
+        period: u32,
+    },
+    /// One-time activation: a burst of reads in a single month, then silence
+    /// (the marketing ingestion-for-activation case).
+    Spike {
+        /// Month (relative to dataset creation) in which the spike occurs.
+        month: u32,
+        /// Expected reads during the spike month.
+        magnitude: f64,
+    },
+    /// Never read after ingestion (cold data, the long tail of Fig 1a).
+    Dormant,
+}
+
+impl AccessPattern {
+    /// Expected number of read accesses in the given month *since dataset
+    /// creation* (month 0 is the ingestion month).
+    pub fn expected_reads(&self, months_since_creation: u32) -> f64 {
+        match *self {
+            AccessPattern::Decreasing { initial, decay } => {
+                initial * decay.powi(months_since_creation as i32)
+            }
+            AccessPattern::Constant { rate } => rate,
+            AccessPattern::Periodic { base, peak, period } => {
+                if period > 0 && months_since_creation % period == 0 && months_since_creation > 0 {
+                    base + peak
+                } else {
+                    base
+                }
+            }
+            AccessPattern::Spike { month, magnitude } => {
+                if months_since_creation == month {
+                    magnitude
+                } else {
+                    0.0
+                }
+            }
+            AccessPattern::Dormant => 0.0,
+        }
+    }
+
+    /// Expected writes in the given month. Writes concentrate at ingestion
+    /// (month 0) for every pattern, with a small trickle for constant and
+    /// periodic datasets (appends), matching the write trend in Fig 2.
+    pub fn expected_writes(&self, months_since_creation: u32) -> f64 {
+        let ingest = if months_since_creation == 0 { 1.0 } else { 0.0 };
+        match *self {
+            AccessPattern::Constant { rate } => ingest + (rate * 0.1),
+            AccessPattern::Periodic { base, .. } => ingest + (base * 0.05),
+            _ => ingest,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessPattern::Decreasing { .. } => "decreasing",
+            AccessPattern::Constant { .. } => "constant",
+            AccessPattern::Periodic { .. } => "periodic",
+            AccessPattern::Spike { .. } => "spike",
+            AccessPattern::Dormant => "dormant",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decreasing_pattern_decays() {
+        let p = AccessPattern::Decreasing {
+            initial: 100.0,
+            decay: 0.5,
+        };
+        assert_eq!(p.expected_reads(0), 100.0);
+        assert_eq!(p.expected_reads(1), 50.0);
+        assert_eq!(p.expected_reads(2), 25.0);
+        assert!(p.expected_reads(12) < 0.1);
+    }
+
+    #[test]
+    fn constant_pattern_is_flat() {
+        let p = AccessPattern::Constant { rate: 7.0 };
+        for m in 0..24 {
+            assert_eq!(p.expected_reads(m), 7.0);
+        }
+    }
+
+    #[test]
+    fn periodic_pattern_peaks_on_schedule() {
+        let p = AccessPattern::Periodic {
+            base: 2.0,
+            peak: 50.0,
+            period: 12,
+        };
+        assert_eq!(p.expected_reads(0), 2.0); // creation month is not a peak
+        assert_eq!(p.expected_reads(6), 2.0);
+        assert_eq!(p.expected_reads(12), 52.0);
+        assert_eq!(p.expected_reads(24), 52.0);
+        assert_eq!(p.expected_reads(13), 2.0);
+    }
+
+    #[test]
+    fn spike_pattern_is_one_shot() {
+        let p = AccessPattern::Spike {
+            month: 1,
+            magnitude: 200.0,
+        };
+        assert_eq!(p.expected_reads(0), 0.0);
+        assert_eq!(p.expected_reads(1), 200.0);
+        assert_eq!(p.expected_reads(2), 0.0);
+    }
+
+    #[test]
+    fn dormant_never_reads_but_still_writes_once() {
+        let p = AccessPattern::Dormant;
+        assert_eq!(p.expected_reads(0), 0.0);
+        assert_eq!(p.expected_reads(5), 0.0);
+        assert_eq!(p.expected_writes(0), 1.0);
+        assert_eq!(p.expected_writes(3), 0.0);
+    }
+
+    #[test]
+    fn writes_concentrate_at_ingestion() {
+        for p in [
+            AccessPattern::Decreasing {
+                initial: 10.0,
+                decay: 0.9,
+            },
+            AccessPattern::Constant { rate: 5.0 },
+            AccessPattern::Periodic {
+                base: 1.0,
+                peak: 5.0,
+                period: 6,
+            },
+        ] {
+            assert!(p.expected_writes(0) >= 1.0);
+            assert!(p.expected_writes(1) < 1.0);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AccessPattern::Dormant.label(), "dormant");
+        assert_eq!(
+            AccessPattern::Spike {
+                month: 0,
+                magnitude: 1.0
+            }
+            .label(),
+            "spike"
+        );
+    }
+}

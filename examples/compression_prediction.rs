@@ -1,0 +1,97 @@
+//! COMPREDICT example: train compression-performance predictors on
+//! query-derived samples of TPC-H-like data and compare model families —
+//! a miniature version of the paper's Tables V and VI.
+//!
+//! ```bash
+//! cargo run --release --example compression_prediction
+//! ```
+
+use scope_compredict::{
+    predictor::build_examples, query_samples, random_samples, CompressionPredictor,
+    FeatureExtractor, FeatureSet, ModelKind, PredictionTask,
+};
+use scope_compress::CompressionScheme;
+use scope_table::{DataLayout, TpchGenerator, TpchOptions, TpchTable};
+use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: 0.2,
+        ..Default::default()
+    })?;
+    let lineitem = gen.generate(TpchTable::Lineitem);
+    let orders = gen.generate(TpchTable::Orders);
+
+    // Query-based samples: the rows actually touched by the query workload.
+    let li_files = lineitem.split_into_files(120)?;
+    let or_files = orders.split_into_files(60)?;
+    let workload = QueryWorkload::generate_tpch(
+        &[
+            ("lineitem".to_string(), li_files.len()),
+            ("orders".to_string(), or_files.len()),
+        ],
+        &QueryWorkloadOptions {
+            queries_per_template: 6,
+            ..Default::default()
+        },
+    )?;
+    let mut samples = query_samples(&lineitem, &li_files, &workload.families)?;
+    samples.extend(query_samples(&orders, &or_files, &workload.families)?);
+    // Plus some random samples so the comparison of Table V can be made.
+    let random = {
+        let mut r = random_samples(&lineitem, 20, 200, 7)?;
+        r.extend(random_samples(&orders, 20, 120, 8)?);
+        r
+    };
+
+    let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+    println!("Building ground truth by compressing {} query samples and {} random samples (gzip, csv layout)...",
+        samples.len(), random.len());
+    let query_examples = build_examples(&samples, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
+    let random_examples = build_examples(&random, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
+
+    // Table V flavour: query-based vs random samples, Random Forest.
+    let split = query_examples.len() * 3 / 4;
+    let (train_q, test_q) = query_examples.split_at(split.max(4));
+    let rf_query = CompressionPredictor::train(
+        train_q,
+        PredictionTask::CompressionRatio,
+        ModelKind::RandomForest,
+        extractor,
+        1,
+    )?;
+    let rf_random = CompressionPredictor::train(
+        &random_examples,
+        PredictionTask::CompressionRatio,
+        ModelKind::RandomForest,
+        extractor,
+        1,
+    )?;
+    println!("\nCompression-ratio prediction on held-out query samples (paper Table V):");
+    let q_eval = rf_query.evaluate(test_q);
+    let r_eval = rf_random.evaluate(test_q);
+    println!("  trained on query samples : MAE {:.3}  MAPE {:.2}%  R2 {:.3}", q_eval.mae, q_eval.mape, q_eval.r2);
+    println!("  trained on random samples: MAE {:.3}  MAPE {:.2}%  R2 {:.3}", r_eval.mae, r_eval.mape, r_eval.r2);
+
+    // Table VI flavour: model family sweep on query samples.
+    println!("\nModel family comparison (paper Table VI, gzip / csv):");
+    println!("  {:<15} {:>8} {:>9} {:>8}", "model", "MAE", "MAPE %", "R2");
+    for kind in ModelKind::all() {
+        let model = CompressionPredictor::train(
+            train_q,
+            PredictionTask::CompressionRatio,
+            kind,
+            extractor,
+            2,
+        )?;
+        let eval = model.evaluate(test_q);
+        println!(
+            "  {:<15} {:>8.3} {:>9.2} {:>8.3}",
+            kind.name(),
+            eval.mae,
+            eval.mape,
+            eval.r2
+        );
+    }
+    Ok(())
+}

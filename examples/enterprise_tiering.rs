@@ -1,0 +1,70 @@
+//! Enterprise tiering example: the Enterprise Data I workflow of the paper.
+//!
+//! Generates a synthetic enterprise storage account (hundreds of datasets,
+//! Zipf-skewed and recency-decaying accesses), trains the Random-Forest tier
+//! predictor on the account's history, and reports:
+//!
+//! * the predicted-vs-ideal confusion matrix (paper Table III),
+//! * the % cost benefit of OPTASSIGN against the caching/recency baselines
+//!   (paper Table IV),
+//! * the projected benefit per customer account (paper Table II).
+//!
+//! ```bash
+//! cargo run --release --example enterprise_tiering
+//! ```
+
+use scope_core::{customer_benefit_table, predictor_confusion, tiering_baseline_comparison};
+use scope_learn::{f1_score, precision, recall};
+use scope_workload::EnterpriseOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let account = EnterpriseOptions {
+        n_datasets: 300,
+        history_months: 12,
+        future_months: 6,
+        seed: 11,
+        ..Default::default()
+    };
+
+    // Table III: predicted vs ideal tier.
+    let cm = predictor_confusion(&account, 2)?;
+    println!("Tier predictor confusion matrix (2-month horizon), rows = ideal, cols = predicted:");
+    println!("             Hot   Cool");
+    println!("  Hot   {:>6} {:>6}", cm.counts[0][0], cm.counts[0][1]);
+    println!("  Cool  {:>6} {:>6}", cm.counts[1][0], cm.counts[1][1]);
+    println!(
+        "  accuracy {:.3}, hot F1 {:.3} (precision {:.3}, recall {:.3}), cool F1 {:.3}",
+        cm.accuracy(),
+        f1_score(&cm, 0),
+        precision(&cm, 0),
+        recall(&cm, 0),
+        f1_score(&cm, 1),
+    );
+
+    // Table IV: OPTASSIGN vs intuitive baselines.
+    println!("\nTiering policies vs the all-hot platform baseline:");
+    println!("{:<42} {:>10} {:>9} {:>10}", "Model", "Access", "Months", "Benefit %");
+    for row in tiering_baseline_comparison(&account)? {
+        println!(
+            "{:<42} {:>10} {:>9} {:>10.2}",
+            row.model, row.access_information, row.duration_months, row.benefit_percent
+        );
+    }
+
+    // Table II: several customer accounts.
+    let accounts = vec![
+        ("Customer A".to_string(), EnterpriseOptions { n_datasets: 250, seed: 1, ..account.clone() }),
+        ("Customer B".to_string(), EnterpriseOptions { n_datasets: 180, seed: 2, ..account.clone() }),
+        ("Customer C".to_string(), EnterpriseOptions { n_datasets: 120, seed: 3, ..account.clone() }),
+        ("Customer D".to_string(), EnterpriseOptions { n_datasets: 150, seed: 4, ..account }),
+    ];
+    println!("\nProjected % cost benefit per customer account (paper Table II):");
+    println!("{:<12} {:>14} {:>10} {:>10}", "Customer", "Size (PB)", "2 months", "6 months");
+    for row in customer_benefit_table(&accounts)? {
+        println!(
+            "{:<12} {:>14.4} {:>10.2} {:>10.2}",
+            row.customer, row.total_size_pb, row.benefit_2_months, row.benefit_6_months
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Integration and property-based tests of COMPREDICT against the real
+//! codecs, data generator and query workloads.
+
+use proptest::prelude::*;
+use scope_compredict::{
+    predictor::build_examples, query_samples, random_samples, CompressionPredictor,
+    FeatureExtractor, FeatureSet, ModelKind, PredictionTask,
+};
+use scope_compress::{measure, CompressionScheme, GzipishCodec, Lz4ishCodec, SnappyishCodec};
+use scope_table::{format, DataLayout, TpchGenerator, TpchOptions, TpchTable};
+use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+
+#[test]
+fn query_sampled_predictor_beats_random_sampled_predictor() {
+    // The Table V conclusion: training on the rows queries actually touch
+    // gives a better ratio predictor (evaluated on query-derived samples)
+    // than training on random row subsets.
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: 0.2,
+        ..Default::default()
+    })
+    .unwrap();
+    let orders = gen.generate(TpchTable::Orders);
+    let files = orders.split_into_files(30).unwrap();
+    let workload = QueryWorkload::generate_tpch(
+        &[("orders".to_string(), files.len())],
+        &QueryWorkloadOptions {
+            queries_per_template: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
+    let query_tables = query_samples(&orders, &files, &workload.families).unwrap();
+    let random_tables = random_samples(&orders, query_tables.len(), 60, 3).unwrap();
+
+    let query_examples =
+        build_examples(&query_tables, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
+    let random_examples =
+        build_examples(&random_tables, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
+
+    let split = query_examples.len() * 2 / 3;
+    let (train_q, test_q) = query_examples.split_at(split.max(4));
+    let model_q = CompressionPredictor::train(
+        train_q,
+        PredictionTask::CompressionRatio,
+        ModelKind::RandomForest,
+        extractor,
+        1,
+    )
+    .unwrap();
+    let model_r = CompressionPredictor::train(
+        &random_examples,
+        PredictionTask::CompressionRatio,
+        ModelKind::RandomForest,
+        extractor,
+        1,
+    )
+    .unwrap();
+    let eval_q = model_q.evaluate(test_q);
+    let eval_r = model_r.evaluate(test_q);
+    assert!(
+        eval_q.mae <= eval_r.mae * 1.2,
+        "query-sample MAE {} should not be worse than random-sample MAE {}",
+        eval_q.mae,
+        eval_r.mae
+    );
+    assert!(eval_q.mape < 25.0, "query-sample MAPE too high: {}", eval_q.mape);
+}
+
+#[test]
+fn codec_ordering_holds_on_generated_tables_in_both_layouts() {
+    // gzip compresses at least as well as lz4 and snappy on both the row
+    // (csv) and columnar (parquet-like) layouts of every generated table —
+    // the property the scheme choice in OPTASSIGN relies on. The scale
+    // factor keeps every serialized table above a few tens of KB so that
+    // fixed per-stream header overheads do not dominate the comparison.
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: 0.5,
+        ..Default::default()
+    })
+    .unwrap();
+    for table in [TpchTable::Orders, TpchTable::Customer, TpchTable::Part] {
+        let t = gen.generate(table);
+        for layout in [DataLayout::Csv, DataLayout::Columnar] {
+            let bytes = format::serialize(&t, layout);
+            let gz = measure(&GzipishCodec::default(), &bytes);
+            let lz = measure(&Lz4ishCodec::default(), &bytes);
+            let sn = measure(&SnappyishCodec::default(), &bytes);
+            assert!(
+                gz.ratio >= lz.ratio * 0.98,
+                "{table:?}/{layout:?}: gzip {} vs lz4 {}",
+                gz.ratio,
+                lz.ratio
+            );
+            assert!(
+                gz.ratio >= sn.ratio * 0.98,
+                "{table:?}/{layout:?}: gzip {} vs snappy {}",
+                gz.ratio,
+                sn.ratio
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every codec round-trips arbitrary byte strings (the fundamental
+    /// correctness property behind every measured ratio in the system).
+    #[test]
+    fn codecs_round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for scheme in CompressionScheme::all() {
+            let codec = scheme.codec();
+            let compressed = codec.compress(&data);
+            let restored = codec.decompress(&compressed).expect("round trip");
+            prop_assert_eq!(&restored, &data, "{} failed", scheme.name());
+        }
+    }
+
+    /// Repetition never hurts: duplicating a buffer's content doubles its
+    /// size but compresses to (at most marginally more than) twice the
+    /// original compressed size for the LZ codecs, so the measured ratio
+    /// never drops by much.
+    #[test]
+    fn repetition_does_not_reduce_ratio(data in proptest::collection::vec(any::<u8>(), 64..1024)) {
+        let codec = GzipishCodec::default();
+        let single = measure(&codec, &data);
+        let doubled: Vec<u8> = data.iter().chain(data.iter()).copied().collect();
+        let double = measure(&codec, &doubled);
+        prop_assert!(double.ratio >= single.ratio * 0.95,
+            "doubling data dropped ratio from {} to {}", single.ratio, double.ratio);
+    }
+
+    /// Weighted-entropy features are finite, non-negative and their vector
+    /// length always matches the declared feature names.
+    #[test]
+    fn features_are_well_formed(rows in 1usize..200, distinct in 1usize..20) {
+        use scope_table::{ColumnData, ColumnType, Schema, Table};
+        let schema = Schema::from_pairs(&[("id", ColumnType::Int), ("label", ColumnType::Text)]);
+        let table = Table::new(
+            "t",
+            schema,
+            vec![
+                ColumnData::Int((0..rows as i64).collect()),
+                ColumnData::Text((0..rows).map(|i| format!("v{}", i % distinct)).collect()),
+            ],
+        )
+        .unwrap();
+        for set in [FeatureSet::SizeOnly, FeatureSet::WeightedEntropy, FeatureSet::BucketedEntropy] {
+            let extractor = FeatureExtractor::new(set);
+            let features = extractor.extract(&table);
+            prop_assert_eq!(features.len(), extractor.feature_names().len());
+            prop_assert!(features.iter().all(|f| f.is_finite() && *f >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration and property-based tests of DATAPART (G-PART and the
+//! ordered-case DP) against generated query workloads.
+
+use proptest::prelude::*;
+use scope_datapart::{
+    gpart_merge, merge_all, metrics, no_merge, solve_ordered_bicriteria, solve_ordered_exact,
+    FileCatalog, MergeConfig, OrderedPartition, Partition,
+};
+use scope_workload::{FileRef, QueryWorkload, QueryWorkloadOptions};
+use std::collections::BTreeSet;
+
+fn tpch_layout() -> Vec<(String, usize)> {
+    vec![
+        ("lineitem".to_string(), 30),
+        ("orders".to_string(), 10),
+        ("customer".to_string(), 4),
+        ("part".to_string(), 4),
+        ("supplier".to_string(), 2),
+        ("partsupp".to_string(), 6),
+        ("nation".to_string(), 1),
+        ("region".to_string(), 1),
+    ]
+}
+
+fn file_catalog() -> FileCatalog {
+    let mut c = FileCatalog::new();
+    for (table, files) in tpch_layout() {
+        for i in 0..files {
+            c.insert(FileRef::new(table.clone(), i), 1.0);
+        }
+    }
+    c
+}
+
+#[test]
+fn gpart_on_a_real_workload_sits_between_the_baselines() {
+    let workload = QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default())
+        .unwrap();
+    let initial = Partition::from_families(&workload.families);
+    let catalog = file_catalog();
+    let nm = metrics::evaluate(&no_merge(&initial), &catalog).unwrap();
+    let gp = metrics::evaluate(
+        &gpart_merge(&initial, &catalog, &MergeConfig::default()).unwrap(),
+        &catalog,
+    )
+    .unwrap();
+    let ma = metrics::evaluate(&merge_all(&initial), &catalog).unwrap();
+    // Fig 7 ordering on a genuine TPC-H-style workload.
+    assert!(nm.duplication >= gp.duplication && gp.duplication >= ma.duplication);
+    assert!(nm.read_cost <= gp.read_cost && gp.read_cost <= ma.read_cost);
+    assert!(nm.n_partitions >= gp.n_partitions && gp.n_partitions >= ma.n_partitions);
+    // G-PART genuinely reduces duplication relative to not merging at all.
+    assert!(gp.duplication < nm.duplication);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// G-PART never loses data: the union of files over its output equals
+    /// the union over its input, for arbitrary random partitionings.
+    #[test]
+    fn gpart_preserves_file_coverage(
+        seed in 0u64..1000,
+        n_partitions in 1usize..20,
+        n_files in 5usize..40,
+    ) {
+        let mut catalog = FileCatalog::new();
+        for i in 0..n_files {
+            catalog.insert(FileRef::new("t", i), 1.0);
+        }
+        // Deterministic pseudo-random partitions from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as usize
+        };
+        let initial: Vec<Partition> = (0..n_partitions)
+            .map(|id| {
+                let len = 1 + next() % 6;
+                let start = next() % n_files;
+                let files: Vec<FileRef> = (0..len)
+                    .map(|k| FileRef::new("t", (start + k) % n_files))
+                    .collect();
+                Partition::new(id, files, (next() % 10) as f64)
+            })
+            .collect();
+        let merged = gpart_merge(&initial, &catalog, &MergeConfig::default()).unwrap();
+        let before: BTreeSet<FileRef> = initial.iter().flat_map(|p| p.files.iter().cloned()).collect();
+        let after: BTreeSet<FileRef> = merged.iter().flat_map(|p| p.files.iter().cloned()).collect();
+        prop_assert_eq!(before, after);
+        // Merging never increases the number of partitions.
+        prop_assert!(merged.len() <= initial.len());
+        // Total space never increases (merging only deduplicates).
+        let space_before: f64 = initial.iter().map(|p| p.span(&catalog).unwrap()).sum();
+        let space_after: f64 = merged.iter().map(|p| p.span(&catalog).unwrap()).sum();
+        prop_assert!(space_after <= space_before + 1e-9);
+    }
+
+    /// The ordered-case DP always covers every partition with contiguous
+    /// merges, stays within its cost budget, and never uses more space than
+    /// the no-merge solution.
+    #[test]
+    fn ordered_dp_covers_within_budget(
+        n in 2usize..12,
+        span in 2.0f64..20.0,
+        overlap_fraction in 0.1f64..0.9,
+        budget_factor in 1.0f64..4.0,
+    ) {
+        let overlap = span * overlap_fraction;
+        let partitions: Vec<OrderedPartition> = (0..n)
+            .map(|i| {
+                let start = i as f64 * (span - overlap);
+                OrderedPartition::new(start, start + span, 1.0 + (i % 3) as f64)
+            })
+            .collect();
+        let min_cost: f64 = partitions.iter().map(|p| p.span() * p.frequency).sum();
+        let budget = min_cost * budget_factor;
+        let solution = solve_ordered_exact(&partitions, budget, 4.0).unwrap();
+        // Contiguous cover of 0..n.
+        let mut next_expected = 0usize;
+        for &(from, to) in &solution.merges {
+            prop_assert_eq!(from, next_expected);
+            prop_assert!(to >= from && to < n);
+            next_expected = to + 1;
+        }
+        prop_assert_eq!(next_expected, n);
+        // Budget respected and space no worse than keeping everything apart.
+        prop_assert!(solution.total_cost <= budget + 1e-6);
+        let separate_space: f64 = partitions.iter().map(|p| p.span()).sum();
+        prop_assert!(solution.total_space <= separate_space + 1e-9);
+    }
+
+    /// The bi-criteria approximation never needs more space than the exact
+    /// DP at the same threshold and never exceeds the relaxed budget.
+    #[test]
+    fn bicriteria_bounds_hold(
+        n in 2usize..10,
+        budget_factor in 1.2f64..3.0,
+        epsilon in 0.01f64..0.2,
+    ) {
+        let partitions: Vec<OrderedPartition> = (0..n)
+            .map(|i| OrderedPartition::new(i as f64 * 4.0, i as f64 * 4.0 + 6.0, 1.0))
+            .collect();
+        let min_cost: f64 = partitions.iter().map(|p| p.span() * p.frequency).sum();
+        let threshold = min_cost * budget_factor;
+        let exact = solve_ordered_exact(&partitions, threshold, 8.0).unwrap();
+        let approx = solve_ordered_bicriteria(&partitions, threshold, epsilon).unwrap();
+        prop_assert!(approx.total_space <= exact.total_space + 1e-9);
+        prop_assert!(approx.total_cost <= threshold * (1.0 + n as f64 * epsilon) + 1e-6);
+    }
+}
