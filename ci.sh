@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the SCOPe workspace. Run from the repo root.
+#
+#   ./ci.sh          # build + test + clippy (the tier-1 verify plus lints)
+#   ./ci.sh --quick  # skip the release build (debug test cycle only)
+#
+# Everything runs fully offline: the only non-std dependencies are the
+# in-tree shims under shims/ (rand, proptest, criterion, serde, bytes).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+echo "==> cargo build --release"
+if [[ $quick -eq 0 ]]; then
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --no-run (criterion benches must compile)"
+cargo bench --no-run
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

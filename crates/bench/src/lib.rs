@@ -51,8 +51,8 @@ pub fn print_policy_row(outcome: &scope_core::PolicyOutcome) {
 /// Print the header matching [`print_policy_row`].
 pub fn print_policy_header() {
     println!(
-        "{:<42} {:>10} {:>9} {:>9} {:>10} {:>9} {:>10}  {}",
-        "Policy", "Storage", "Decomp", "Read", "Total", "TTFB(s)", "Decomp(ms)", "Tiering"
+        "{:<42} {:>10} {:>9} {:>9} {:>10} {:>9} {:>10}  Tiering",
+        "Policy", "Storage", "Decomp", "Read", "Total", "TTFB(s)", "Decomp(ms)"
     );
 }
 
@@ -63,7 +63,7 @@ mod tests {
     #[test]
     fn cell_widths_adapt_to_magnitude() {
         assert!(cell(12345.6).contains("12345.6"));
-        assert!(cell(3.14159).contains("3.14"));
+        assert!(cell(7.25159).contains("7.25"));
         assert!(cell(0.01234).contains("0.0123"));
         assert_eq!(cell(1.0).len(), 10);
     }

@@ -25,8 +25,10 @@ impl LatencyEstimate {
 
 /// Latency service-level agreement for a partition or dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum SlaPolicy {
     /// No latency requirement — any tier (including Archive) is acceptable.
+    #[default]
     BestEffort,
     /// Interactive access: single-digit milliseconds. Effectively pins the
     /// data to the Premium tier in the Azure catalog.
@@ -65,11 +67,6 @@ impl SlaPolicy {
     }
 }
 
-impl Default for SlaPolicy {
-    fn default() -> Self {
-        SlaPolicy::BestEffort
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -90,7 +87,7 @@ mod tests {
         assert!(!SlaPolicy::Interactive.admits(&est));
         assert!(SlaPolicy::Online.admits(&est));
         assert!(SlaPolicy::BestEffort.admits(&est));
-        assert!(SlaPolicy::MaxSeconds(0.5).admits(&est) == false);
+        assert!(!SlaPolicy::MaxSeconds(0.5).admits(&est));
         assert!(SlaPolicy::MaxSeconds(0.6).admits(&est));
     }
 

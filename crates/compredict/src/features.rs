@@ -150,7 +150,10 @@ pub fn weighted_entropy_by_type(
     // Group columns by type, pooling their values (the paper computes one
     // feature per data type present in the partition).
     for t in ColumnType::all() {
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        // BTreeMap: the entropy sum below must run in a stable value order
+        // so extracted features are bit-identical across runs.
+        let mut counts: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
         let mut total = 0usize;
         for c in 0..table.n_columns() {
             let col = table.column(c);

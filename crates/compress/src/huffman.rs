@@ -92,11 +92,11 @@ fn assign_lengths(freq: &[u64; 256], lengths: &mut [u8; 256]) {
     // Arena of (left, right, symbol) — leaves have symbol = Some.
     let mut arena: Vec<(Option<usize>, Option<usize>, Option<usize>)> = Vec::new();
     let mut heap = std::collections::BinaryHeap::new();
-    for s in 0..256 {
-        if freq[s] > 0 {
+    for (s, &weight) in freq.iter().enumerate() {
+        if weight > 0 {
             arena.push((None, None, Some(s)));
             heap.push(Node {
-                weight: freq[s],
+                weight,
                 index: arena.len() - 1,
             });
         }
@@ -184,13 +184,11 @@ impl HuffmanDecoder {
     /// Decode one symbol from the bit reader.
     pub fn decode(&self, reader: &mut BitReader) -> Result<u8, CompressError> {
         let mut code = 0u16;
-        let mut len = 0u8;
         // Read bit by bit, looking for a matching (len, code) entry. Codes
         // are at most MAX_CODE_LEN bits so this loop is bounded.
-        for _ in 0..MAX_CODE_LEN {
+        for len in 1..=MAX_CODE_LEN as u8 {
             let bit = reader.read_bits(1)? as u16;
             code = (code << 1) | bit;
-            len += 1;
             // Binary search over sorted entries for (len, code).
             if let Ok(idx) = self
                 .entries

@@ -77,14 +77,17 @@ fn build_partitions(
             &policy.merge_config(inputs.total_size_gb()),
         )?;
         // Assign every file to the highest-frequency partition claiming it.
-        let mut owner: HashMap<scope_workload::FileRef, usize> = HashMap::new();
+        // A BTreeMap keeps the later iteration order (and therefore the file
+        // order inside every partition) independent of hash seeds.
+        let mut owner: std::collections::BTreeMap<scope_workload::FileRef, usize> =
+            std::collections::BTreeMap::new();
         for (idx, p) in merged.iter().enumerate() {
             for f in &p.files {
                 match owner.entry(f.clone()) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
+                    std::collections::btree_map::Entry::Vacant(e) => {
                         e.insert(idx);
                     }
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
                         if merged[*e.get()].frequency < p.frequency {
                             e.insert(idx);
                         }
@@ -192,7 +195,10 @@ fn build_specs(
         let size_gb = p.span(file_catalog)?;
         // GB of the partition contributed by each table (drives the blended
         // compression profile).
-        let mut gb_per_table: HashMap<&str, f64> = HashMap::new();
+        // BTreeMap: the accumulation loop below must add floats in a stable
+        // order for run-to-run reproducible costs.
+        let mut gb_per_table: std::collections::BTreeMap<&str, f64> =
+            std::collections::BTreeMap::new();
         for f in &p.files {
             let profile = inputs.table(&f.table).ok_or_else(|| {
                 ScopeError::InvalidConfig(format!("unknown table {}", f.table))

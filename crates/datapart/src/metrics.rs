@@ -40,7 +40,7 @@ pub fn evaluate(
         read_cost += p.read_cost(catalog)?;
         distinct.extend(p.files.iter());
     }
-    let distinct_space = catalog.span_of(distinct.into_iter())?;
+    let distinct_space = catalog.span_of(distinct)?;
     let duplication = if total_space > 0.0 {
         1.0 - distinct_space / total_space
     } else {

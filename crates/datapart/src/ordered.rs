@@ -135,8 +135,8 @@ pub fn solve_ordered_exact(
     const INF: f64 = f64::INFINITY;
     let mut dp = vec![vec![INF; budget + 1]; n + 1];
     let mut choice = vec![vec![usize::MAX; budget + 1]; n + 1];
-    for c in 0..=budget {
-        dp[0][c] = 0.0;
+    for cell in dp[0].iter_mut() {
+        *cell = 0.0;
     }
     for i in 1..=n {
         // The merge covering partition i-1 (0-based) is [i-k, i-1] for k=1..=i.

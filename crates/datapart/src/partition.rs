@@ -116,7 +116,7 @@ impl Partition {
     /// both, `Ov(P_i, P_j) = Sp(P_i) + Sp(P_j) − Sp(P_i ∪ P_j)`.
     pub fn overlap(&self, other: &Partition, catalog: &FileCatalog) -> Result<f64, DataPartError> {
         let common: Vec<&FileRef> = self.files.intersection(&other.files).collect();
-        catalog.span_of(common.into_iter())
+        catalog.span_of(common)
     }
 
     /// Fractional overlap with another partition:

@@ -105,8 +105,10 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
         // Eliminate below.
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, below) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (k, cell) in below[0].iter_mut().enumerate().take(n).skip(col) {
+                *cell -= factor * pivot_row[k];
             }
             b[row] -= factor * b[col];
         }

@@ -103,7 +103,9 @@ fn leaf_value(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
             }
             counts
                 .into_iter()
-                .max_by_key(|&(_, c)| c)
+                // Ties on the count are broken towards the smaller label so
+                // the vote does not depend on hash-map iteration order.
+                .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
                 .map(|(label, _)| label as f64)
                 .unwrap_or(0.0)
         }
@@ -507,5 +509,18 @@ mod tests {
         let tree = DecisionTreeRegressor::fit(&f, &t, params).unwrap();
         // With 50 rows and min 10 per leaf, there can be at most 5 leaves.
         assert!(tree.leaf_count() <= 5);
+    }
+
+    #[test]
+    fn gini_leaf_vote_breaks_ties_deterministically() {
+        // Regression test: the majority vote once picked an arbitrary label
+        // on tied counts (hash-map iteration order), making classification
+        // predictions differ from run to run. Ties must go to the smaller
+        // label.
+        let targets = vec![1.0, 0.0, 1.0, 0.0];
+        let idx = vec![0, 1, 2, 3];
+        for _ in 0..32 {
+            assert_eq!(leaf_value(&targets, &idx, Criterion::Gini), 0.0);
+        }
     }
 }

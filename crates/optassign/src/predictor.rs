@@ -324,7 +324,7 @@ mod tests {
                 assert_eq!(labels[d.id], cool, "dataset {} should be cool", d.id);
             }
         }
-        assert!(labels.iter().any(|&t| t == cool));
+        assert!(labels.contains(&cool));
     }
 
     #[test]
@@ -421,8 +421,8 @@ mod tests {
         let recency = TieringBaseline::HotIfAccessedWithin(2)
             .assign(&catalog, &w.catalog, &w.series, 10, hot, cool, hot)
             .unwrap();
-        assert!(recency.iter().any(|&t| t == cool));
-        assert!(recency.iter().any(|&t| t == hot));
+        assert!(recency.contains(&cool));
+        assert!(recency.contains(&hot));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! few months"). [`AccessSeries`] is that aggregation.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Read/write counts for one dataset in one month.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -24,7 +24,7 @@ pub struct MonthlyAccess {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AccessSeries {
     /// `counts[dataset_id][month]`.
-    counts: HashMap<usize, Vec<MonthlyAccess>>,
+    counts: BTreeMap<usize, Vec<MonthlyAccess>>,
     /// Number of months covered.
     months: u32,
 }
@@ -33,7 +33,7 @@ impl AccessSeries {
     /// Create an empty series covering `months` months.
     pub fn new(months: u32) -> Self {
         AccessSeries {
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             months,
         }
     }
@@ -89,7 +89,7 @@ impl AccessSeries {
     }
 
     /// Total reads per dataset over the whole horizon, as a map.
-    pub fn reads_per_dataset(&self) -> HashMap<usize, f64> {
+    pub fn reads_per_dataset(&self) -> BTreeMap<usize, f64> {
         self.counts
             .keys()
             .map(|&d| (d, self.total_reads(d, 0, self.months)))

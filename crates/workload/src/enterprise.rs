@@ -120,25 +120,45 @@ impl EnterpriseWorkload {
         // Per-dataset access scale: datasets are ranked by a random
         // permutation and the Zipf pmf of the rank fixes their share of the
         // lake's total read volume.
-        let total_reads_budget = options.n_datasets as f64 * 40.0;
+        let total_reads_budget = options.n_datasets as f64 * 4000.0;
         let mut ranks: Vec<usize> = (0..options.n_datasets).collect();
         for i in (1..ranks.len()).rev() {
             let j = rng.gen_range(0..=i);
             ranks.swap(i, j);
         }
 
+        // The long tail of the ranking receives no reads at all: Fig 1a shows
+        // the access share collapsing to ~0 beyond the first ~half of the
+        // datasets, and Fig 1b shows most data is never read again months
+        // after creation. Only the `active_ranks` head of the zipf ranking
+        // carries read volume; the tail is dormant cold data (the bytes the
+        // Cool/Archive tiers monetize in Table II).
+        let active_ranks = (options.n_datasets as f64 * 0.55).ceil() as usize;
+
         let mut datasets = Vec::with_capacity(options.n_datasets);
         for (idx, &rank) in ranks.iter().enumerate() {
-            // Log-uniform size in [min, max] GB.
+            // Total expected reads for this dataset over the horizon.
+            let volume = if rank < active_ranks {
+                total_reads_budget * zipf.pmf(rank)
+            } else {
+                0.0
+            };
+            // Log-uniform size, with the upper bound shrinking as the read
+            // volume grows: heavily-read datasets are curated analytics
+            // tables (GBs), while the bulk of an account's bytes sits in
+            // rarely-read raw data (up to max_size_gb). This size/heat
+            // anticorrelation is what makes storage dominate account cost
+            // and produces the large Table II benefits and the Fig 3 shape.
+            let size_cap_gb = (options.max_size_gb / (1.0 + volume / 5.0))
+                .max(options.min_size_gb);
             let log_min = options.min_size_gb.ln();
-            let log_max = options.max_size_gb.ln();
+            let log_max = size_cap_gb.ln();
             let size_gb = (log_min + rng.gen::<f64>() * (log_max - log_min)).exp();
             // Creation month spread over the history window (recency).
             let created_month = rng.gen_range(0..options.history_months.max(1));
-            // Total expected reads for this dataset over the horizon.
-            let volume = total_reads_budget * zipf.pmf(rank);
-            // Pattern mix: 45% decreasing, 20% constant, 15% periodic,
-            // 10% spike, 10% dormant.
+            // The zero-volume tail (the ~45% of ranks past `active_ranks`)
+            // is always dormant. Active datasets mix 45% decreasing,
+            // 20% constant, 15% periodic, 10% spike, 10% dormant.
             let roll: f64 = rng.gen();
             let pattern = if volume < 0.5 || roll < 0.10 {
                 AccessPattern::Dormant
@@ -155,7 +175,7 @@ impl EnterpriseWorkload {
                 AccessPattern::Periodic {
                     base: (volume / total_months as f64 * 0.3).max(0.1),
                     peak: volume * 0.3,
-                    period: *[6u32, 12].get(rng.gen_range(0..2)).expect("two options"),
+                    period: *[6u32, 12].get(rng.gen_range(0..2usize)).expect("two options"),
                 }
             } else {
                 AccessPattern::Spike {
@@ -275,7 +295,7 @@ mod tests {
         assert_eq!(w.projection_start(), 8);
         // Sizes must be within bounds and span a wide range.
         let sizes: Vec<f64> = w.catalog.iter().map(|d| d.size_gb).collect();
-        assert!(sizes.iter().all(|&s| s >= 1.0 && s <= 100_000.0));
+        assert!(sizes.iter().all(|&s| (1.0..=100_000.0).contains(&s)));
         let max = sizes.iter().cloned().fold(0.0, f64::max);
         let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min > 100.0, "size range too narrow: {min}..{max}");
@@ -313,6 +333,67 @@ mod tests {
         let young: f64 = by_age.iter().filter(|(a, _)| *a <= 2).map(|(_, s)| s).sum();
         let old: f64 = by_age.iter().filter(|(a, _)| *a >= 8).map(|(_, s)| s).sum();
         assert!(young > old, "young share {young} vs old share {old}");
+    }
+
+    #[test]
+    fn read_volume_supports_both_tiering_classes() {
+        // Regression test: the generator once produced so few reads that no
+        // dataset ever crossed the Hot/Cool break-even (~28 full-scan
+        // equivalents per month at the paper's Table XII prices), which
+        // collapsed the ideal tier labels to all-Cool and degenerated the
+        // Table III confusion matrix. The workload must sustain a real Hot
+        // class *and* a dormant tail that the Archive tier can monetize.
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        let start = w.projection_start();
+        let horizon = w.options.future_months;
+        let mut hot = 0usize;
+        let mut dormant = 0usize;
+        for d in w.catalog.iter() {
+            let mut scans = 0.0;
+            let mut reads = 0.0;
+            for m in start..start + horizon {
+                let acc = w.series.get(d.id, m);
+                scans += acc.reads * acc.read_fraction;
+                reads += acc.reads;
+            }
+            if scans / horizon as f64 > 28.0 {
+                hot += 1;
+            }
+            if reads == 0.0 {
+                dormant += 1;
+            }
+        }
+        let n = w.catalog.len();
+        assert!(hot * 10 >= n, "only {hot}/{n} datasets are hot enough");
+        assert!(dormant * 4 >= n, "only {dormant}/{n} datasets are dormant");
+    }
+
+    #[test]
+    fn bytes_concentrate_in_rarely_read_datasets() {
+        // Regression test for the size/heat anticorrelation: account bytes
+        // must be dominated by rarely-read data, otherwise storage savings
+        // cannot dominate account cost and the Table II "% cost benefit"
+        // numbers collapse to single digits.
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        let start = w.projection_start();
+        let horizon = w.options.future_months;
+        let mut hot_bytes = 0.0;
+        let mut total_bytes = 0.0;
+        for d in w.catalog.iter() {
+            let mut scans = 0.0;
+            for m in start..start + horizon {
+                let acc = w.series.get(d.id, m);
+                scans += acc.reads * acc.read_fraction;
+            }
+            total_bytes += d.size_gb;
+            if scans / horizon as f64 > 28.0 {
+                hot_bytes += d.size_gb;
+            }
+        }
+        assert!(
+            hot_bytes < total_bytes * 0.2,
+            "hot datasets hold {hot_bytes:.0} of {total_bytes:.0} GB"
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run every policy row of the paper's Tables IX-XI.
     println!(
-        "\n{:<42} {:>10} {:>9} {:>9} {:>10} {:>8}  {}",
-        "Policy", "Storage", "Read", "Decomp", "Total", "TTFB(s)", "Tiering"
+        "\n{:<42} {:>10} {:>9} {:>9} {:>10} {:>8}  Tiering",
+        "Policy", "Storage", "Read", "Decomp", "Total", "TTFB(s)"
     );
     for outcome in run_all_policies(&inputs)? {
         println!(

@@ -12,8 +12,8 @@ use scope_datapart::{gpart_merge, merge_all, metrics, no_merge, MergeConfig, Par
 fn print_table(label: &str, inputs: &PipelineInputs) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== {label} ===");
     println!(
-        "{:<42} {:>10} {:>9} {:>9} {:>10}  {}",
-        "Policy", "Storage", "Read", "Decomp", "Total", "Tiering [P,H,C]"
+        "{:<42} {:>10} {:>9} {:>9} {:>10}  Tiering [P,H,C]",
+        "Policy", "Storage", "Read", "Decomp", "Total"
     );
     for o in run_all_policies(inputs)? {
         println!(

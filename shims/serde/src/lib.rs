@@ -1,0 +1,17 @@
+//! Offline shim of the `serde` facade. The workspace derives
+//! `Serialize`/`Deserialize` on its data types as a statement of intent but
+//! never serializes anything yet (there is no `serde_json` in the allowed
+//! dependency set). The traits here are markers implemented for every type,
+//! and the re-exported derives are no-ops, so `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` both compile
+//! without pulling in the real serde machinery.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; every type satisfies it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; every type satisfies it.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

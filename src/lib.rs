@@ -1,0 +1,16 @@
+//! # scope
+//!
+//! Umbrella crate for the SCOPe reproduction ("Towards Optimizing Storage
+//! Costs on the Cloud", ICDE 2023). It re-exports the workspace crates so
+//! downstream users can depend on a single package, and it owns the
+//! workspace-level integration tests (`tests/`) and examples (`examples/`).
+
+pub use scope_cloudsim as cloudsim;
+pub use scope_compredict as compredict;
+pub use scope_compress as compress;
+pub use scope_core as core;
+pub use scope_datapart as datapart;
+pub use scope_learn as learn;
+pub use scope_optassign as optassign;
+pub use scope_table as table;
+pub use scope_workload as workload;
