@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate for the SCOPe workspace. Run from the repo root.
 #
-#   ./ci.sh          # build + test + clippy (the tier-1 verify plus lints)
+#   ./ci.sh          # fmt + build + test + clippy (the tier-1 verify plus lints)
 #   ./ci.sh --quick  # skip the release build (debug test cycle only)
 #
 # Everything runs fully offline: the only non-std dependencies are the
@@ -14,6 +14,9 @@ quick=0
 if [[ "${1:-}" == "--quick" ]]; then
     quick=1
 fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 if [[ $quick -eq 0 ]]; then

@@ -42,7 +42,9 @@ fn bench_gpart(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("families", initial.len()),
             &initial,
-            |b, initial| b.iter(|| gpart_merge(initial, &catalog, &MergeConfig::default()).unwrap()),
+            |b, initial| {
+                b.iter(|| gpart_merge(initial, &catalog, &MergeConfig::default()).unwrap())
+            },
         );
     }
     group.finish();
@@ -53,7 +55,9 @@ fn bench_ordered_dp(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[20usize, 60] {
         let partitions: Vec<OrderedPartition> = (0..n)
-            .map(|i| OrderedPartition::new(i as f64 * 3.0, i as f64 * 3.0 + 8.0, 1.0 + (i % 4) as f64))
+            .map(|i| {
+                OrderedPartition::new(i as f64 * 3.0, i as f64 * 3.0 + 8.0, 1.0 + (i % 4) as f64)
+            })
             .collect();
         let min_cost: f64 = partitions.iter().map(|p| p.span() * p.frequency).sum();
         group.bench_with_input(BenchmarkId::from_parameter(n), &partitions, |b, parts| {

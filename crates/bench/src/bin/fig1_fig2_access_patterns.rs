@@ -18,22 +18,51 @@ fn main() {
     heading("Fig 1a — % of read accesses vs dataset rank (sorted)");
     let shares = workload.series.access_share_sorted();
     for (rank, share) in shares.iter().enumerate().take(20) {
-        println!("rank {:>3}: {:>6.2}% {}", rank + 1, share, "#".repeat((share * 2.0) as usize));
+        println!(
+            "rank {:>3}: {:>6.2}% {}",
+            rank + 1,
+            share,
+            "#".repeat((share * 2.0) as usize)
+        );
     }
     let top10: f64 = shares.iter().take(shares.len() / 10).sum();
     println!("top 10% of datasets receive {top10:.1}% of all reads");
 
     heading("Fig 1b — % of accesses vs months since dataset creation");
     for (age, share) in workload.access_share_by_age() {
-        println!("age {:>2} months: {:>6.2}% {}", age, share, "#".repeat((share * 2.0) as usize));
+        println!(
+            "age {:>2} months: {:>6.2}% {}",
+            age,
+            share,
+            "#".repeat((share * 2.0) as usize)
+        );
     }
 
     heading("Fig 2 — representative access trends (expected reads per month)");
     let examples = [
-        ("decreasing", AccessPattern::Decreasing { initial: 100.0, decay: 0.6 }),
+        (
+            "decreasing",
+            AccessPattern::Decreasing {
+                initial: 100.0,
+                decay: 0.6,
+            },
+        ),
         ("constant", AccessPattern::Constant { rate: 20.0 }),
-        ("periodic", AccessPattern::Periodic { base: 5.0, peak: 60.0, period: 6 }),
-        ("spike", AccessPattern::Spike { month: 1, magnitude: 150.0 }),
+        (
+            "periodic",
+            AccessPattern::Periodic {
+                base: 5.0,
+                peak: 60.0,
+                period: 6,
+            },
+        ),
+        (
+            "spike",
+            AccessPattern::Spike {
+                month: 1,
+                magnitude: 150.0,
+            },
+        ),
     ];
     print!("{:<12}", "month");
     for m in 0..12 {
@@ -52,7 +81,11 @@ fn main() {
         let writes: f64 = workload
             .catalog
             .iter()
-            .map(|d| d.age_at(m).map(|a| d.pattern.expected_writes(a)).unwrap_or(0.0))
+            .map(|d| {
+                d.age_at(m)
+                    .map(|a| d.pattern.expected_writes(a))
+                    .unwrap_or(0.0)
+            })
             .sum();
         print!("{writes:>7.0}");
     }

@@ -41,13 +41,24 @@ fn main() {
     let mut random_tables = random_samples(&lineitem, query_tables.len() / 2, 300, 5).unwrap();
     random_tables.extend(random_samples(&orders, query_tables.len() / 2, 150, 6).unwrap());
 
-    let query_examples =
-        build_examples(&query_tables, CompressionScheme::Gzip, DataLayout::Csv, &entropy_extractor);
-    let random_examples =
-        build_examples(&random_tables, CompressionScheme::Gzip, DataLayout::Csv, &entropy_extractor);
+    let query_examples = build_examples(
+        &query_tables,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &entropy_extractor,
+    );
+    let random_examples = build_examples(
+        &random_tables,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &entropy_extractor,
+    );
 
     heading("Fig 4 — gzip compression ratio vs size and vs weighted entropy");
-    println!("{:<16} {:>12} {:>16} {:>10}", "sample kind", "bytes", "text entropy", "ratio");
+    println!(
+        "{:<16} {:>12} {:>16} {:>10}",
+        "sample kind", "bytes", "text entropy", "ratio"
+    );
     for (kind, examples) in [("query", &query_examples), ("random", &random_examples)] {
         for e in examples.iter().take(8) {
             // feature layout: [rows, approx_bytes, H_int, H_float, H_object, H_date]
@@ -73,11 +84,25 @@ fn main() {
     );
     let split = query_examples.len() * 3 / 4;
     let (train_q, test_q) = query_examples.split_at(split.max(4));
-    let size_query_examples =
-        build_examples(&query_tables, CompressionScheme::Gzip, DataLayout::Csv, &size_extractor);
+    let size_query_examples = build_examples(
+        &query_tables,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &size_extractor,
+    );
     let (train_q_size, _) = size_query_examples.split_at(split.max(4));
-    let cases: Vec<(&str, &str, &[scope_compredict::TrainingExample], FeatureExtractor)> = vec![
-        ("Random samples", "Weighted entropy", &random_examples, entropy_extractor),
+    let cases: Vec<(
+        &str,
+        &str,
+        &[scope_compredict::TrainingExample],
+        FeatureExtractor,
+    )> = vec![
+        (
+            "Random samples",
+            "Weighted entropy",
+            &random_examples,
+            entropy_extractor,
+        ),
         ("Queries", "Size", train_q_size, size_extractor),
         ("Queries", "Weighted entropy", train_q, entropy_extractor),
     ];

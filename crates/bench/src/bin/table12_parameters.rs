@@ -9,7 +9,11 @@ fn main() {
     let catalog = TierCatalog::azure_adls_gen2();
     println!(
         "{:<10} {:>22} {:>18} {:>22} {:>18}",
-        "Tier", "Storage (c/GB/month)", "Read (c/GB)", "Time to first byte (s)", "Early deletion (d)"
+        "Tier",
+        "Storage (c/GB/month)",
+        "Read (c/GB)",
+        "Time to first byte (s)",
+        "Early deletion (d)"
     );
     for (_, tier) in catalog.iter() {
         println!(
@@ -23,6 +27,9 @@ fn main() {
     }
 
     heading("Table XII — ILP parameters for the TPC-H pipeline experiments");
-    println!("compute cost C^c = {} cents/second", catalog.compute_cost_cents_per_second);
+    println!(
+        "compute cost C^c = {} cents/second",
+        catalog.compute_cost_cents_per_second
+    );
     println!("capacity fractions used by 'SCOPe (Total cost focused)': premium 0.163, hot 0.326, cool 0.4891 of the data volume");
 }

@@ -14,14 +14,49 @@ fn main() {
         ..Default::default()
     };
     let accounts = vec![
-        ("Customer A".to_string(), EnterpriseOptions { n_datasets: 400, max_size_gb: 80_000.0, seed: 1, ..base.clone() }),
-        ("Customer B".to_string(), EnterpriseOptions { n_datasets: 300, max_size_gb: 70_000.0, seed: 2, ..base.clone() }),
-        ("Customer C".to_string(), EnterpriseOptions { n_datasets: 120, max_size_gb: 20_000.0, seed: 3, ..base.clone() }),
-        ("Customer D".to_string(), EnterpriseOptions { n_datasets: 150, max_size_gb: 25_000.0, seed: 4, ..base.clone() }),
+        (
+            "Customer A".to_string(),
+            EnterpriseOptions {
+                n_datasets: 400,
+                max_size_gb: 80_000.0,
+                seed: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "Customer B".to_string(),
+            EnterpriseOptions {
+                n_datasets: 300,
+                max_size_gb: 70_000.0,
+                seed: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "Customer C".to_string(),
+            EnterpriseOptions {
+                n_datasets: 120,
+                max_size_gb: 20_000.0,
+                seed: 3,
+                ..base.clone()
+            },
+        ),
+        (
+            "Customer D".to_string(),
+            EnterpriseOptions {
+                n_datasets: 150,
+                max_size_gb: 25_000.0,
+                seed: 4,
+                ..base.clone()
+            },
+        ),
     ];
 
     heading("Table II — % cost benefit vs all-hot platform baseline");
-    println!("{:<12} {:>16} {:>12} {:>12}", "Customer", "Total size (PB)", "2 months", "6 months");
+    println!(
+        "{:<12} {:>16} {:>12} {:>12}",
+        "Customer", "Total size (PB)", "2 months", "6 months"
+    );
     for row in customer_benefit_table(&accounts).expect("table II computes") {
         println!(
             "{:<12} {:>16.4} {:>12.2} {:>12.2}",
@@ -30,9 +65,13 @@ fn main() {
     }
 
     heading("Fig 3 — per-dataset % benefit for the 6-month projection (one account)");
-    let points = benefit_scatter(&EnterpriseOptions { seed: 1, ..base }, 6).expect("scatter computes");
+    let points =
+        benefit_scatter(&EnterpriseOptions { seed: 1, ..base }, 6).expect("scatter computes");
     // Bucket by size and by reads to summarise the scatter in text form.
-    println!("{:<28} {:>10} {:>14}", "size bucket (GB)", "#datasets", "mean benefit %");
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "size bucket (GB)", "#datasets", "mean benefit %"
+    );
     for (lo, hi) in [(0.0, 10.0), (10.0, 100.0), (100.0, 1000.0), (1000.0, 1e9)] {
         let in_bucket: Vec<&(f64, f64, f64)> =
             points.iter().filter(|p| p.0 >= lo && p.0 < hi).collect();
@@ -40,9 +79,17 @@ fn main() {
             continue;
         }
         let mean = in_bucket.iter().map(|p| p.2).sum::<f64>() / in_bucket.len() as f64;
-        println!("{:<28} {:>10} {:>14.2}", format!("[{lo:.0}, {hi:.0})"), in_bucket.len(), mean);
+        println!(
+            "{:<28} {:>10} {:>14.2}",
+            format!("[{lo:.0}, {hi:.0})"),
+            in_bucket.len(),
+            mean
+        );
     }
-    println!("{:<28} {:>10} {:>14}", "reads bucket (6 months)", "#datasets", "mean benefit %");
+    println!(
+        "{:<28} {:>10} {:>14}",
+        "reads bucket (6 months)", "#datasets", "mean benefit %"
+    );
     for (lo, hi) in [(0.0, 1.0), (1.0, 10.0), (10.0, 100.0), (100.0, 1e9)] {
         let in_bucket: Vec<&(f64, f64, f64)> =
             points.iter().filter(|p| p.1 >= lo && p.1 < hi).collect();
@@ -50,6 +97,11 @@ fn main() {
             continue;
         }
         let mean = in_bucket.iter().map(|p| p.2).sum::<f64>() / in_bucket.len() as f64;
-        println!("{:<28} {:>10} {:>14.2}", format!("[{lo:.0}, {hi:.0})"), in_bucket.len(), mean);
+        println!(
+            "{:<28} {:>10} {:>14.2}",
+            format!("[{lo:.0}, {hi:.0})"),
+            in_bucket.len(),
+            mean
+        );
     }
 }

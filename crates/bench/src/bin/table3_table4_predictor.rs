@@ -19,8 +19,14 @@ fn main() {
     heading("Table III — predicted vs ideal tier (2-month horizon)");
     let cm = predictor_confusion(&account, 2).expect("predictor trains");
     println!("{:>18} {:>8} {:>8}", "", "Pred Hot", "Pred Cool");
-    println!("{:>18} {:>8} {:>8}", "Ideal Hot", cm.counts[0][0], cm.counts[0][1]);
-    println!("{:>18} {:>8} {:>8}", "Ideal Cool", cm.counts[1][0], cm.counts[1][1]);
+    println!(
+        "{:>18} {:>8} {:>8}",
+        "Ideal Hot", cm.counts[0][0], cm.counts[0][1]
+    );
+    println!(
+        "{:>18} {:>8} {:>8}",
+        "Ideal Cool", cm.counts[1][0], cm.counts[1][1]
+    );
     println!(
         "accuracy {:.3}  |  Hot: precision {:.3} recall {:.3} F1 {:.3}  |  Cool: precision {:.3} recall {:.3} F1 {:.3}",
         cm.accuracy(),
@@ -29,7 +35,10 @@ fn main() {
     );
 
     heading("Table IV — tiering models vs the all-hot baseline (same account)");
-    println!("{:<44} {:>12} {:>9} {:>11}", "Model", "Access info", "Months", "Benefit %");
+    println!(
+        "{:<44} {:>12} {:>9} {:>11}",
+        "Model", "Access info", "Months", "Benefit %"
+    );
     for row in tiering_baseline_comparison(&account).expect("comparison runs") {
         println!(
             "{:<44} {:>12} {:>9} {:>11.2}",

@@ -50,7 +50,11 @@ fn sweep(
     let examples: Vec<TrainingExample> = build_examples(tables, scheme, layout, &extractor);
     let split = examples.len() * 3 / 4;
     let (train, test) = examples.split_at(split.max(4));
-    println!("\n  [{label}] scheme = {}, layout = {}", scheme.name(), layout.name());
+    println!(
+        "\n  [{label}] scheme = {}, layout = {}",
+        scheme.name(),
+        layout.name()
+    );
     println!("  {:<16} {:>8} {:>9} {:>8}", "model", "MAE", "MAPE %", "R2");
     for kind in ModelKind::all() {
         match CompressionPredictor::train(train, task, kind, extractor, 3) {
@@ -79,20 +83,74 @@ fn main() {
         (CompressionScheme::Snappy, DataLayout::Columnar),
         (CompressionScheme::Lz4, DataLayout::Columnar),
     ] {
-        sweep("TPC-H 1GB", &small, scheme, layout, PredictionTask::CompressionRatio);
+        sweep(
+            "TPC-H 1GB",
+            &small,
+            scheme,
+            layout,
+            PredictionTask::CompressionRatio,
+        );
     }
 
     heading("Table VII — compression-ratio prediction at larger scale and with Zipf skew");
     let large = samples(0.6, None, 11);
-    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::CompressionRatio);
-    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::CompressionRatio);
+    sweep(
+        "TPC-H 100GB-class",
+        &large,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        PredictionTask::CompressionRatio,
+    );
+    sweep(
+        "TPC-H 100GB-class",
+        &large,
+        CompressionScheme::Gzip,
+        DataLayout::Columnar,
+        PredictionTask::CompressionRatio,
+    );
     let skewed = samples(0.25, Some(3.0), 13);
-    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::CompressionRatio);
-    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::CompressionRatio);
+    sweep(
+        "TPC-H Skew",
+        &skewed,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        PredictionTask::CompressionRatio,
+    );
+    sweep(
+        "TPC-H Skew",
+        &skewed,
+        CompressionScheme::Gzip,
+        DataLayout::Columnar,
+        PredictionTask::CompressionRatio,
+    );
 
     heading("Table VIII — decompression speed (sec/GB) prediction");
-    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::DecompressionSpeed);
-    sweep("TPC-H 100GB-class", &large, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::DecompressionSpeed);
-    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Csv, PredictionTask::DecompressionSpeed);
-    sweep("TPC-H Skew", &skewed, CompressionScheme::Gzip, DataLayout::Columnar, PredictionTask::DecompressionSpeed);
+    sweep(
+        "TPC-H 100GB-class",
+        &large,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        PredictionTask::DecompressionSpeed,
+    );
+    sweep(
+        "TPC-H 100GB-class",
+        &large,
+        CompressionScheme::Gzip,
+        DataLayout::Columnar,
+        PredictionTask::DecompressionSpeed,
+    );
+    sweep(
+        "TPC-H Skew",
+        &skewed,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        PredictionTask::DecompressionSpeed,
+    );
+    sweep(
+        "TPC-H Skew",
+        &skewed,
+        CompressionScheme::Gzip,
+        DataLayout::Columnar,
+        PredictionTask::DecompressionSpeed,
+    );
 }

@@ -1,17 +1,26 @@
 //! Billing simulator: replays an access trace against a tier placement and
-//! accrues the real monthly costs the cloud provider would charge.
+//! accrues the real costs the cloud provider would charge.
 //!
 //! The optimizer works with *projected* accesses; the billing simulator is
 //! what we use to evaluate a placement against the accesses that actually
 //! happen, exactly as the paper computes "% cost benefit compared to the
-//! platform baseline" for Tables II and IV. It also charges early-deletion
-//! penalties when an object is moved off a tier before the tier's minimum
-//! residency period, one of the reasons the paper recommends per-billing-
-//! period (not ad-hoc) tier changes.
+//! platform baseline" for Tables II and IV.
+//!
+//! The engine is **day-granular** ([`BillingSimulator::run_days`]): objects
+//! follow a [`PlacementSchedule`] that may change tier mid-horizon, storage
+//! is pro-rated by the days actually spent on each tier, tier changes are
+//! charged in the billing period they occur, and moving an object off a
+//! tier before its minimum residency period is billed for exactly the days
+//! of unmet residency (how Azure bills early deletion from Cool/Archive,
+//! and one of the reasons the paper recommends per-billing-period tier
+//! changes). [`BillingSimulator::run`] is the month-aligned compatibility
+//! path: it lifts a legacy monthly trace onto the day axis and produces
+//! totals identical to the historical whole-month replay.
 
 use crate::cost::{CostBreakdown, CostModel, ObjectSpec};
 use crate::error::CloudSimError;
 use crate::tiers::{TierCatalog, TierId};
+use crate::timeline::{events_from_monthly, BillingEvent, PlacementSchedule, DAYS_PER_MONTH};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -81,10 +90,16 @@ impl MonthlyCost {
 /// Result of a billing simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BillingReport {
-    /// Per-month costs, indexed by month.
+    /// Per-billing-period costs, indexed by period (a period is a
+    /// [`DAYS_PER_MONTH`]-day "month"; the last period of a day-granular
+    /// run may be partial).
     pub months: Vec<MonthlyCost>,
     /// Per-object totals in cents.
     pub per_object: HashMap<String, f64>,
+    /// Number of access events that fell at or beyond the billed horizon
+    /// and were therefore not charged. A non-zero value signals a
+    /// trace/horizon mismatch.
+    pub dropped_events: u64,
 }
 
 impl BillingReport {
@@ -115,7 +130,7 @@ impl BillingReport {
 }
 
 /// A placement decision for one object over the billed horizon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
     /// Tier the object is stored on for the horizon.
     pub tier: TierId,
@@ -136,12 +151,13 @@ impl Placement {
     }
 }
 
-/// Replays accesses against placements and accrues monthly costs.
+/// Replays accesses against placement schedules and accrues per-period
+/// costs on a day-granular time axis.
 #[derive(Debug, Clone)]
 pub struct BillingSimulator {
     model: CostModel,
     objects: Vec<ObjectSpec>,
-    placements: HashMap<String, Placement>,
+    schedules: HashMap<String, PlacementSchedule>,
 }
 
 impl BillingSimulator {
@@ -150,16 +166,28 @@ impl BillingSimulator {
         BillingSimulator {
             model: CostModel::new(catalog),
             objects: Vec::new(),
-            placements: HashMap::new(),
+            schedules: HashMap::new(),
         }
     }
 
-    /// Register an object and its placement for the horizon.
+    /// Register an object with a placement frozen for the whole horizon.
     pub fn place(&mut self, obj: ObjectSpec, placement: Placement) -> Result<(), CloudSimError> {
+        self.place_scheduled(obj, PlacementSchedule::constant(placement))
+    }
+
+    /// Register an object with a full placement schedule (mid-horizon tier
+    /// transitions allowed).
+    pub fn place_scheduled(
+        &mut self,
+        obj: ObjectSpec,
+        schedule: PlacementSchedule,
+    ) -> Result<(), CloudSimError> {
         obj.validate()?;
-        // Validate the tier exists in the catalog.
-        self.model.catalog().tier(placement.tier)?;
-        self.placements.insert(obj.name.clone(), placement);
+        // Validate every tier the schedule ever uses exists in the catalog.
+        for placement in schedule.placements() {
+            self.model.catalog().tier(placement.tier)?;
+        }
+        self.schedules.insert(obj.name.clone(), schedule);
         self.objects.push(obj);
         Ok(())
     }
@@ -169,16 +197,12 @@ impl BillingSimulator {
         self.objects.len()
     }
 
-    /// Run the simulation over `horizon_months` months with the given access
-    /// trace. Storage is charged for every month of the horizon; the tier
-    /// change (write) cost of moving each object from its `current_tier` to
-    /// its placement tier is charged in month 0; reads and writes are
-    /// charged in the month they occur.
-    ///
-    /// If an object's current tier has an early-deletion period and the
-    /// object is moved away in month 0, the remaining months of the minimum
-    /// residency are charged as a penalty at the old tier's storage rate
-    /// (this is how Azure bills early deletion from Cool/Archive).
+    /// Month-aligned compatibility path: run the simulation over
+    /// `horizon_months` whole billing periods with a monthly aggregated
+    /// trace. Events of month `m` are lifted to day `m * 30` (same billing
+    /// period) and the day-granular engine does the rest; for constant
+    /// schedules the resulting totals are identical to the historical
+    /// whole-month replay.
     pub fn run(
         &self,
         horizon_months: u32,
@@ -190,7 +214,46 @@ impl BillingSimulator {
                 value: 0.0,
             });
         }
-        let mut months: Vec<MonthlyCost> = (0..horizon_months)
+        let events = events_from_monthly(accesses);
+        self.run_days(horizon_months * DAYS_PER_MONTH, &events)
+    }
+
+    /// Run the day-granular engine over `horizon_days` days with a
+    /// day-stamped access trace.
+    ///
+    /// The engine streams over each object's schedule segments and the
+    /// event trace:
+    ///
+    /// * **Storage** is pro-rated: each constant-placement segment charges
+    ///   `rate * stored_gb * days / 30` into every billing period it
+    ///   overlaps.
+    /// * **Tier changes** (including the initial move off
+    ///   [`ObjectSpec::current_tier`] at day 0) are charged in the period
+    ///   the transition day falls in.
+    /// * **Early deletion** is exact to the day: moving an object off a
+    ///   tier with a minimum residency period charges the *unmet* days —
+    ///   the residency period minus the days actually served on that tier
+    ///   (pre-horizon days count via [`ObjectSpec::residency_days`]) — at
+    ///   the old tier's storage rate, in the period of the move.
+    /// * **Reads/writes** are billed against the placement in force on
+    ///   their day, into their day's billing period.
+    ///
+    /// Events at or beyond `horizon_days` are not charged but counted in
+    /// [`BillingReport::dropped_events`]; events naming unknown objects are
+    /// ignored, as before.
+    pub fn run_days(
+        &self,
+        horizon_days: u32,
+        events: &[BillingEvent],
+    ) -> Result<BillingReport, CloudSimError> {
+        if horizon_days == 0 {
+            return Err(CloudSimError::InvalidParameter {
+                name: "horizon_days",
+                value: 0.0,
+            });
+        }
+        let n_periods = horizon_days.div_ceil(DAYS_PER_MONTH);
+        let mut months: Vec<MonthlyCost> = (0..n_periods)
             .map(|m| MonthlyCost {
                 month: m,
                 ..Default::default()
@@ -198,51 +261,93 @@ impl BillingSimulator {
             .collect();
         let mut per_object: HashMap<String, f64> = HashMap::with_capacity(self.objects.len());
 
-        // Storage + migration costs.
+        // Storage + transition + residency-penalty costs, per object, by
+        // streaming over its constant-placement segments.
         for obj in &self.objects {
-            let placement = &self.placements[&obj.name];
-            let stored_gb = obj.size_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
+            let schedule = &self.schedules[&obj.name];
             let mut obj_total = 0.0;
+            // Where the object is coming from and how long it has been
+            // there: seeds the early-deletion accounting of the first (and
+            // every later) transition.
+            let mut prev_tier = obj.current_tier;
+            let mut prev_days_served = obj.residency_days;
+            let mut prev_stored_gb = obj.size_gb;
+            for seg in schedule.segments(horizon_days) {
+                let stored_gb =
+                    obj.size_gb / seg.placement.compression_ratio.max(f64::MIN_POSITIVE);
 
-            // Monthly storage.
-            for m in months.iter_mut() {
-                let c = self.model.storage_cost(placement.tier, stored_gb, 1.0);
-                m.breakdown.storage += c;
-                obj_total += c;
-            }
+                // Pro-rated storage in every billing period the segment
+                // overlaps.
+                for p in seg.start_day / DAYS_PER_MONTH..=(seg.end_day - 1) / DAYS_PER_MONTH {
+                    let period_start = p * DAYS_PER_MONTH;
+                    let days = seg.end_day.min(period_start + DAYS_PER_MONTH)
+                        - seg.start_day.max(period_start);
+                    let c = self.model.storage_cost(
+                        seg.placement.tier,
+                        stored_gb,
+                        days as f64 / DAYS_PER_MONTH as f64,
+                    );
+                    months[p as usize].breakdown.storage += c;
+                    obj_total += c;
+                }
 
-            // One-time migration / ingest write in month 0.
-            let change = self
-                .model
-                .tier_change_cost(obj.current_tier, placement.tier, stored_gb);
-            months[0].breakdown.write += change;
-            obj_total += change;
+                // The move onto this segment's placement, charged in the
+                // period the transition day falls in. A same-tier
+                // recompression is still a physical rewrite: it pays a read
+                // of the old bytes plus a write of the new ones. (The
+                // initial segment on the object's current tier charges
+                // nothing, as before: the pre-horizon compression state is
+                // unknown.)
+                let period = (seg.start_day / DAYS_PER_MONTH) as usize;
+                let change = if prev_tier != Some(seg.placement.tier) {
+                    self.model
+                        .tier_change_cost(prev_tier, seg.placement.tier, stored_gb)
+                } else if seg.start_day > 0 && stored_gb != prev_stored_gb {
+                    self.model
+                        .read_cost(seg.placement.tier, prev_stored_gb, 1.0)
+                        + self.model.write_cost(seg.placement.tier, stored_gb)
+                } else {
+                    0.0
+                };
+                months[period].breakdown.write += change;
+                obj_total += change;
 
-            // Early deletion penalty if moved off a tier with a minimum
-            // residency period.
-            if let Some(from) = obj.current_tier {
-                if from != placement.tier {
-                    let from_tier = self.model.catalog().tier(from)?;
-                    if from_tier.early_deletion_days > 0 {
-                        let remaining_months = from_tier.early_deletion_days as f64 / 30.0;
-                        let penalty = from_tier.storage_cost_cents_per_gb_month
-                            * obj.size_gb
-                            * remaining_months;
-                        months[0].early_deletion_penalty += penalty;
+                // Early-deletion penalty, pro-rated by the days already
+                // served on the tier being left.
+                if let Some(from) = prev_tier {
+                    if from != seg.placement.tier {
+                        let penalty = self.model.early_deletion_penalty(
+                            from,
+                            prev_stored_gb,
+                            prev_days_served,
+                        )?;
+                        months[period].early_deletion_penalty += penalty;
                         obj_total += penalty;
                     }
                 }
-            }
 
+                // Residency accumulates across consecutive segments on the
+                // same tier (e.g. a recompression that stays put).
+                if prev_tier == Some(seg.placement.tier) {
+                    prev_days_served += seg.days();
+                } else {
+                    prev_days_served = seg.days();
+                }
+                prev_tier = Some(seg.placement.tier);
+                prev_stored_gb = stored_gb;
+            }
             per_object.insert(obj.name.clone(), obj_total);
         }
 
-        // Access costs.
-        for ev in accesses {
-            if ev.month >= horizon_months {
-                continue; // outside the billed horizon
+        // Access costs, streamed in trace order against the placement in
+        // force on each event's day.
+        let mut dropped_events: u64 = 0;
+        for ev in events {
+            if ev.day >= horizon_days {
+                dropped_events += 1; // outside the billed horizon
+                continue;
             }
-            let Some(placement) = self.placements.get(&ev.object) else {
+            let Some(schedule) = self.schedules.get(&ev.object) else {
                 continue; // accesses to unknown objects are ignored
             };
             if !ev.volume_gb.is_finite() || ev.volume_gb < 0.0 {
@@ -251,8 +356,9 @@ impl BillingSimulator {
                     value: ev.volume_gb,
                 });
             }
+            let placement = schedule.placement_at(ev.day);
             let effective_gb = ev.volume_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
-            let m = &mut months[ev.month as usize];
+            let m = &mut months[(ev.day / DAYS_PER_MONTH) as usize];
             let cost = match ev.kind {
                 AccessKind::Read => {
                     let read = self.model.read_cost(placement.tier, effective_gb, 1.0);
@@ -272,7 +378,11 @@ impl BillingSimulator {
             *per_object.entry(ev.object.clone()).or_insert(0.0) += cost;
         }
 
-        Ok(BillingReport { months, per_object })
+        Ok(BillingReport {
+            months,
+            per_object,
+            dropped_events,
+        })
     }
 }
 
@@ -307,7 +417,10 @@ mod tests {
         let cool = s.model.catalog().tier_id("Cool").unwrap();
         s.place(ObjectSpec::new("a", 10.0), Placement::uncompressed(cool))
             .unwrap();
-        let trace = vec![AccessEvent::read("a", 2, 10.0), AccessEvent::read("a", 2, 10.0)];
+        let trace = vec![
+            AccessEvent::read("a", 2, 10.0),
+            AccessEvent::read("a", 2, 10.0),
+        ];
         let report = s.run(4, &trace).unwrap();
         assert_eq!(report.months[0].breakdown.read, 0.0);
         assert!((report.months[2].breakdown.read - 2.0 * 10.0 * 0.0333).abs() < 1e-9);
@@ -423,5 +536,240 @@ mod tests {
         let trace = vec![AccessEvent::write("a", 1, 5.0)];
         let report = s.run(2, &trace).unwrap();
         assert!(report.months[1].breakdown.write > 0.0);
+    }
+
+    #[test]
+    fn early_deletion_penalty_is_prorated_by_days_already_served() {
+        // Regression test: the penalty once charged the *full* minimum
+        // residency window no matter how long the object had already sat on
+        // the source tier. An object 20 days into Cool's 30-day window owes
+        // only the 10 unmet days.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        s.place(
+            ObjectSpec::new("a", 100.0)
+                .on_tier(cool)
+                .with_residency_days(20),
+            Placement::uncompressed(hot),
+        )
+        .unwrap();
+        let report = s.run(2, &[]).unwrap();
+        let expected = 1.52 * 100.0 * (10.0 / 30.0);
+        assert!((report.months[0].early_deletion_penalty - expected).abs() < 1e-9);
+        // Residency at or beyond the window: no penalty at all.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let mut s = BillingSimulator::new(catalog);
+        s.place(
+            ObjectSpec::new("a", 100.0)
+                .on_tier(cool)
+                .with_residency_days(30),
+            Placement::uncompressed(hot),
+        )
+        .unwrap();
+        let report = s.run(2, &[]).unwrap();
+        assert_eq!(report.months[0].early_deletion_penalty, 0.0);
+    }
+
+    #[test]
+    fn dropped_events_are_counted() {
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        s.place(ObjectSpec::new("a", 1.0), Placement::uncompressed(hot))
+            .unwrap();
+        let trace = vec![
+            AccessEvent::read("a", 0, 1.0),
+            AccessEvent::read("a", 5, 1.0),
+            AccessEvent::write("a", 7, 1.0),
+            AccessEvent::read("nonexistent", 0, 1.0), // unknown, not "dropped"
+        ];
+        let report = s.run(2, &trace).unwrap();
+        assert_eq!(report.dropped_events, 2);
+        let clean = s.run(8, &trace).unwrap();
+        assert_eq!(clean.dropped_events, 0);
+    }
+
+    #[test]
+    fn mid_horizon_transition_prorates_storage_by_days() {
+        // Hot for the first 45 days, Cool for the remaining 45 of a 90-day
+        // horizon: period 0 is all-Hot, period 1 is half/half, period 2 is
+        // all-Cool.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(hot))
+            .with_transition(45, Placement::uncompressed(cool));
+        s.place_scheduled(ObjectSpec::new("a", 10.0).on_tier(hot), schedule)
+            .unwrap();
+        let report = s.run_days(90, &[]).unwrap();
+        assert_eq!(report.months.len(), 3);
+        let hot_month = 10.0 * 2.08;
+        let cool_month = 10.0 * 1.52;
+        assert!((report.months[0].breakdown.storage - hot_month).abs() < 1e-9);
+        assert!(
+            (report.months[1].breakdown.storage - (hot_month * 0.5 + cool_month * 0.5)).abs()
+                < 1e-9
+        );
+        assert!((report.months[2].breakdown.storage - cool_month).abs() < 1e-9);
+        // The Hot→Cool move (a read + a write) lands in period 1.
+        assert_eq!(report.months[0].breakdown.write, 0.0);
+        assert!(report.months[1].breakdown.write > 0.0);
+        assert_eq!(report.months[2].breakdown.write, 0.0);
+    }
+
+    #[test]
+    fn mid_horizon_departure_charges_exact_unmet_residency_days() {
+        // Onto Cool (30-day minimum residency) at day 0, away at day 12:
+        // the penalty is exactly the 18 unmet days at Cool's storage rate,
+        // booked in the period of the move.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(cool))
+            .with_transition(12, Placement::uncompressed(hot));
+        s.place_scheduled(ObjectSpec::new("a", 100.0), schedule)
+            .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        let expected = 1.52 * 100.0 * (18.0 / 30.0);
+        assert!((report.months[0].early_deletion_penalty - expected).abs() < 1e-9);
+        // Departing only after the residency window is met costs nothing.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(cool))
+            .with_transition(30, Placement::uncompressed(hot));
+        s.place_scheduled(ObjectSpec::new("a", 100.0), schedule)
+            .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        assert_eq!(report.months[0].early_deletion_penalty, 0.0);
+        assert_eq!(report.months[1].early_deletion_penalty, 0.0);
+    }
+
+    #[test]
+    fn residency_accumulates_across_same_tier_segments() {
+        // A recompression at day 20 stays on Cool; the later departure at
+        // day 40 has already served the full 30-day window across both
+        // segments, so no penalty is due.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(cool))
+            .with_transition(
+                20,
+                Placement {
+                    tier: cool,
+                    compression_ratio: 2.0,
+                    decompression_seconds: 0.5,
+                },
+            )
+            .with_transition(40, Placement::uncompressed(hot));
+        s.place_scheduled(ObjectSpec::new("a", 100.0), schedule)
+            .unwrap();
+        let report = s.run_days(90, &[]).unwrap();
+        for m in &report.months {
+            assert_eq!(m.early_deletion_penalty, 0.0, "month {}", m.month);
+        }
+    }
+
+    #[test]
+    fn same_tier_recompression_pays_a_read_and_a_rewrite() {
+        // Recompressing 4:1 on Hot at day 30: a read of the 100 GB stored
+        // bytes plus a write of the 25 GB recompressed bytes, charged in
+        // period 1; no tier change, so no early-deletion penalty.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(hot)).with_transition(
+            30,
+            Placement {
+                tier: hot,
+                compression_ratio: 4.0,
+                decompression_seconds: 1.0,
+            },
+        );
+        s.place_scheduled(ObjectSpec::new("a", 100.0).on_tier(hot), schedule)
+            .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        assert_eq!(report.months[0].breakdown.write, 0.0);
+        let expected = 100.0 * 0.01331 + 25.0 * 0.01331;
+        assert!((report.months[1].breakdown.write - expected).abs() < 1e-9);
+        assert_eq!(report.months[1].early_deletion_penalty, 0.0);
+        // And the recompressed month stores a quarter of the bytes.
+        assert!(
+            (report.months[1].breakdown.storage - 25.0 * 2.08).abs() < 1e-9,
+            "storage {}",
+            report.months[1].breakdown.storage
+        );
+    }
+
+    #[test]
+    fn events_bill_against_the_placement_in_force_on_their_day() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(hot))
+            .with_transition(15, Placement::uncompressed(cool));
+        s.place_scheduled(ObjectSpec::new("a", 10.0), schedule)
+            .unwrap();
+        let trace = vec![
+            BillingEvent::read("a", 14, 10.0), // still Hot
+            BillingEvent::read("a", 15, 10.0), // Cool from day 15
+        ];
+        let report = s.run_days(30, &trace).unwrap();
+        let expected = 10.0 * 0.01331 + 10.0 * 0.0333;
+        assert!((report.months[0].breakdown.read - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_final_period_prorates_storage() {
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        s.place(ObjectSpec::new("a", 10.0), Placement::uncompressed(hot))
+            .unwrap();
+        let report = s.run_days(45, &[]).unwrap();
+        assert_eq!(report.months.len(), 2);
+        let month = 10.0 * 2.08;
+        assert!((report.months[0].breakdown.storage - month).abs() < 1e-9);
+        assert!((report.months[1].breakdown.storage - month * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn month_aligned_schedule_matches_monthly_replay_exactly() {
+        // The compatibility contract: a constant schedule driven through
+        // the day engine with month-lifted events reproduces the legacy
+        // whole-month replay bit-for-bit.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        s.place(
+            ObjectSpec::new("a", 123.0).on_tier(hot),
+            Placement::uncompressed(cool),
+        )
+        .unwrap();
+        s.place(
+            ObjectSpec::new("b", 7.0),
+            Placement {
+                tier: hot,
+                compression_ratio: 3.0,
+                decompression_seconds: 0.25,
+            },
+        )
+        .unwrap();
+        let monthly = vec![
+            AccessEvent::read("a", 1, 12.0),
+            AccessEvent::write("b", 0, 2.0),
+            AccessEvent::read("b", 3, 7.0),
+        ];
+        let via_months = s.run(4, &monthly).unwrap();
+        let via_days = s
+            .run_days(4 * DAYS_PER_MONTH, &events_from_monthly(&monthly))
+            .unwrap();
+        assert_eq!(via_months, via_days);
+        assert_eq!(via_months.months.len(), 4);
     }
 }

@@ -27,6 +27,11 @@ pub struct ObjectSpec {
     /// Tier the object currently lives on, if it already exists.
     /// `None` models newly-ingested data (the paper's `L(P_i) = -1`).
     pub current_tier: Option<TierId>,
+    /// Days the object has already resided on `current_tier` before the
+    /// billing horizon starts. Early-deletion penalties are pro-rated by
+    /// this: only the *unmet* remainder of the tier's minimum residency
+    /// period is charged when the object is moved away.
+    pub residency_days: u32,
 }
 
 impl ObjectSpec {
@@ -36,12 +41,21 @@ impl ObjectSpec {
             name: name.into(),
             size_gb,
             current_tier: None,
+            residency_days: 0,
         }
     }
 
     /// Builder-style setter recording the tier the object currently occupies.
     pub fn on_tier(mut self, tier: TierId) -> Self {
         self.current_tier = Some(tier);
+        self
+    }
+
+    /// Builder-style setter recording how many days the object has already
+    /// served on its current tier (counts against the tier's minimum
+    /// residency period).
+    pub fn with_residency_days(mut self, days: u32) -> Self {
+        self.residency_days = days;
         self
     }
 
@@ -211,6 +225,29 @@ impl CostModel {
         self.catalog.compute_cost_cents_per_second * decompression_seconds * accesses
     }
 
+    /// Early-deletion penalty (cents) for moving `size_gb` GB off `from`
+    /// after `days_served` days of residency: the *unmet* remainder of the
+    /// tier's minimum residency period, billed at the tier's storage rate
+    /// (how Azure bills early deletion from Cool/Archive). Zero once the
+    /// residency window is met. This is the single pricing rule shared by
+    /// the billing engine, the OPTASSIGN objective and the schedule DP.
+    pub fn early_deletion_penalty(
+        &self,
+        from: TierId,
+        size_gb: f64,
+        days_served: u32,
+    ) -> Result<f64, CloudSimError> {
+        let t = self.catalog.tier(from)?;
+        if t.early_deletion_days > days_served {
+            let unmet_days = t.early_deletion_days - days_served;
+            Ok(t.storage_cost_cents_per_gb_month
+                * size_gb
+                * (unmet_days as f64 / crate::timeline::DAYS_PER_MONTH as f64))
+        } else {
+            Ok(0.0)
+        }
+    }
+
     /// Unweighted cost breakdown for placing `obj` on `tier` for `months`
     /// months with `accesses` expected full-object reads, stored at
     /// `compression_ratio` (>= 1, 1.0 = uncompressed) and paying
@@ -331,8 +368,24 @@ mod tests {
         let m = model();
         let hot = m.catalog().tier_id("Hot").unwrap();
         let obj = ObjectSpec::new("d", 50.0);
-        let storage_only = m.objective(&obj, hot, 6.0, 10.0, 1.0, 0.0, &CostWeights::new(1.0, 0.0, 0.0));
-        let read_only = m.objective(&obj, hot, 6.0, 10.0, 1.0, 0.0, &CostWeights::new(0.0, 1.0, 0.0));
+        let storage_only = m.objective(
+            &obj,
+            hot,
+            6.0,
+            10.0,
+            1.0,
+            0.0,
+            &CostWeights::new(1.0, 0.0, 0.0),
+        );
+        let read_only = m.objective(
+            &obj,
+            hot,
+            6.0,
+            10.0,
+            1.0,
+            0.0,
+            &CostWeights::new(0.0, 1.0, 0.0),
+        );
         let b = m.total_cost(&obj, hot, 6.0, 10.0, 1.0, 0.0);
         assert!((storage_only - b.storage).abs() < 1e-12);
         assert!((read_only - (b.read + b.decompression)).abs() < 1e-12);
@@ -365,6 +418,24 @@ mod tests {
         acc.accumulate(&b);
         assert_eq!(acc.total(), 12.0);
         assert_eq!(a.add(&b).total(), 12.0);
+    }
+
+    #[test]
+    fn early_deletion_penalty_prorates_unmet_days() {
+        let m = model();
+        let cool = m.catalog().tier_id("Cool").unwrap();
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        // Cool: 30-day window at 1.52 c/GB/month.
+        let full = m.early_deletion_penalty(cool, 100.0, 0).unwrap();
+        assert!((full - 1.52 * 100.0).abs() < 1e-9);
+        let partial = m.early_deletion_penalty(cool, 100.0, 20).unwrap();
+        assert!((partial - 1.52 * 100.0 * (10.0 / 30.0)).abs() < 1e-9);
+        assert_eq!(m.early_deletion_penalty(cool, 100.0, 30).unwrap(), 0.0);
+        assert_eq!(m.early_deletion_penalty(cool, 100.0, 300).unwrap(), 0.0);
+        // Hot has no residency window at all.
+        assert_eq!(m.early_deletion_penalty(hot, 100.0, 0).unwrap(), 0.0);
+        // Unknown tiers error instead of silently costing nothing.
+        assert!(m.early_deletion_penalty(TierId(99), 100.0, 0).is_err());
     }
 
     #[test]

@@ -17,10 +17,16 @@
 //!   decompression-compute costs for an object of a given size over a
 //!   projection horizon, exactly mirroring the terms of the OPTASSIGN
 //!   objective (Eq. 1 of the paper).
-//! * [`BillingSimulator`] — replays an access trace against a placement and
-//!   accrues actual monthly costs, including early-deletion penalties,
-//!   which is how the "% cost benefit" numbers of Tables II and IV are
-//!   produced.
+//! * [`BillingSimulator`] — a day-granular, event-driven billing engine: it
+//!   replays a day-stamped access trace against per-object
+//!   [`PlacementSchedule`]s (mid-horizon tier transitions allowed),
+//!   pro-rates storage by days, charges tier changes in the billing period
+//!   they occur, and bills early deletion for the exact days of unmet
+//!   minimum residency. [`BillingSimulator::run`] is the month-aligned
+//!   compatibility path that reproduces the legacy whole-month replay
+//!   (and the "% cost benefit" numbers of Tables II and IV) exactly.
+//! * [`timeline`] — the day-granular time axis: [`BillingEvent`],
+//!   [`PlacementSchedule`], schedule segments and day/period arithmetic.
 //!
 //! ```
 //! use scope_cloudsim::{TierCatalog, CostModel, ObjectSpec};
@@ -45,9 +51,15 @@ pub mod cost;
 pub mod error;
 pub mod sla;
 pub mod tiers;
+pub mod timeline;
 
-pub use billing::{AccessEvent, AccessKind, BillingReport, BillingSimulator, MonthlyCost};
+pub use billing::{
+    AccessEvent, AccessKind, BillingReport, BillingSimulator, MonthlyCost, Placement,
+};
 pub use cost::{CostBreakdown, CostModel, CostWeights, ObjectSpec};
 pub use error::CloudSimError;
 pub use sla::{LatencyEstimate, SlaPolicy};
 pub use tiers::{Tier, TierCatalog, TierId};
+pub use timeline::{
+    events_from_monthly, BillingEvent, PlacementSchedule, ScheduleSegment, DAYS_PER_MONTH,
+};

@@ -24,8 +24,7 @@ impl LatencyEstimate {
 }
 
 /// Latency service-level agreement for a partition or dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SlaPolicy {
     /// No latency requirement — any tier (including Archive) is acceptable.
     #[default]
@@ -66,7 +65,6 @@ impl SlaPolicy {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

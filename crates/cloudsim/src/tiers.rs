@@ -310,12 +310,17 @@ mod tests {
         assert_eq!(TierCatalog::azure_hot_cool().len(), 2);
         assert_eq!(TierCatalog::azure_hot_cool_archive().len(), 3);
         assert_eq!(TierCatalog::azure_premium_hot_cool().len(), 3);
-        assert!(TierCatalog::azure_premium_hot_cool().tier_id("Archive").is_err());
+        assert!(TierCatalog::azure_premium_hot_cool()
+            .tier_id("Archive")
+            .is_err());
     }
 
     #[test]
     fn empty_catalog_rejected() {
-        assert_eq!(TierCatalog::new(vec![]).unwrap_err(), CloudSimError::EmptyCatalog);
+        assert_eq!(
+            TierCatalog::new(vec![]).unwrap_err(),
+            CloudSimError::EmptyCatalog
+        );
     }
 
     #[test]
@@ -341,10 +346,22 @@ mod tests {
     #[test]
     fn early_deletion_periods() {
         let c = TierCatalog::azure_adls_gen2();
-        assert_eq!(c.tier(c.tier_id("Hot").unwrap()).unwrap().early_deletion_days, 0);
-        assert_eq!(c.tier(c.tier_id("Cool").unwrap()).unwrap().early_deletion_days, 30);
         assert_eq!(
-            c.tier(c.tier_id("Archive").unwrap()).unwrap().early_deletion_days,
+            c.tier(c.tier_id("Hot").unwrap())
+                .unwrap()
+                .early_deletion_days,
+            0
+        );
+        assert_eq!(
+            c.tier(c.tier_id("Cool").unwrap())
+                .unwrap()
+                .early_deletion_days,
+            30
+        );
+        assert_eq!(
+            c.tier(c.tier_id("Archive").unwrap())
+                .unwrap()
+                .early_deletion_days,
             180
         );
     }

@@ -1,0 +1,329 @@
+//! Day-granular billing timeline: day-stamped events and per-object
+//! placement schedules with mid-horizon tier transitions.
+//!
+//! The legacy simulator replayed *monthly aggregated* events against a
+//! placement frozen for the whole horizon. Real providers bill at a finer
+//! granularity: storage is pro-rated by days, tier changes are charged in
+//! the billing period they occur, and leaving Cool/Archive before the
+//! minimum residency period is billed for exactly the *days* of unmet
+//! residency (this is how Azure bills early deletion). This module provides
+//! the day-granular time axis the rebuilt [`BillingSimulator`] engine runs
+//! on:
+//!
+//! * [`BillingEvent`] — an access stamped with the **day** (0-based) it
+//!   happens on; [`events_from_monthly`] lifts a legacy monthly trace onto
+//!   the day axis (each month `m` maps to day `m * DAYS_PER_MONTH`, the
+//!   first day of the corresponding billing period, so period totals are
+//!   preserved).
+//! * [`PlacementSchedule`] — the placement of one object *over time*: an
+//!   initial [`Placement`] plus day-stamped transitions. A schedule with no
+//!   transitions reproduces the legacy frozen placement.
+//! * [`ScheduleSegment`] — one maximal `[start_day, end_day)` span during
+//!   which the placement is constant; [`PlacementSchedule::segments`]
+//!   decomposes a schedule over a horizon into these spans, which is what
+//!   the billing engine streams over.
+//!
+//! A billing **period** is the fixed [`DAYS_PER_MONTH`]-day window the
+//! provider invoices on; [`period_of_day`] maps a day to its period. The
+//! whole-month convention (30 days) matches the `early_deletion_days / 30`
+//! arithmetic the tier catalog and the paper's Table I use.
+//!
+//! [`BillingSimulator`]: crate::billing::BillingSimulator
+
+use crate::billing::{AccessEvent, AccessKind, Placement};
+use serde::{Deserialize, Serialize};
+
+/// Days per billing period ("month"). All month-denominated rates
+/// (`storage_cost_cents_per_gb_month`, `early_deletion_days / 30`) are
+/// pro-rated against this length.
+pub const DAYS_PER_MONTH: u32 = 30;
+
+/// First day of billing period `month` (0-based).
+pub fn first_day_of_month(month: u32) -> u32 {
+    month * DAYS_PER_MONTH
+}
+
+/// Billing period (0-based) containing `day`.
+pub fn period_of_day(day: u32) -> u32 {
+    day / DAYS_PER_MONTH
+}
+
+/// One access to an object, stamped with the day it happens on.
+///
+/// The day-granular counterpart of [`AccessEvent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BillingEvent {
+    /// Name of the object being accessed (must match an `ObjectSpec`).
+    pub object: String,
+    /// Day index (0-based) within the billing horizon.
+    pub day: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Volume touched by this access in GB.
+    pub volume_gb: f64,
+}
+
+impl BillingEvent {
+    /// Convenience constructor for a read event.
+    pub fn read(object: impl Into<String>, day: u32, volume_gb: f64) -> Self {
+        BillingEvent {
+            object: object.into(),
+            day,
+            kind: AccessKind::Read,
+            volume_gb,
+        }
+    }
+
+    /// Convenience constructor for a write event.
+    pub fn write(object: impl Into<String>, day: u32, volume_gb: f64) -> Self {
+        BillingEvent {
+            object: object.into(),
+            day,
+            kind: AccessKind::Write,
+            volume_gb,
+        }
+    }
+
+    /// Lift a monthly event onto the day axis: month `m` becomes day
+    /// `m * DAYS_PER_MONTH`, i.e. the first day of the same billing period.
+    pub fn from_monthly(ev: &AccessEvent) -> Self {
+        BillingEvent {
+            object: ev.object.clone(),
+            day: first_day_of_month(ev.month),
+            kind: ev.kind,
+            volume_gb: ev.volume_gb,
+        }
+    }
+}
+
+/// Lift a legacy monthly trace onto the day axis, preserving event order
+/// (and therefore the exact floating-point accumulation order of the
+/// legacy replay).
+pub fn events_from_monthly(events: &[AccessEvent]) -> Vec<BillingEvent> {
+    events.iter().map(BillingEvent::from_monthly).collect()
+}
+
+/// The placement of one object over the billing horizon: an initial
+/// [`Placement`] (in force from day 0) plus day-stamped transitions.
+///
+/// Transitions are kept sorted by strictly increasing day; a transition on a
+/// day that already has one replaces it, and a transition on day 0 replaces
+/// the initial placement. Each transition takes effect at the *start* of its
+/// day: accesses on the transition day are billed against the new placement,
+/// and the old placement's last billed day is `day - 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementSchedule {
+    initial: Placement,
+    transitions: Vec<(u32, Placement)>,
+}
+
+/// One maximal span of a [`PlacementSchedule`] during which the placement
+/// is constant: the object is on `placement` for days
+/// `[start_day, end_day)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleSegment {
+    /// First day (inclusive) of the span.
+    pub start_day: u32,
+    /// First day *after* the span (exclusive).
+    pub end_day: u32,
+    /// The placement in force during the span.
+    pub placement: Placement,
+}
+
+impl ScheduleSegment {
+    /// Number of days the span covers.
+    pub fn days(&self) -> u32 {
+        self.end_day - self.start_day
+    }
+}
+
+impl PlacementSchedule {
+    /// A schedule that keeps `placement` for the whole horizon (the legacy
+    /// frozen-placement behaviour).
+    pub fn constant(placement: Placement) -> Self {
+        PlacementSchedule {
+            initial: placement,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Builder-style addition of a transition: from `day` onwards the object
+    /// is on `placement`. A transition on day 0 replaces the initial
+    /// placement; a transition on an already-scheduled day replaces it.
+    pub fn with_transition(mut self, day: u32, placement: Placement) -> Self {
+        if day == 0 {
+            self.initial = placement;
+            return self;
+        }
+        match self.transitions.binary_search_by_key(&day, |&(d, _)| d) {
+            Ok(i) => self.transitions[i].1 = placement,
+            Err(i) => self.transitions.insert(i, (day, placement)),
+        }
+        self
+    }
+
+    /// The placement in force from day 0.
+    pub fn initial(&self) -> &Placement {
+        &self.initial
+    }
+
+    /// The day-stamped transitions, sorted by strictly increasing day.
+    pub fn transitions(&self) -> &[(u32, Placement)] {
+        &self.transitions
+    }
+
+    /// True if the schedule never changes placement.
+    pub fn is_constant(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Every placement the schedule ever uses (initial + transitions), in
+    /// chronological order. Used to validate tiers against a catalog.
+    pub fn placements(&self) -> impl Iterator<Item = &Placement> {
+        std::iter::once(&self.initial).chain(self.transitions.iter().map(|(_, p)| p))
+    }
+
+    /// The placement in force on `day`.
+    pub fn placement_at(&self, day: u32) -> &Placement {
+        // Number of transitions with transition day <= day.
+        let n = self.transitions.partition_point(|&(d, _)| d <= day);
+        if n == 0 {
+            &self.initial
+        } else {
+            &self.transitions[n - 1].1
+        }
+    }
+
+    /// Decompose the schedule over `[0, horizon_days)` into maximal
+    /// constant-placement segments. Transitions at or after the horizon are
+    /// ignored. Returns an empty vector for a zero-day horizon.
+    pub fn segments(&self, horizon_days: u32) -> Vec<ScheduleSegment> {
+        let mut segments = Vec::with_capacity(self.transitions.len() + 1);
+        if horizon_days == 0 {
+            return segments;
+        }
+        let mut current = self.initial;
+        let mut start = 0u32;
+        for &(day, placement) in &self.transitions {
+            if day >= horizon_days {
+                break;
+            }
+            segments.push(ScheduleSegment {
+                start_day: start,
+                end_day: day,
+                placement: current,
+            });
+            current = placement;
+            start = day;
+        }
+        segments.push(ScheduleSegment {
+            start_day: start,
+            end_day: horizon_days,
+            placement: current,
+        });
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiers::TierId;
+
+    fn placement(tier: usize) -> Placement {
+        Placement::uncompressed(TierId(tier))
+    }
+
+    #[test]
+    fn day_period_arithmetic() {
+        assert_eq!(first_day_of_month(0), 0);
+        assert_eq!(first_day_of_month(3), 90);
+        assert_eq!(period_of_day(0), 0);
+        assert_eq!(period_of_day(29), 0);
+        assert_eq!(period_of_day(30), 1);
+        assert_eq!(period_of_day(89), 2);
+    }
+
+    #[test]
+    fn monthly_events_land_on_period_start_days() {
+        let monthly = vec![
+            AccessEvent::read("a", 0, 1.0),
+            AccessEvent::write("a", 2, 0.5),
+        ];
+        let daily = events_from_monthly(&monthly);
+        assert_eq!(daily.len(), 2);
+        assert_eq!(daily[0].day, 0);
+        assert_eq!(daily[1].day, 60);
+        assert_eq!(daily[1].kind, AccessKind::Write);
+        assert_eq!(period_of_day(daily[1].day), 2);
+    }
+
+    #[test]
+    fn constant_schedule_is_one_segment() {
+        let s = PlacementSchedule::constant(placement(1));
+        assert!(s.is_constant());
+        let segs = s.segments(90);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].start_day, segs[0].end_day), (0, 90));
+        assert_eq!(segs[0].days(), 90);
+        assert_eq!(s.placement_at(0).tier, TierId(1));
+        assert_eq!(s.placement_at(89).tier, TierId(1));
+    }
+
+    #[test]
+    fn transitions_split_the_horizon() {
+        let s = PlacementSchedule::constant(placement(0))
+            .with_transition(30, placement(1))
+            .with_transition(75, placement(2));
+        let segs = s.segments(120);
+        assert_eq!(segs.len(), 3);
+        assert_eq!((segs[0].start_day, segs[0].end_day), (0, 30));
+        assert_eq!((segs[1].start_day, segs[1].end_day), (30, 75));
+        assert_eq!((segs[2].start_day, segs[2].end_day), (75, 120));
+        assert_eq!(segs[0].placement.tier, TierId(0));
+        assert_eq!(segs[1].placement.tier, TierId(1));
+        assert_eq!(segs[2].placement.tier, TierId(2));
+        // A transition takes effect at the start of its day.
+        assert_eq!(s.placement_at(29).tier, TierId(0));
+        assert_eq!(s.placement_at(30).tier, TierId(1));
+        assert_eq!(s.placement_at(74).tier, TierId(1));
+        assert_eq!(s.placement_at(75).tier, TierId(2));
+    }
+
+    #[test]
+    fn transitions_stay_sorted_regardless_of_insertion_order() {
+        let s = PlacementSchedule::constant(placement(0))
+            .with_transition(75, placement(2))
+            .with_transition(30, placement(1));
+        let days: Vec<u32> = s.transitions().iter().map(|&(d, _)| d).collect();
+        assert_eq!(days, vec![30, 75]);
+        assert_eq!(s.placement_at(40).tier, TierId(1));
+    }
+
+    #[test]
+    fn day_zero_and_duplicate_transitions_replace() {
+        let s = PlacementSchedule::constant(placement(0))
+            .with_transition(0, placement(3))
+            .with_transition(10, placement(1))
+            .with_transition(10, placement(2));
+        assert_eq!(s.initial().tier, TierId(3));
+        assert_eq!(s.transitions().len(), 1);
+        assert_eq!(s.placement_at(10).tier, TierId(2));
+    }
+
+    #[test]
+    fn transitions_beyond_the_horizon_are_ignored() {
+        let s = PlacementSchedule::constant(placement(0)).with_transition(100, placement(1));
+        let segs = s.segments(60);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].placement.tier, TierId(0));
+        assert!(s.segments(0).is_empty());
+    }
+
+    #[test]
+    fn placements_iterates_every_placement() {
+        let s = PlacementSchedule::constant(placement(0)).with_transition(10, placement(2));
+        let tiers: Vec<usize> = s.placements().map(|p| p.tier.index()).collect();
+        assert_eq!(tiers, vec![0, 2]);
+    }
+}

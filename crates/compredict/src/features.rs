@@ -203,7 +203,11 @@ mod tests {
     #[test]
     fn repeated_values_have_lower_entropy_than_distinct_ones() {
         let repetitive = table_with(vec!["OPEN"; 100]);
-        let distinct = table_with((0..100).map(|i| Box::leak(format!("VAL{i:03}").into_boxed_str()) as &str).collect());
+        let distinct = table_with(
+            (0..100)
+                .map(|i| Box::leak(format!("VAL{i:03}").into_boxed_str()) as &str)
+                .collect(),
+        );
         let h_rep = weighted_entropy_by_type(&repetitive, 0, 100);
         let h_dis = weighted_entropy_by_type(&distinct, 0, 100);
         // A constant column has zero entropy; 100 distinct values have a lot.
@@ -231,13 +235,22 @@ mod tests {
             let ex = FeatureExtractor::new(set);
             assert_eq!(ex.extract(&t).len(), ex.feature_names().len(), "{set:?}");
         }
-        assert_eq!(FeatureExtractor::new(FeatureSet::SizeOnly).extract(&t).len(), 2);
         assert_eq!(
-            FeatureExtractor::new(FeatureSet::WeightedEntropy).extract(&t).len(),
+            FeatureExtractor::new(FeatureSet::SizeOnly)
+                .extract(&t)
+                .len(),
+            2
+        );
+        assert_eq!(
+            FeatureExtractor::new(FeatureSet::WeightedEntropy)
+                .extract(&t)
+                .len(),
             2 + 4
         );
         assert_eq!(
-            FeatureExtractor::new(FeatureSet::BucketedEntropy).extract(&t).len(),
+            FeatureExtractor::new(FeatureSet::BucketedEntropy)
+                .extract(&t)
+                .len(),
             2 + 4 * ENTROPY_BUCKETS
         );
     }
@@ -277,7 +290,10 @@ mod tests {
         assert!(global_text > 0.5);
         for b in [0, 1, 3, 4] {
             let text_idx = 2 + 4 * b + 2;
-            assert!(features[text_idx].abs() < 1e-9, "bucket {b} should be constant");
+            assert!(
+                features[text_idx].abs() < 1e-9,
+                "bucket {b} should be constant"
+            );
         }
         let mean_bucket_text: f64 = (0..ENTROPY_BUCKETS)
             .map(|b| features[2 + 4 * b + 2])
@@ -290,7 +306,10 @@ mod tests {
     fn feature_set_names() {
         assert_eq!(FeatureSet::SizeOnly.name(), "size");
         assert_eq!(FeatureSet::WeightedEntropy.name(), "weighted-entropy");
-        assert_eq!(FeatureSet::BucketedEntropy.name(), "bucketed-weighted-entropy");
+        assert_eq!(
+            FeatureSet::BucketedEntropy.name(),
+            "bucketed-weighted-entropy"
+        );
     }
 
     #[test]

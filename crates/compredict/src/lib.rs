@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn error_display_and_conversions() {
-        assert!(CompredictError::NotEnoughSamples(3).to_string().contains('3'));
+        assert!(CompredictError::NotEnoughSamples(3)
+            .to_string()
+            .contains('3'));
         let le: CompredictError = scope_learn::LearnError::EmptyTrainingSet.into();
         assert!(matches!(le, CompredictError::Learn(_)));
         let te: CompredictError = scope_table::TableError::UnknownColumn("x".into()).into();

@@ -144,9 +144,10 @@ impl TrainedModel {
             TrainedModel::Forest(m) => m.predict_one(features),
             TrainedModel::Gbt(m) => m.predict_one(features),
             TrainedModel::Mlp(m) => m.predict_one(features),
-            TrainedModel::Knn { model, standardizer } => {
-                model.predict_one(&standardizer.transform_one(features))
-            }
+            TrainedModel::Knn {
+                model,
+                standardizer,
+            } => model.predict_one(&standardizer.transform_one(features)),
         }
     }
 }
@@ -185,9 +186,9 @@ impl CompressionPredictor {
         let targets: Vec<f64> = examples.iter().map(|e| target_of(e, task)).collect();
         let model = match kind {
             ModelKind::Averaging => TrainedModel::Mean(MeanRegressor::fit(&targets)?),
-            ModelKind::RandomForest => {
-                TrainedModel::Forest(RandomForestRegressor::fit_default(&features, &targets, seed)?)
-            }
+            ModelKind::RandomForest => TrainedModel::Forest(RandomForestRegressor::fit_default(
+                &features, &targets, seed,
+            )?),
             ModelKind::GradientBoosting => {
                 TrainedModel::Gbt(GradientBoostingRegressor::fit_default(&features, &targets)?)
             }
@@ -413,7 +414,10 @@ mod tests {
         .unwrap();
         let t = gen.generate(TpchTable::Customer);
         let pred = p.predict_table(&t);
-        assert!(pred > 0.5 && pred < 50.0, "unreasonable ratio prediction {pred}");
+        assert!(
+            pred > 0.5 && pred < 50.0,
+            "unreasonable ratio prediction {pred}"
+        );
         let dbg = format!("{p:?}");
         assert!(dbg.contains("Random Forest"));
     }

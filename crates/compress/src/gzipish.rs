@@ -119,7 +119,12 @@ mod tests {
         let data = b"select l_returnflag, l_linestatus, sum(l_quantity) from lineitem ".repeat(40);
         let codec = GzipishCodec::default();
         let compressed = codec.compress(&data);
-        assert!(compressed.len() < data.len() / 2, "ratio too poor: {} vs {}", compressed.len(), data.len());
+        assert!(
+            compressed.len() < data.len() / 2,
+            "ratio too poor: {} vs {}",
+            compressed.len(),
+            data.len()
+        );
         assert_eq!(codec.decompress(&compressed).unwrap(), data);
     }
 

@@ -314,7 +314,9 @@ mod tests {
         let bytes = w.finish();
         let decoder = code.decoder();
         let mut r = BitReader::new(&bytes);
-        let decoded: Vec<u8> = (0..data.len()).map(|_| decoder.decode(&mut r).unwrap()).collect();
+        let decoded: Vec<u8> = (0..data.len())
+            .map(|_| decoder.decode(&mut r).unwrap())
+            .collect();
         assert_eq!(decoded, data);
         // The entropy-coded form of skewed text must be smaller than raw.
         assert!(bytes.len() < data.len());

@@ -176,7 +176,11 @@ mod tests {
         let codec = Lz4ishCodec::default();
         for data in [&b""[..], &b"a"[..], &b"abcd"[..], &b"abcdefgh"[..]] {
             let compressed = codec.compress(data);
-            assert_eq!(codec.decompress(&compressed).unwrap(), data, "data {data:?}");
+            assert_eq!(
+                codec.decompress(&compressed).unwrap(),
+                data,
+                "data {data:?}"
+            );
         }
     }
 
@@ -205,7 +209,9 @@ mod tests {
             CompressError::BadHeader
         );
         let compressed = codec.compress(&b"hello hello hello hello".repeat(10));
-        assert!(codec.decompress(&compressed[..compressed.len() - 4]).is_err());
+        assert!(codec
+            .decompress(&compressed[..compressed.len() - 4])
+            .is_err());
     }
 
     #[test]

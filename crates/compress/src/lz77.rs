@@ -97,9 +97,7 @@ pub fn tokenize(data: &[u8], params: &MatcherParams) -> Vec<Token> {
         let mut best_offset = 0usize;
         let mut candidate = head[h];
         let mut chain = 0usize;
-        while candidate != usize::MAX
-            && chain < params.max_chain
-            && i - candidate <= params.window
+        while candidate != usize::MAX && chain < params.max_chain && i - candidate <= params.window
         {
             let max_len = (n - i).min(params.max_match);
             let mut len = 0usize;
@@ -175,7 +173,11 @@ mod tests {
     #[test]
     fn round_trip_repetitive_data() {
         let data = b"the quick brown fox jumps over the lazy dog. ".repeat(50);
-        for params in [MatcherParams::thorough(), MatcherParams::fast(), MatcherParams::fastest()] {
+        for params in [
+            MatcherParams::thorough(),
+            MatcherParams::fast(),
+            MatcherParams::fastest(),
+        ] {
             let tokens = tokenize(&data, &params);
             assert_eq!(detokenize(&tokens).unwrap(), data);
             // Repetitive data must produce matches.
@@ -204,7 +206,10 @@ mod tests {
             data.push((x & 0xFF) as u8);
         }
         let tokens = tokenize(&data, &MatcherParams::thorough());
-        let literals = tokens.iter().filter(|t| matches!(t, Token::Literal(_))).count();
+        let literals = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Literal(_)))
+            .count();
         assert!(literals as f64 / tokens.len() as f64 > 0.9);
         assert_eq!(detokenize(&tokens).unwrap(), data);
     }

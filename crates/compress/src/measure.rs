@@ -74,7 +74,11 @@ pub fn measure(codec: &dyn Codec, data: &[u8]) -> CompressionMeasurement {
         compressed_bytes: compressed.len(),
         ratio: data.len() as f64 / compressed.len() as f64,
         decompress_seconds,
-        decompress_seconds_per_gb: if gb > 0.0 { decompress_seconds / gb } else { 0.0 },
+        decompress_seconds_per_gb: if gb > 0.0 {
+            decompress_seconds / gb
+        } else {
+            0.0
+        },
         compress_seconds,
     }
 }
@@ -113,8 +117,18 @@ mod tests {
         let lz = measure(&Lz4ishCodec::default(), &data);
         let sn = measure(&SnappyishCodec::default(), &data);
         assert!(gz.ratio > 1.5, "gzip ratio = {}", gz.ratio);
-        assert!(gz.ratio >= lz.ratio, "gzip {} vs lz4 {}", gz.ratio, lz.ratio);
-        assert!(lz.ratio >= sn.ratio * 0.95, "lz4 {} vs snappy {}", lz.ratio, sn.ratio);
+        assert!(
+            gz.ratio >= lz.ratio,
+            "gzip {} vs lz4 {}",
+            gz.ratio,
+            lz.ratio
+        );
+        assert!(
+            lz.ratio >= sn.ratio * 0.95,
+            "lz4 {} vs snappy {}",
+            lz.ratio,
+            sn.ratio
+        );
     }
 
     #[test]

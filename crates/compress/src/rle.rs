@@ -89,13 +89,19 @@ mod tests {
     #[test]
     fn empty_input_round_trips() {
         let codec = RleCodec;
-        assert_eq!(codec.decompress(&codec.compress(b"")).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            codec.decompress(&codec.compress(b"")).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]
     fn rejects_corrupted_streams() {
         let codec = RleCodec;
-        assert_eq!(codec.decompress(b"xx").unwrap_err(), CompressError::BadHeader);
+        assert_eq!(
+            codec.decompress(b"xx").unwrap_err(),
+            CompressError::BadHeader
+        );
         let mut c = codec.compress(&[5u8; 100]);
         c.push(9); // odd body length
         assert!(codec.decompress(&c).is_err());
@@ -103,6 +109,9 @@ mod tests {
         let mut bad = b"RLE1".to_vec();
         bad.extend_from_slice(&1u64.to_le_bytes());
         bad.extend_from_slice(&[0, 42]);
-        assert_eq!(codec.decompress(&bad).unwrap_err(), CompressError::InvalidSymbol);
+        assert_eq!(
+            codec.decompress(&bad).unwrap_err(),
+            CompressError::InvalidSymbol
+        );
     }
 }

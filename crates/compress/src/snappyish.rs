@@ -62,7 +62,12 @@ mod tests {
                 .repeat(150);
         let gz = GzipishCodec::default().compress(&data);
         let sn = SnappyishCodec::default().compress(&data);
-        assert!(gz.len() < sn.len(), "gzip {} vs snappy {}", gz.len(), sn.len());
+        assert!(
+            gz.len() < sn.len(),
+            "gzip {} vs snappy {}",
+            gz.len(),
+            sn.len()
+        );
     }
 
     #[test]
@@ -82,6 +87,9 @@ mod tests {
     #[test]
     fn empty_input() {
         let codec = SnappyishCodec::default();
-        assert_eq!(codec.decompress(&codec.compress(b"")).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            codec.decompress(&codec.compress(b"")).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 }

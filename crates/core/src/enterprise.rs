@@ -14,9 +14,7 @@ use scope_cloudsim::{
     TierId,
 };
 use scope_learn::ConfusionMatrix;
-use scope_optassign::{
-    ideal_tier_labels, PredictorFeatures, TierPredictor, TieringBaseline,
-};
+use scope_optassign::{ideal_tier_labels, PredictorFeatures, TierPredictor, TieringBaseline};
 use scope_workload::{AccessSeries, DatasetCatalog, EnterpriseOptions, EnterpriseWorkload};
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +68,7 @@ fn access_events(
                 events.push(AccessEvent::write(
                     d.name.clone(),
                     m - from_month,
-                    acc.writes * 0.05 * d.size_gb,
+                    acc.writes * crate::lifecycle::WRITE_VOLUME_FRACTION * d.size_gb,
                 ));
             }
         }
@@ -122,7 +120,13 @@ pub fn percent_benefit(
         horizon,
     )?;
     let optimized = simulate(
-        catalog, datasets, series, tiers, current_tier, from_month, horizon,
+        catalog,
+        datasets,
+        series,
+        tiers,
+        current_tier,
+        from_month,
+        horizon,
     )?;
     Ok(optimized.percent_benefit_vs(&baseline))
 }
@@ -139,8 +143,14 @@ pub fn customer_benefit_table(
         let start = workload.projection_start();
         let hot_cool = TierCatalog::azure_hot_cool();
         let hot = hot_cool.tier_id("Hot")?;
-        let labels_2 =
-            ideal_tier_labels(&hot_cool, &workload.catalog, &workload.series, start, 2, hot)?;
+        let labels_2 = ideal_tier_labels(
+            &hot_cool,
+            &workload.catalog,
+            &workload.series,
+            start,
+            2,
+            hot,
+        )?;
         let benefit_2 = percent_benefit(
             &hot_cool,
             &workload.catalog,
@@ -482,7 +492,9 @@ mod tests {
         assert_eq!(rows.len(), 10);
         let benefit = |model: &str, info: &str, dur: u32| -> f64 {
             rows.iter()
-                .find(|r| r.model == model && r.access_information == info && r.duration_months == dur)
+                .find(|r| {
+                    r.model == model && r.access_information == info && r.duration_months == dur
+                })
                 .map(|r| r.benefit_percent)
                 .unwrap_or_else(|| panic!("missing row {model}/{info}/{dur}"))
         };
@@ -517,6 +529,9 @@ mod tests {
         let max_benefit = points.iter().map(|p| p.2).fold(f64::NEG_INFINITY, f64::max);
         let min_benefit = points.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
         assert!(max_benefit > 30.0, "max benefit {max_benefit}");
-        assert!(min_benefit >= -1e-6, "benefit should never be negative: {min_benefit}");
+        assert!(
+            min_benefit >= -1e-6,
+            "benefit should never be negative: {min_benefit}"
+        );
     }
 }

@@ -28,11 +28,16 @@
 //!   returns a [`PolicyOutcome`] (one row of Tables IX–XI),
 //! * [`policy`] — the catalog of policies,
 //! * [`enterprise`] — the Enterprise Data I experiment drivers,
-//! * [`tradeoff`] — the Fig 5 predictor-impact sweep.
+//! * [`tradeoff`] — the Fig 5 predictor-impact sweep,
+//! * [`lifecycle`] — the day-granular lifecycle scenario: datasets that
+//!   cool over time are re-tiered at billing-period boundaries by the
+//!   residency-aware schedule DP and replayed through the day-granular
+//!   billing engine against frozen-placement baselines.
 
 #![warn(missing_docs)]
 
 pub mod enterprise;
+pub mod lifecycle;
 pub mod pipeline;
 pub mod policy;
 pub mod scenario;
@@ -42,9 +47,12 @@ pub use enterprise::{
     customer_benefit_table, predictor_confusion, tiering_baseline_comparison, BaselineRow,
     CustomerBenefit,
 };
-pub use pipeline::{run_policy, run_all_policies, PolicyOutcome};
+pub use lifecycle::{lifecycle_tradeoff, run_lifecycle, LifecycleOptions, LifecycleOutcome};
+pub use pipeline::{run_all_policies, run_policy, PolicyOutcome};
 pub use policy::Policy;
-pub use scenario::{enterprise2_scenario, tpch_scenario, PipelineInputs, ScenarioOptions, TableProfile};
+pub use scenario::{
+    enterprise2_scenario, tpch_scenario, PipelineInputs, ScenarioOptions, TableProfile,
+};
 pub use tradeoff::{tradeoff_sweep, PredictorVariant, TradeoffPoint};
 
 /// Errors produced by the pipeline.
@@ -125,8 +133,7 @@ mod tests {
         assert!(e.to_string().contains("datapart"));
         let e: ScopeError = scope_cloudsim::CloudSimError::EmptyCatalog.into();
         assert!(e.to_string().contains("cloudsim"));
-        let e: ScopeError =
-            scope_optassign::OptAssignError::InvalidProblem("bad".into()).into();
+        let e: ScopeError = scope_optassign::OptAssignError::InvalidProblem("bad".into()).into();
         assert!(e.to_string().contains("optassign"));
     }
 }

@@ -104,7 +104,11 @@ fn build_partitions(
             if files.is_empty() {
                 continue;
             }
-            partitions.push(Partition::new(partitions.len(), files, merged[idx].frequency));
+            partitions.push(Partition::new(
+                partitions.len(),
+                files,
+                merged[idx].frequency,
+            ));
         }
         // Residual partition per table for files no query ever touches.
         let covered: std::collections::BTreeSet<scope_workload::FileRef> = partitions
@@ -200,9 +204,9 @@ fn build_specs(
         let mut gb_per_table: std::collections::BTreeMap<&str, f64> =
             std::collections::BTreeMap::new();
         for f in &p.files {
-            let profile = inputs.table(&f.table).ok_or_else(|| {
-                ScopeError::InvalidConfig(format!("unknown table {}", f.table))
-            })?;
+            let profile = inputs
+                .table(&f.table)
+                .ok_or_else(|| ScopeError::InvalidConfig(format!("unknown table {}", f.table)))?;
             *gb_per_table.entry(f.table.as_str()).or_insert(0.0) += profile.file_size_gb();
         }
         let latency_threshold = p
@@ -218,7 +222,11 @@ fn build_specs(
         } else {
             0.0
         };
-        let read_fraction = if size_gb > 0.0 { gb_per_access / size_gb } else { 1.0 };
+        let read_fraction = if size_gb > 0.0 {
+            gb_per_access / size_gb
+        } else {
+            1.0
+        };
 
         let mut spec = PartitionSpec::new(idx, format!("partition-{idx}"), size_gb, accesses[idx])
             .with_latency_threshold(latency_threshold)
@@ -288,8 +296,8 @@ pub fn run_policy(inputs: &PipelineInputs, policy: &Policy) -> Result<PolicyOutc
         }
     }
 
-    let problem = OptAssignProblem::new(catalog, specs, inputs.horizon_months)
-        .with_weights(policy.weights);
+    let problem =
+        OptAssignProblem::new(catalog, specs, inputs.horizon_months).with_weights(policy.weights);
     let assignment: Assignment = if use_capacities {
         match solve_branch_and_bound(&problem, 2_000_000) {
             Ok((a, _)) => a,

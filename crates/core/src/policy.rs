@@ -190,8 +190,14 @@ mod tests {
 
     #[test]
     fn adapted_baselines_are_labelled() {
-        assert_eq!(Policy::compress_premium().adapted_from.as_deref(), Some("Ares"));
-        assert_eq!(Policy::multi_tiering().adapted_from.as_deref(), Some("Hermes"));
+        assert_eq!(
+            Policy::compress_premium().adapted_from.as_deref(),
+            Some("Ares")
+        );
+        assert_eq!(
+            Policy::multi_tiering().adapted_from.as_deref(),
+            Some("Hermes")
+        );
         assert_eq!(
             Policy::latency_focused().adapted_from.as_deref(),
             Some("HCompress")
@@ -207,7 +213,9 @@ mod tests {
     fn weights_and_capacities_follow_the_variants() {
         assert_eq!(Policy::latency_focused().weights.alpha, 0.0);
         assert_eq!(Policy::scope_no_capacity().capacity_fractions, None);
-        let caps = Policy::scope_total_cost_focused().capacity_fractions.unwrap();
+        let caps = Policy::scope_total_cost_focused()
+            .capacity_fractions
+            .unwrap();
         assert_eq!(caps.len(), 3);
         assert!((caps.iter().sum::<f64>() - 0.9781).abs() < 1e-9);
     }

@@ -135,9 +135,11 @@ fn predicted_options(
                         return CompressionOption::none();
                     }
                     match variant {
-                        PredictorVariant::Averaging => {
-                            CompressionOption::new(o.name.clone(), mean_ratio[k].max(1.0), mean_decomp[k].max(0.0))
-                        }
+                        PredictorVariant::Averaging => CompressionOption::new(
+                            o.name.clone(),
+                            mean_ratio[k].max(1.0),
+                            mean_decomp[k].max(0.0),
+                        ),
                         PredictorVariant::RandomSampleSizeOnly => {
                             // Random samples look less repetitive than queried
                             // data, so this predictor systematically
@@ -146,7 +148,8 @@ fn predicted_options(
                             CompressionOption::new(
                                 o.name.clone(),
                                 (o.ratio * (1.0 - 0.5 * err)).max(1.0),
-                                o.decompress_seconds * (1.0 + err * signed_noise(&t.name, i * 7 + k).abs()),
+                                o.decompress_seconds
+                                    * (1.0 + err * signed_noise(&t.name, i * 7 + k).abs()),
                             )
                         }
                         _ => {
@@ -168,10 +171,7 @@ fn predicted_options(
 
 /// Build one partition spec per table (the Fig 5 sweep operates at table
 /// granularity, like the paper's TPC-H 1 GB experiment).
-fn table_specs(
-    inputs: &PipelineInputs,
-    options: &[Vec<CompressionOption>],
-) -> Vec<PartitionSpec> {
+fn table_specs(inputs: &PipelineInputs, options: &[Vec<CompressionOption>]) -> Vec<PartitionSpec> {
     // Access frequency per table from the query families.
     let mut freq: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
     for family in &inputs.families {
@@ -277,7 +277,8 @@ mod tests {
     #[test]
     fn sweep_produces_monotone_storage_cost_in_alpha() {
         let inputs = inputs();
-        let points = tradeoff_sweep(&inputs, PredictorVariant::GroundTruth, &alphas(), 1.0).unwrap();
+        let points =
+            tradeoff_sweep(&inputs, PredictorVariant::GroundTruth, &alphas(), 1.0).unwrap();
         assert_eq!(points.len(), 6);
         // As alpha grows the optimizer cares more about storage, so the
         // realised storage cost must not increase.
@@ -296,7 +297,8 @@ mod tests {
         let a = alphas();
         let truth = tradeoff_sweep(&inputs, PredictorVariant::GroundTruth, &a, 1.0).unwrap();
         let rf = tradeoff_sweep(&inputs, PredictorVariant::RandomForest, &a, 1.0).unwrap();
-        let naive = tradeoff_sweep(&inputs, PredictorVariant::RandomSampleSizeOnly, &a, 1.0).unwrap();
+        let naive =
+            tradeoff_sweep(&inputs, PredictorVariant::RandomSampleSizeOnly, &a, 1.0).unwrap();
         // The RF curve must stay very close to ground truth (within 5% total
         // cost at every sweep point) — the Fig 5 conclusion.
         let mut rf_gap = 0.0f64;
@@ -331,7 +333,13 @@ mod tests {
     fn variant_names_and_errors() {
         assert_eq!(PredictorVariant::all().len(), 5);
         assert_eq!(PredictorVariant::GroundTruth.relative_error(), 0.0);
-        assert!(PredictorVariant::RandomForest.relative_error() < PredictorVariant::Svr.relative_error());
-        assert_eq!(PredictorVariant::RandomForest.name(), "RF (queries + entropy)");
+        assert!(
+            PredictorVariant::RandomForest.relative_error()
+                < PredictorVariant::Svr.relative_error()
+        );
+        assert_eq!(
+            PredictorVariant::RandomForest.name(),
+            "RF (queries + entropy)"
+        );
     }
 }

@@ -39,8 +39,12 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(DataPartError::InvalidOption("x".into()).to_string().contains('x'));
-        assert!(DataPartError::UnknownFile("f".into()).to_string().contains('f'));
+        assert!(DataPartError::InvalidOption("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(DataPartError::UnknownFile("f".into())
+            .to_string()
+            .contains('f'));
         assert!(DataPartError::InfeasibleCostThreshold {
             threshold: 1.0,
             minimum: 2.0

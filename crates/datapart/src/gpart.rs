@@ -160,7 +160,11 @@ pub fn gpart_merge(
             }
             let overlap = nodes[i].fractional_overlap(&nodes[j], catalog)?;
             if overlap > config.min_overlap {
-                heap.push(Edge { overlap, a: i, b: j });
+                heap.push(Edge {
+                    overlap,
+                    a: i,
+                    b: j,
+                });
             }
         }
     }
@@ -256,7 +260,11 @@ mod tests {
             ..Default::default()
         };
         let merged = gpart_merge(&initial, &c, &config).unwrap();
-        assert_eq!(merged.len(), 2, "incompatible partitions must stay separate");
+        assert_eq!(
+            merged.len(),
+            2,
+            "incompatible partitions must stay separate"
+        );
         // Relaxing the constraint merges them.
         let relaxed = MergeConfig {
             frequency_ratio: 1000.0,
@@ -325,7 +333,9 @@ mod tests {
     #[test]
     fn empty_input_and_bad_config() {
         let c = catalog(3);
-        assert!(gpart_merge(&[], &c, &MergeConfig::default()).unwrap().is_empty());
+        assert!(gpart_merge(&[], &c, &MergeConfig::default())
+            .unwrap()
+            .is_empty());
         assert!(gpart_merge(
             &[partition(0, &[0], 1.0)],
             &c,

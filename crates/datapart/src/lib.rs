@@ -30,5 +30,7 @@ pub mod partition;
 pub use error::DataPartError;
 pub use gpart::{gpart_merge, MergeConfig};
 pub use metrics::{merge_all, no_merge, PartitioningMetrics};
-pub use ordered::{solve_ordered_bicriteria, solve_ordered_exact, OrderedPartition, OrderedSolution};
+pub use ordered::{
+    solve_ordered_bicriteria, solve_ordered_exact, OrderedPartition, OrderedSolution,
+};
 pub use partition::{FileCatalog, Partition};

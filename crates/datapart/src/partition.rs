@@ -58,9 +58,9 @@ impl FileCatalog {
     ) -> Result<f64, DataPartError> {
         let mut total = 0.0;
         for f in files {
-            total += self
-                .size(f)
-                .ok_or_else(|| DataPartError::UnknownFile(format!("{}:{}", f.table, f.file_index)))?;
+            total += self.size(f).ok_or_else(|| {
+                DataPartError::UnknownFile(format!("{}:{}", f.table, f.file_index))
+            })?;
         }
         Ok(total)
     }
@@ -204,7 +204,11 @@ mod tests {
     fn from_query_family_preserves_id_files_and_frequency() {
         let family = QueryFamily {
             id: 7,
-            files: vec![FileRef::new("t", 1), FileRef::new("t", 1), FileRef::new("t", 2)],
+            files: vec![
+                FileRef::new("t", 1),
+                FileRef::new("t", 1),
+                FileRef::new("t", 2),
+            ],
             frequency: 4.0,
             template: 3,
         };

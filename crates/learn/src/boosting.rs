@@ -50,7 +50,9 @@ impl GradientBoostingRegressor {
         params: BoostingParams,
     ) -> Result<Self, LearnError> {
         if params.n_estimators == 0 {
-            return Err(LearnError::InvalidHyperParameter("n_estimators must be > 0"));
+            return Err(LearnError::InvalidHyperParameter(
+                "n_estimators must be > 0",
+            ));
         }
         if !(params.learning_rate > 0.0 && params.learning_rate <= 1.0) {
             return Err(LearnError::InvalidHyperParameter(
@@ -70,17 +72,17 @@ impl GradientBoostingRegressor {
         let mut current: Vec<f64> = vec![base_prediction; targets.len()];
         let mut stages = Vec::with_capacity(params.n_estimators);
         for stage_idx in 0..params.n_estimators {
-            let residuals: Vec<f64> = targets
-                .iter()
-                .zip(&current)
-                .map(|(t, c)| t - c)
-                .collect();
+            let residuals: Vec<f64> = targets.iter().zip(&current).map(|(t, c)| t - c).collect();
             // Stop early if the fit is already (numerically) perfect.
             if residuals.iter().all(|r| r.abs() < 1e-12) {
                 break;
             }
-            let tree =
-                DecisionTreeRegressor::fit_seeded(features, &residuals, params.tree, stage_idx as u64 + 1)?;
+            let tree = DecisionTreeRegressor::fit_seeded(
+                features,
+                &residuals,
+                params.tree,
+                stage_idx as u64 + 1,
+            )?;
             for (c, row) in current.iter_mut().zip(features) {
                 *c += params.learning_rate * tree.predict_one(row);
             }
@@ -145,7 +147,11 @@ mod tests {
         let (ft, tt) = nonlinear(150, 99);
         let gbt = GradientBoostingRegressor::fit_default(&f, &t).unwrap();
         let preds: Vec<f64> = ft.iter().map(|x| gbt.predict_one(x)).collect();
-        assert!(r2_score(&tt, &preds) > 0.7, "r2 = {}", r2_score(&tt, &preds));
+        assert!(
+            r2_score(&tt, &preds) > 0.7,
+            "r2 = {}",
+            r2_score(&tt, &preds)
+        );
     }
 
     #[test]

@@ -238,7 +238,11 @@ mod tests {
         let mean = t.iter().sum::<f64>() / t.len() as f64;
         let mean_preds = vec![mean; tt.len()];
         assert!(mae(&tt, &preds) < mae(&tt, &mean_preds));
-        assert!(r2_score(&tt, &preds) > 0.5, "r2 = {}", r2_score(&tt, &preds));
+        assert!(
+            r2_score(&tt, &preds) > 0.5,
+            "r2 = {}",
+            r2_score(&tt, &preds)
+        );
     }
 
     #[test]
@@ -258,7 +262,10 @@ mod tests {
         let labels: Vec<usize> = f.iter().map(|x| usize::from(x[0] + x[1] > 1.0)).collect();
         let clf = RandomForestClassifier::fit_default(&f, &labels, 2).unwrap();
         let (ftest, _) = friedman_like(200, 99);
-        let truth: Vec<usize> = ftest.iter().map(|x| usize::from(x[0] + x[1] > 1.0)).collect();
+        let truth: Vec<usize> = ftest
+            .iter()
+            .map(|x| usize::from(x[0] + x[1] > 1.0))
+            .collect();
         let preds = Classifier::predict(&clf, &ftest);
         let cm = confusion_matrix(&truth, &preds, 2);
         assert!(cm.accuracy() > 0.85, "accuracy = {}", cm.accuracy());

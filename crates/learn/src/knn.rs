@@ -87,9 +87,7 @@ impl Regressor for KnnRegressor {
         dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         dist.truncate(self.k);
         match self.weighting {
-            KnnWeighting::Uniform => {
-                dist.iter().map(|(_, t)| t).sum::<f64>() / dist.len() as f64
-            }
+            KnnWeighting::Uniform => dist.iter().map(|(_, t)| t).sum::<f64>() / dist.len() as f64,
             KnnWeighting::InverseDistance => {
                 let mut num = 0.0;
                 let mut den = 0.0;

@@ -40,7 +40,9 @@ pub use error::LearnError;
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use knn::KnnRegressor;
 pub use linear::RidgeRegression;
-pub use metrics::{confusion_matrix, f1_score, mae, mape, precision, r2_score, recall, ConfusionMatrix};
+pub use metrics::{
+    confusion_matrix, f1_score, mae, mape, precision, r2_score, recall, ConfusionMatrix,
+};
 pub use mlp::MlpRegressor;
 pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};
 

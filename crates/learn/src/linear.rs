@@ -135,7 +135,10 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![i as f64, (i * i % 17) as f64])
             .collect();
-        let targets: Vec<f64> = features.iter().map(|f| 3.0 * f[0] - 2.0 * f[1] + 5.0).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|f| 3.0 * f[0] - 2.0 * f[1] + 5.0)
+            .collect();
         let model = RidgeRegression::fit(&features, &targets, 0.0).unwrap();
         assert!((model.weights()[0] - 3.0).abs() < 1e-6);
         assert!((model.weights()[1] + 2.0).abs() < 1e-6);

@@ -48,11 +48,7 @@ pub fn r2_score(truth: &[f64], pred: &[f64]) -> f64 {
     }
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = truth
-        .iter()
-        .zip(pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
     if ss_tot <= f64::EPSILON {
         return 0.0;
     }

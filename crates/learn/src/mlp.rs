@@ -91,23 +91,40 @@ impl MlpRegressor {
         // Standardize inputs and target.
         let (feat_means, feat_stds) = column_stats(features);
         let target_mean = targets.iter().sum::<f64>() / n as f64;
-        let target_var = targets.iter().map(|t| (t - target_mean).powi(2)).sum::<f64>() / n as f64;
-        let target_std = if target_var.sqrt() < 1e-12 { 1.0 } else { target_var.sqrt() };
+        let target_var = targets
+            .iter()
+            .map(|t| (t - target_mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let target_std = if target_var.sqrt() < 1e-12 {
+            1.0
+        } else {
+            target_var.sqrt()
+        };
         let x: Vec<Vec<f64>> = features
             .iter()
             .map(|row| standardize(row, &feat_means, &feat_stds))
             .collect();
-        let y: Vec<f64> = targets.iter().map(|t| (t - target_mean) / target_std).collect();
+        let y: Vec<f64> = targets
+            .iter()
+            .map(|t| (t - target_mean) / target_std)
+            .collect();
 
         let mut rng = SmallRng::seed_from_u64(params.seed);
         let h = params.hidden_units;
         let scale_in = (2.0 / (width as f64 + h as f64)).sqrt();
         let scale_out = (2.0 / (h as f64 + 1.0)).sqrt();
         let mut weights_in: Vec<Vec<f64>> = (0..h)
-            .map(|_| (0..width).map(|_| rng.gen_range(-scale_in..scale_in)).collect())
+            .map(|_| {
+                (0..width)
+                    .map(|_| rng.gen_range(-scale_in..scale_in))
+                    .collect()
+            })
             .collect();
         let mut bias_in = vec![0.0; h];
-        let mut weights_out: Vec<f64> = (0..h).map(|_| rng.gen_range(-scale_out..scale_out)).collect();
+        let mut weights_out: Vec<f64> = (0..h)
+            .map(|_| rng.gen_range(-scale_out..scale_out))
+            .collect();
         let mut bias_out = 0.0;
 
         let mut order: Vec<usize> = (0..n).collect();
@@ -128,12 +145,20 @@ impl MlpRegressor {
                     // Forward pass.
                     let mut hidden = vec![0.0; h];
                     for (j, hj) in hidden.iter_mut().enumerate() {
-                        let z: f64 = weights_in[j].iter().zip(xi).map(|(w, v)| w * v).sum::<f64>()
+                        let z: f64 = weights_in[j]
+                            .iter()
+                            .zip(xi)
+                            .map(|(w, v)| w * v)
+                            .sum::<f64>()
                             + bias_in[j];
                         *hj = z.tanh();
                     }
-                    let pred: f64 =
-                        weights_out.iter().zip(&hidden).map(|(w, a)| w * a).sum::<f64>() + bias_out;
+                    let pred: f64 = weights_out
+                        .iter()
+                        .zip(&hidden)
+                        .map(|(w, a)| w * a)
+                        .sum::<f64>()
+                        + bias_out;
                     let err = pred - y[i];
                     // Backward pass.
                     grad_b_out += err;
@@ -220,7 +245,11 @@ impl Regressor for MlpRegressor {
         let x = standardize(features, &self.feat_means, &self.feat_stds);
         let mut out = self.bias_out;
         for (j, w_out) in self.weights_out.iter().enumerate() {
-            let z: f64 = self.weights_in[j].iter().zip(&x).map(|(w, v)| w * v).sum::<f64>()
+            let z: f64 = self.weights_in[j]
+                .iter()
+                .zip(&x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
                 + self.bias_in[j];
             out += w_out * z.tanh();
         }
@@ -239,13 +268,20 @@ mod tests {
         let targets: Vec<f64> = features.iter().map(|f| 2.0 * f[0] + 1.0).collect();
         let mlp = MlpRegressor::fit_default(&features, &targets).unwrap();
         let preds: Vec<f64> = features.iter().map(|f| mlp.predict_one(f)).collect();
-        assert!(r2_score(&targets, &preds) > 0.95, "r2 = {}", r2_score(&targets, &preds));
+        assert!(
+            r2_score(&targets, &preds) > 0.95,
+            "r2 = {}",
+            r2_score(&targets, &preds)
+        );
     }
 
     #[test]
     fn learns_mildly_nonlinear_function() {
         let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
-        let targets: Vec<f64> = features.iter().map(|f| (f[0]).sin() * 2.0 + 0.5 * f[0]).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|f| (f[0]).sin() * 2.0 + 0.5 * f[0])
+            .collect();
         let mlp = MlpRegressor::fit(
             &features,
             &targets,
@@ -256,7 +292,11 @@ mod tests {
         )
         .unwrap();
         let preds: Vec<f64> = features.iter().map(|f| mlp.predict_one(f)).collect();
-        assert!(r2_score(&targets, &preds) > 0.85, "r2 = {}", r2_score(&targets, &preds));
+        assert!(
+            r2_score(&targets, &preds) > 0.85,
+            "r2 = {}",
+            r2_score(&targets, &preds)
+        );
     }
 
     #[test]

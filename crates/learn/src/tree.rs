@@ -97,7 +97,8 @@ fn leaf_value(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
         Criterion::Variance => idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len() as f64,
         Criterion::Gini => {
             // Majority vote over integer labels.
-            let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<i64, usize> =
+                std::collections::HashMap::new();
             for &i in idx {
                 *counts.entry(targets[i] as i64).or_insert(0) += 1;
             }
@@ -117,11 +118,14 @@ fn impurity(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
         Criterion::Variance => {
             let n = idx.len() as f64;
             let mean = idx.iter().map(|&i| targets[i]).sum::<f64>() / n;
-            idx.iter().map(|&i| (targets[i] - mean).powi(2)).sum::<f64>()
+            idx.iter()
+                .map(|&i| (targets[i] - mean).powi(2))
+                .sum::<f64>()
         }
         Criterion::Gini => {
             let n = idx.len() as f64;
-            let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<i64, usize> =
+                std::collections::HashMap::new();
             for &i in idx {
                 *counts.entry(targets[i] as i64).or_insert(0) += 1;
             }
@@ -202,7 +206,8 @@ impl<'a> Builder<'a> {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             // Scan split positions between distinct values.
-            for pos in self.params.min_samples_leaf..=(sorted_idx.len() - self.params.min_samples_leaf)
+            for pos in
+                self.params.min_samples_leaf..=(sorted_idx.len() - self.params.min_samples_leaf)
             {
                 if pos == 0 || pos == sorted_idx.len() {
                     continue;
@@ -476,12 +481,9 @@ mod tests {
     #[test]
     fn invalid_inputs_are_rejected() {
         assert!(DecisionTreeRegressor::fit(&[], &[], TreeParams::default()).is_err());
-        assert!(DecisionTreeRegressor::fit(
-            &[vec![1.0]],
-            &[1.0, 2.0],
-            TreeParams::default()
-        )
-        .is_err());
+        assert!(
+            DecisionTreeRegressor::fit(&[vec![1.0]], &[1.0, 2.0], TreeParams::default()).is_err()
+        );
         assert!(DecisionTreeRegressor::fit(
             &[vec![1.0], vec![1.0, 2.0]],
             &[1.0, 2.0],

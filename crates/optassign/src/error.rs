@@ -55,7 +55,11 @@ mod tests {
             name: "p3".into(),
         };
         assert!(e.to_string().contains("p3"));
-        assert!(OptAssignError::InfeasibleCapacity.to_string().contains("capacity"));
-        assert!(OptAssignError::InvalidProblem("x".into()).to_string().contains('x'));
+        assert!(OptAssignError::InfeasibleCapacity
+            .to_string()
+            .contains("capacity"));
+        assert!(OptAssignError::InvalidProblem("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

@@ -165,14 +165,18 @@ mod tests {
         let catalog = TierCatalog::azure_adls_gen2();
         let premium = catalog.tier_id("Premium").unwrap();
         let parts = vec![partition(0, 100.0, 50.0)];
-        let problem = OptAssignProblem::new(catalog, parts, 6.0)
-            .with_weights(CostWeights::latency_focused());
+        let problem =
+            OptAssignProblem::new(catalog, parts, 6.0).with_weights(CostWeights::latency_focused());
         let a = solve_greedy(&problem).unwrap();
         assert_eq!(a.choices[0].0, premium);
         // Under total-cost weights the same partition does NOT sit on premium
         // (its storage is 7x hot), showing the weight knob matters.
-        let total = OptAssignProblem::new(TierCatalog::azure_adls_gen2(), vec![partition(0, 100.0, 50.0)], 6.0)
-            .with_weights(CostWeights::total_cost_focused());
+        let total = OptAssignProblem::new(
+            TierCatalog::azure_adls_gen2(),
+            vec![partition(0, 100.0, 50.0)],
+            6.0,
+        )
+        .with_weights(CostWeights::total_cost_focused());
         let b = solve_greedy(&total).unwrap();
         assert_ne!(b.choices[0].0, premium);
     }

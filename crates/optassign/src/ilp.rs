@@ -180,7 +180,9 @@ pub fn solve_branch_and_bound(
     state.search(0, 0.0);
     let proved_optimal = state.stats.nodes_expanded < node_budget;
 
-    let choices = state.best_choices.ok_or(OptAssignError::InfeasibleCapacity)?;
+    let choices = state
+        .best_choices
+        .ok_or(OptAssignError::InfeasibleCapacity)?;
     let mut stats = state.stats;
     stats.proved_optimal = proved_optimal;
     let assignment = Assignment::from_choices(problem, choices)?;

@@ -23,7 +23,12 @@
 //! * [`predictor`] — the Random-Forest tier predictor of §IV-C (features:
 //!   dataset size, age, recent monthly reads/writes; labels: the
 //!   cost-optimal tier) together with the caching/recency baselines of
-//!   Table IV.
+//!   Table IV,
+//! * [`schedule`] — per-billing-period tier schedules: a dynamic program
+//!   that prices storage, accesses, transition costs and day-exact
+//!   early-deletion (residency) penalties per period and finds the
+//!   cost-optimal mid-horizon re-tiering plan, the objective the paper's
+//!   per-billing-period tier changes call for.
 
 #![warn(missing_docs)]
 
@@ -33,14 +38,15 @@ pub mod ilp;
 pub mod matching;
 pub mod predictor;
 pub mod problem;
+pub mod schedule;
 
 pub use error::OptAssignError;
 pub use greedy::solve_greedy;
 pub use ilp::{solve_branch_and_bound, BranchAndBoundStats};
 pub use matching::solve_equal_size_matching;
-pub use predictor::{
-    ideal_tier_labels, PredictorFeatures, TierPredictor, TieringBaseline,
-};
-pub use problem::{
-    Assignment, CompressionOption, OptAssignProblem, PartitionSpec, NO_COMPRESSION,
+pub use predictor::{ideal_tier_labels, PredictorFeatures, TierPredictor, TieringBaseline};
+pub use problem::{Assignment, CompressionOption, OptAssignProblem, PartitionSpec, NO_COMPRESSION};
+pub use schedule::{
+    ideal_tier_schedules, plan_tier_schedule, schedule_cost, PeriodAccess, ScheduleOptions,
+    TierSchedule,
 };

@@ -196,7 +196,11 @@ mod tests {
             vec![3.0, 2.0, 2.0],
         ];
         let assignment = hungarian(&cost);
-        let total: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        let total: f64 = assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| cost[i][j])
+            .sum();
         assert!((total - 5.0).abs() < 1e-9);
         // Columns are distinct.
         let mut cols = assignment.clone();

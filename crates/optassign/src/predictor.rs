@@ -33,19 +33,12 @@ impl Default for PredictorFeatures {
 impl PredictorFeatures {
     /// Extract the feature vector for `dataset` as seen at the beginning of
     /// `at_month` (only months strictly before `at_month` are visible).
-    pub fn extract(
-        &self,
-        dataset: &DatasetMeta,
-        series: &AccessSeries,
-        at_month: u32,
-    ) -> Vec<f64> {
+    pub fn extract(&self, dataset: &DatasetMeta, series: &AccessSeries, at_month: u32) -> Vec<f64> {
         let age = dataset.age_at(at_month).unwrap_or(0) as f64;
         let mut features = vec![dataset.size_gb, age];
         for back in 1..=self.lookback_months {
             let month = at_month.checked_sub(back);
-            let access = month
-                .map(|m| series.get(dataset.id, m))
-                .unwrap_or_default();
+            let access = month.map(|m| series.get(dataset.id, m)).unwrap_or_default();
             features.push(access.reads);
             features.push(access.writes);
         }
@@ -145,8 +138,14 @@ impl TierPredictor {
             if month + horizon_months > series.months() {
                 break;
             }
-            let labels =
-                ideal_tier_labels(catalog, datasets, series, month, horizon_months, current_tier)?;
+            let labels = ideal_tier_labels(
+                catalog,
+                datasets,
+                series,
+                month,
+                horizon_months,
+                current_tier,
+            )?;
             for d in datasets.iter() {
                 if d.created_month > month {
                     continue; // dataset does not exist yet
@@ -207,7 +206,14 @@ impl TierPredictor {
         horizon_months: u32,
         current_tier: TierId,
     ) -> Result<ConfusionMatrix, OptAssignError> {
-        let ideal = ideal_tier_labels(catalog, datasets, series, at_month, horizon_months, current_tier)?;
+        let ideal = ideal_tier_labels(
+            catalog,
+            datasets,
+            series,
+            at_month,
+            horizon_months,
+            current_tier,
+        )?;
         let predicted = self.predict_all(datasets, series, at_month);
         let truth: Vec<usize> = ideal.iter().map(|t| t.index()).collect();
         let preds: Vec<usize> = predicted.iter().map(|t| t.index()).collect();
@@ -313,8 +319,7 @@ mod tests {
         let catalog = TierCatalog::azure_hot_cool();
         let hot = catalog.tier_id("Hot").unwrap();
         let cool = catalog.tier_id("Cool").unwrap();
-        let labels =
-            ideal_tier_labels(&catalog, &w.catalog, &w.series, 10, 4, hot).unwrap();
+        let labels = ideal_tier_labels(&catalog, &w.catalog, &w.series, 10, 4, hot).unwrap();
         assert_eq!(labels.len(), w.catalog.len());
         // Every dataset with zero future reads must be labelled Cool (its
         // storage is cheaper and there is no read penalty).
@@ -378,10 +383,8 @@ mod tests {
         let hot = catalog.tier_id("Hot").unwrap();
         let features = PredictorFeatures::default();
         // Train on months 3..=7, evaluate out-of-time at month 10.
-        let predictor = TierPredictor::train(
-            &catalog, &w.catalog, &w.series, 7, 2, hot, features, 42,
-        )
-        .unwrap();
+        let predictor =
+            TierPredictor::train(&catalog, &w.catalog, &w.series, 7, 2, hot, features, 42).unwrap();
         let cm = predictor
             .evaluate(&catalog, &w.catalog, &w.series, 10, 2, hot)
             .unwrap();
@@ -447,7 +450,9 @@ mod tests {
     #[test]
     fn baseline_names_match_table_iv_style() {
         assert_eq!(TieringBaseline::AllHot.name(), "All hot");
-        assert!(TieringBaseline::HotIfAccessedWithin(2).name().contains("2 mos"));
+        assert!(TieringBaseline::HotIfAccessedWithin(2)
+            .name()
+            .contains("2 mos"));
         assert!(TieringBaseline::PreviousOptimal.name().contains("prev"));
     }
 }

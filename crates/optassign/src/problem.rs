@@ -73,6 +73,11 @@ pub struct PartitionSpec {
     /// Tier the partition currently occupies (`None` = newly ingested,
     /// the paper's `L(P_i) = -1`).
     pub current_tier: Option<TierId>,
+    /// Days the partition has already resided on `current_tier`. Moving it
+    /// off a tier before that tier's minimum residency period is priced as
+    /// an early-deletion penalty for the *unmet* days, so the objective
+    /// sees the same charge the billing engine will levy.
+    pub residency_days: u32,
     /// For existing partitions whose compression must not change: the index
     /// of the only allowed compression option (`K(P_n)`).
     pub fixed_compression: Option<usize>,
@@ -93,6 +98,7 @@ impl PartitionSpec {
             read_fraction: 1.0,
             latency_threshold_seconds: f64::INFINITY,
             current_tier: None,
+            residency_days: 0,
             fixed_compression: None,
             compression_options: vec![CompressionOption::none()],
         }
@@ -107,6 +113,12 @@ impl PartitionSpec {
     /// Builder-style setter for the current tier.
     pub fn with_current_tier(mut self, tier: TierId) -> Self {
         self.current_tier = Some(tier);
+        self
+    }
+
+    /// Builder-style setter for the days already served on the current tier.
+    pub fn with_residency_days(mut self, days: u32) -> Self {
+        self.residency_days = days;
         self
     }
 
@@ -230,6 +242,14 @@ impl OptAssignProblem {
                 )));
             }
             p.validate()?;
+            if let Some(from) = p.current_tier {
+                self.catalog.tier(from).map_err(|e| {
+                    OptAssignError::InvalidProblem(format!(
+                        "partition {} has an unknown current tier: {e}",
+                        p.name
+                    ))
+                })?;
+            }
         }
         Ok(())
     }
@@ -271,6 +291,12 @@ impl OptAssignProblem {
 
     /// Unweighted cost breakdown of placing partition `p` on `tier` with
     /// option `k` over the horizon.
+    ///
+    /// The write term carries the full price of the move: the tier-change
+    /// read+write plus the early-deletion penalty for the unmet days of the
+    /// current tier's minimum residency period (pro-rated by
+    /// [`PartitionSpec::residency_days`]), so the objective matches what
+    /// the billing engine charges for the move.
     pub fn cost_breakdown(&self, p: &PartitionSpec, tier: TierId, k: usize) -> CostBreakdown {
         let model = CostModel::new(self.catalog.clone());
         let opt = &p.compression_options[k];
@@ -278,10 +304,21 @@ impl OptAssignProblem {
         // only touch `read_fraction` of it.
         let stored_gb = p.stored_gb(k);
         let accesses = self.effective_accesses(p);
+        let mut write = model.tier_change_cost(p.current_tier, tier, stored_gb);
+        if let Some(from) = p.current_tier {
+            if from != tier {
+                // Same rule the billing engine applies; `validate` checks
+                // current tiers against the catalog, so lookup cannot fail
+                // for a validated problem.
+                write += model
+                    .early_deletion_penalty(from, p.size_gb, p.residency_days)
+                    .expect("current tier from this catalog");
+            }
+        }
         CostBreakdown {
             storage: model.storage_cost(tier, stored_gb, self.horizon_months),
             read: model.read_cost(tier, stored_gb * p.read_fraction.clamp(0.0, 1.0), accesses),
-            write: model.tier_change_cost(p.current_tier, tier, stored_gb),
+            write,
             decompression: model.decompression_cost(opt.decompress_seconds, accesses),
         }
     }
@@ -428,17 +465,27 @@ mod tests {
     #[test]
     fn validation_catches_malformed_problems() {
         let c = catalog();
-        assert!(OptAssignProblem::new(c.clone(), vec![], 6.0).validate().is_err());
+        assert!(OptAssignProblem::new(c.clone(), vec![], 6.0)
+            .validate()
+            .is_err());
         let mut p = simple_partition(0, 10.0, 5.0);
         p.compression_options[0].ratio = 2.0; // index 0 must be "none" (ratio 1)
-        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0).validate().is_err());
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0)
+            .validate()
+            .is_err());
         let mut p = simple_partition(0, 10.0, 5.0);
         p.id = 5;
-        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0).validate().is_err());
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0)
+            .validate()
+            .is_err());
         let p = simple_partition(0, f64::NAN, 5.0);
-        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0).validate().is_err());
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 6.0)
+            .validate()
+            .is_err());
         let p = simple_partition(0, 10.0, 5.0);
-        assert!(OptAssignProblem::new(c.clone(), vec![p], 0.0).validate().is_err());
+        assert!(OptAssignProblem::new(c.clone(), vec![p], 0.0)
+            .validate()
+            .is_err());
         let good = OptAssignProblem::new(c, vec![simple_partition(0, 10.0, 5.0)], 6.0);
         assert!(good.validate().is_ok());
     }
@@ -508,16 +555,40 @@ mod tests {
         let p = simple_partition(0, 100.0, 20.0);
         let storage_only = OptAssignProblem::new(c.clone(), vec![p.clone()], 6.0)
             .with_weights(CostWeights::new(1.0, 0.0, 0.0));
-        let read_only = OptAssignProblem::new(c, vec![p], 6.0)
-            .with_weights(CostWeights::new(0.0, 1.0, 0.0));
+        let read_only =
+            OptAssignProblem::new(c, vec![p], 6.0).with_weights(CostWeights::new(0.0, 1.0, 0.0));
         let part = &storage_only.partitions[0];
         let b = storage_only.cost_breakdown(part, hot, 0);
         assert!((storage_only.placement_cost(part, hot, 0) - b.storage).abs() < 1e-9);
         assert!(
-            (read_only.placement_cost(&read_only.partitions[0], hot, 0) - (b.read + b.decompression))
+            (read_only.placement_cost(&read_only.partitions[0], hot, 0)
+                - (b.read + b.decompression))
                 .abs()
                 < 1e-9
         );
+    }
+
+    #[test]
+    fn residency_penalty_prices_the_unmet_days_into_the_write_term() {
+        let c = catalog();
+        let cool = c.tier_id("Cool").unwrap();
+        let hot = c.tier_id("Hot").unwrap();
+        let fresh = PartitionSpec::new(0, "fresh", 100.0, 0.0).with_current_tier(cool);
+        let served = PartitionSpec::new(0, "served", 100.0, 0.0)
+            .with_current_tier(cool)
+            .with_residency_days(20);
+        let met = PartitionSpec::new(0, "met", 100.0, 0.0)
+            .with_current_tier(cool)
+            .with_residency_days(30);
+        let problem = OptAssignProblem::new(c, vec![fresh.clone()], 6.0);
+        let move_cost = |p: &PartitionSpec| problem.cost_breakdown(p, hot, 0).write;
+        // Fresh data owes the full 30-day window, 20-day residency owes 10
+        // days, a met window owes nothing beyond the change itself.
+        let change = move_cost(&met);
+        assert!((move_cost(&fresh) - (change + 1.52 * 100.0)).abs() < 1e-9);
+        assert!((move_cost(&served) - (change + 1.52 * 100.0 * (10.0 / 30.0))).abs() < 1e-9);
+        // Staying on the tier owes nothing at all.
+        assert_eq!(problem.cost_breakdown(&fresh, cool, 0).write, 0.0);
     }
 
     #[test]
@@ -537,7 +608,10 @@ mod tests {
         let c = catalog();
         let hot = c.tier_id("Hot").unwrap();
         let cool = c.tier_id("Cool").unwrap();
-        let parts = vec![simple_partition(0, 10.0, 5.0), simple_partition(1, 20.0, 1.0)];
+        let parts = vec![
+            simple_partition(0, 10.0, 5.0),
+            simple_partition(1, 20.0, 1.0),
+        ];
         let problem = OptAssignProblem::new(c, parts, 6.0);
         let a = Assignment::from_choices(&problem, vec![(hot, 1), (cool, 0)]).unwrap();
         assert_eq!(a.tier_histogram(4), vec![0, 1, 1, 0]);

@@ -352,7 +352,9 @@ mod tests {
         assert!(t.project(&["nope"]).is_err());
 
         let sorted = t.sort_by("id").unwrap();
-        let ids: Vec<String> = (0..3).map(|r| sorted.row_strings(r).unwrap()[0].clone()).collect();
+        let ids: Vec<String> = (0..3)
+            .map(|r| sorted.row_strings(r).unwrap()[0].clone())
+            .collect();
         assert_eq!(ids, vec!["1", "2", "3"]);
         assert!(t.sort_by("nope").is_err());
     }

@@ -76,6 +76,8 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("price") && s.contains("10") && s.contains('7'));
-        assert!(TableError::UnknownColumn("x".into()).to_string().contains('x'));
+        assert!(TableError::UnknownColumn("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

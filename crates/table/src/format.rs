@@ -59,7 +59,10 @@ pub fn to_csv(table: &Table) -> Bytes {
     out.put_slice(names.join(",").as_bytes());
     out.put_u8(b'\n');
     for row in 0..table.n_rows() {
-        for (i, col) in (0..table.n_columns()).map(|c| (c, table.column(c))).collect::<Vec<_>>() {
+        for (i, col) in (0..table.n_columns())
+            .map(|c| (c, table.column(c)))
+            .collect::<Vec<_>>()
+        {
             if i > 0 {
                 out.put_u8(b',');
             }

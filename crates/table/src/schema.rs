@@ -83,10 +83,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, ColumnType)]) -> Self {
         Schema {
-            columns: pairs
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            columns: pairs.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         }
     }
 

@@ -138,12 +138,28 @@ const RETURN_FLAGS: &[&str] = &["R", "A", "N"];
 const LINE_STATUS: &[&str] = &["O", "F"];
 const ORDER_STATUS: &[&str] = &["O", "F", "P"];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
-const CONTAINERS: &[&str] = &[
-    "SM CASE", "SM BOX", "SM PACK", "LG CASE", "LG BOX", "LG PACK", "MED BAG", "MED BOX",
-    "JUMBO JAR", "WRAP CAN",
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
 ];
-const BRANDS: &[&str] = &["Brand#11", "Brand#12", "Brand#21", "Brand#23", "Brand#34", "Brand#45"];
+const CONTAINERS: &[&str] = &[
+    "SM CASE",
+    "SM BOX",
+    "SM PACK",
+    "LG CASE",
+    "LG BOX",
+    "LG PACK",
+    "MED BAG",
+    "MED BOX",
+    "JUMBO JAR",
+    "WRAP CAN",
+];
+const BRANDS: &[&str] = &[
+    "Brand#11", "Brand#12", "Brand#21", "Brand#23", "Brand#34", "Brand#45",
+];
 const TYPES: &[&str] = &[
     "STANDARD ANODIZED TIN",
     "SMALL PLATED COPPER",
@@ -153,23 +169,106 @@ const TYPES: &[&str] = &[
     "LARGE BURNISHED COPPER",
 ];
 const COLORS: &[&str] = &[
-    "almond", "azure", "beige", "blush", "chartreuse", "coral", "cream", "dark", "forest",
-    "ghost", "honeydew", "ivory", "lace", "lemon", "magenta", "navy", "olive", "peach", "plum",
-    "rose", "saddle", "sandy", "sienna", "smoke", "thistle", "turquoise", "violet", "wheat",
+    "almond",
+    "azure",
+    "beige",
+    "blush",
+    "chartreuse",
+    "coral",
+    "cream",
+    "dark",
+    "forest",
+    "ghost",
+    "honeydew",
+    "ivory",
+    "lace",
+    "lemon",
+    "magenta",
+    "navy",
+    "olive",
+    "peach",
+    "plum",
+    "rose",
+    "saddle",
+    "sandy",
+    "sienna",
+    "smoke",
+    "thistle",
+    "turquoise",
+    "violet",
+    "wheat",
 ];
 const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const COMMENT_WORDS: &[&str] = &[
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "requests", "accounts",
-    "packages", "instructions", "theodolites", "platelets", "pinto", "beans", "foxes", "ideas",
-    "dependencies", "excuses", "asymptotes", "courts", "dolphins", "sleep", "wake", "nag",
-    "haggle", "boost", "engage", "detect", "integrate", "among", "across", "above", "final",
-    "regular", "express", "special", "pending", "ironic", "even", "bold", "unusual", "silent",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "excuses",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "sleep",
+    "wake",
+    "nag",
+    "haggle",
+    "boost",
+    "engage",
+    "detect",
+    "integrate",
+    "among",
+    "across",
+    "above",
+    "final",
+    "regular",
+    "express",
+    "special",
+    "pending",
+    "ironic",
+    "even",
+    "bold",
+    "unusual",
+    "silent",
 ];
 
 /// TPC-H date range: 1992-01-01 .. 1998-12-01, expressed in days since the
@@ -206,10 +305,7 @@ impl Sampler {
         match self.skew {
             None => self.rng.gen_range(0..n),
             Some(s) => {
-                let z = self
-                    .zipfs
-                    .entry(n)
-                    .or_insert_with(|| Zipf::new(n, s));
+                let z = self.zipfs.entry(n).or_insert_with(|| Zipf::new(n, s));
                 z.sample(&mut self.rng)
             }
         }
@@ -634,7 +730,12 @@ impl TpchGenerator {
                 ColumnData::Int((0..n as i64).map(|i| i % 5).collect()),
                 ColumnData::Text(
                     (0..n)
-                        .map(|i| format!("{} established trading nation", COMMENT_WORDS[i % COMMENT_WORDS.len()]))
+                        .map(|i| {
+                            format!(
+                                "{} established trading nation",
+                                COMMENT_WORDS[i % COMMENT_WORDS.len()]
+                            )
+                        })
                         .collect(),
                 ),
             ],
@@ -657,7 +758,12 @@ impl TpchGenerator {
                 ColumnData::Text(REGIONS.iter().map(|s| s.to_string()).collect()),
                 ColumnData::Text(
                     (0..n)
-                        .map(|i| format!("{} region of commerce", COMMENT_WORDS[i % COMMENT_WORDS.len()]))
+                        .map(|i| {
+                            format!(
+                                "{} region of commerce",
+                                COMMENT_WORDS[i % COMMENT_WORDS.len()]
+                            )
+                        })
                         .collect(),
                 ),
             ],
@@ -712,8 +818,12 @@ mod tests {
             scale_factor: 0.05,
             ..Default::default()
         };
-        let a = TpchGenerator::new(opts.clone()).unwrap().generate(TpchTable::Orders);
-        let b = TpchGenerator::new(opts).unwrap().generate(TpchTable::Orders);
+        let a = TpchGenerator::new(opts.clone())
+            .unwrap()
+            .generate(TpchTable::Orders);
+        let b = TpchGenerator::new(opts)
+            .unwrap()
+            .generate(TpchTable::Orders);
         assert_eq!(a, b);
     }
 
@@ -746,8 +856,16 @@ mod tests {
             let max = counts.values().copied().max().unwrap_or(0);
             max as f64 / keys.len() as f64
         };
-        assert!(top_share(&skewed) > 0.5, "skewed top share = {}", top_share(&skewed));
-        assert!(top_share(&uniform) < 0.1, "uniform top share = {}", top_share(&uniform));
+        assert!(
+            top_share(&skewed) > 0.5,
+            "skewed top share = {}",
+            top_share(&skewed)
+        );
+        assert!(
+            top_share(&uniform) < 0.1,
+            "uniform top share = {}",
+            top_share(&uniform)
+        );
     }
 
     #[test]

@@ -70,12 +70,16 @@ impl AccessSeries {
 
     /// Total reads of a dataset over a month range `[from, to)`.
     pub fn total_reads(&self, dataset: usize, from: u32, to: u32) -> f64 {
-        (from..to.min(self.months)).map(|m| self.get(dataset, m).reads).sum()
+        (from..to.min(self.months))
+            .map(|m| self.get(dataset, m).reads)
+            .sum()
     }
 
     /// Total writes of a dataset over a month range `[from, to)`.
     pub fn total_writes(&self, dataset: usize, from: u32, to: u32) -> f64 {
-        (from..to.min(self.months)).map(|m| self.get(dataset, m).writes).sum()
+        (from..to.min(self.months))
+            .map(|m| self.get(dataset, m).writes)
+            .sum()
     }
 
     /// Total reads across all datasets in one month.

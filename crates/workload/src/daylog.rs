@@ -1,0 +1,190 @@
+//! Day-resolution access log: the source of truth the monthly series is a
+//! view of.
+//!
+//! The tier optimizer's *features* stay monthly (the paper aggregates
+//! "monthly read and write accesses for the last few months"), but billing
+//! is day-granular: storage is pro-rated by days and early deletion is
+//! billed per day of unmet residency. [`DailyAccessLog`] records accesses
+//! at day resolution; [`DailyAccessLog::monthly_view`] aggregates it into
+//! the legacy [`AccessSeries`], making the monthly series a derived view
+//! rather than the generator's native output.
+
+use crate::access_log::{AccessSeries, MonthlyAccess};
+use serde::{Deserialize, Serialize};
+
+/// Days per billing month used when aggregating day-stamped records into
+/// monthly buckets (mirrors `scope_cloudsim::timeline::DAYS_PER_MONTH`; the
+/// constant is duplicated because this crate does not depend on the cloud
+/// substrate).
+pub const DAYS_PER_MONTH: u32 = 30;
+
+/// Read/write counts of one dataset on one day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DailyAccess {
+    /// Dataset id the accesses belong to.
+    pub dataset: usize,
+    /// Day index (0-based) from the start of the simulated history.
+    pub day: u32,
+    /// Number of read accesses on this day.
+    pub reads: f64,
+    /// Number of write accesses on this day.
+    pub writes: f64,
+    /// Average fraction of the dataset scanned per read (1.0 = full scans).
+    pub read_fraction: f64,
+}
+
+/// Day-resolution access log over a horizon of consecutive days.
+///
+/// Records are stored in insertion order; the generator emits them sorted
+/// by `(dataset, day)` but the log itself imposes no ordering.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DailyAccessLog {
+    records: Vec<DailyAccess>,
+    horizon_days: u32,
+}
+
+impl DailyAccessLog {
+    /// Create an empty log covering `horizon_days` days.
+    pub fn new(horizon_days: u32) -> Self {
+        DailyAccessLog {
+            records: Vec::new(),
+            horizon_days,
+        }
+    }
+
+    /// Number of days covered.
+    pub fn horizon_days(&self) -> u32 {
+        self.horizon_days
+    }
+
+    /// Append a record. Records at or beyond the horizon are ignored, like
+    /// out-of-range months in [`AccessSeries::set`].
+    pub fn push(&mut self, record: DailyAccess) {
+        if record.day < self.horizon_days {
+            self.records.push(record);
+        }
+    }
+
+    /// The recorded day-stamped accesses.
+    pub fn records(&self) -> &[DailyAccess] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total reads of one dataset over a day range `[from, to)`.
+    pub fn total_reads(&self, dataset: usize, from_day: u32, to_day: u32) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.dataset == dataset && r.day >= from_day && r.day < to_day)
+            .map(|r| r.reads)
+            .sum()
+    }
+
+    /// Aggregate the day-stamped records into the legacy monthly series:
+    /// reads and writes are summed per `DAYS_PER_MONTH`-day bucket and the
+    /// monthly read fraction is the read-weighted average of the daily
+    /// fractions (1.0 when a month has no reads, matching
+    /// [`MonthlyAccess::default`]-adjacent semantics of "fraction is
+    /// irrelevant without reads").
+    pub fn monthly_view(&self) -> AccessSeries {
+        let months = self.horizon_days.div_ceil(DAYS_PER_MONTH);
+        let mut series = AccessSeries::new(months);
+        // (reads, writes, volume-weighted fraction) per (dataset, month).
+        let mut acc: std::collections::BTreeMap<(usize, u32), (f64, f64, f64)> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            let month = r.day / DAYS_PER_MONTH;
+            let e = acc.entry((r.dataset, month)).or_insert((0.0, 0.0, 0.0));
+            e.0 += r.reads;
+            e.1 += r.writes;
+            e.2 += r.reads * r.read_fraction;
+        }
+        for ((dataset, month), (reads, writes, weighted)) in acc {
+            let read_fraction = if reads > 0.0 { weighted / reads } else { 1.0 };
+            series.set(
+                dataset,
+                month,
+                MonthlyAccess {
+                    reads,
+                    writes,
+                    read_fraction,
+                },
+            );
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(dataset: usize, day: u32, reads: f64, writes: f64, fraction: f64) -> DailyAccess {
+        DailyAccess {
+            dataset,
+            day,
+            reads,
+            writes,
+            read_fraction: fraction,
+        }
+    }
+
+    #[test]
+    fn push_and_horizon_filtering() {
+        let mut log = DailyAccessLog::new(60);
+        log.push(record(0, 0, 1.0, 0.0, 1.0));
+        log.push(record(0, 59, 2.0, 1.0, 0.5));
+        log.push(record(0, 60, 99.0, 0.0, 1.0)); // beyond horizon: dropped
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.horizon_days(), 60);
+        assert!(!log.is_empty());
+        assert_eq!(log.total_reads(0, 0, 60), 3.0);
+        assert_eq!(log.total_reads(0, 30, 60), 2.0);
+    }
+
+    #[test]
+    fn monthly_view_buckets_by_30_days() {
+        let mut log = DailyAccessLog::new(90);
+        log.push(record(0, 3, 4.0, 1.0, 1.0));
+        log.push(record(0, 29, 6.0, 0.0, 0.5));
+        log.push(record(0, 30, 8.0, 2.0, 0.25));
+        log.push(record(1, 75, 1.0, 0.0, 1.0));
+        let series = log.monthly_view();
+        assert_eq!(series.months(), 3);
+        let m0 = series.get(0, 0);
+        assert_eq!(m0.reads, 10.0);
+        assert_eq!(m0.writes, 1.0);
+        // Read-weighted fraction: (4*1.0 + 6*0.5) / 10.
+        assert!((m0.read_fraction - 0.7).abs() < 1e-12);
+        assert_eq!(series.get(0, 1).reads, 8.0);
+        assert_eq!(series.get(1, 2).reads, 1.0);
+        assert_eq!(series.get(1, 0).reads, 0.0);
+    }
+
+    #[test]
+    fn monthly_view_of_writes_only_day_keeps_default_fraction() {
+        let mut log = DailyAccessLog::new(30);
+        log.push(record(0, 5, 0.0, 3.0, 0.4));
+        let m = log.monthly_view().get(0, 0);
+        assert_eq!(m.writes, 3.0);
+        assert_eq!(m.reads, 0.0);
+        assert_eq!(m.read_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_log_views_as_empty_series() {
+        let log = DailyAccessLog::new(45);
+        let series = log.monthly_view();
+        assert_eq!(series.months(), 2);
+        assert_eq!(series.dataset_count(), 0);
+    }
+}

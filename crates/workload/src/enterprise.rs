@@ -19,6 +19,7 @@
 
 use crate::access_log::{AccessSeries, MonthlyAccess};
 use crate::dataset::{DatasetCatalog, DatasetMeta};
+use crate::daylog::{DailyAccess, DailyAccessLog, DAYS_PER_MONTH};
 use crate::error::WorkloadError;
 use crate::patterns::AccessPattern;
 use rand::rngs::SmallRng;
@@ -98,13 +99,20 @@ impl EnterpriseOptions {
     }
 }
 
-/// A generated enterprise workload: catalog + access series.
+/// A generated enterprise workload: catalog + day-resolution access log
+/// (+ its monthly aggregation).
 #[derive(Debug, Clone)]
 pub struct EnterpriseWorkload {
     /// The dataset catalog.
     pub catalog: DatasetCatalog,
-    /// Monthly access counts over history + future months.
+    /// Monthly access counts over history + future months. This is the
+    /// aggregation [`EnterpriseWorkload::daily`] rolls up to (kept
+    /// materialized because the tier predictor's features are monthly).
     pub series: AccessSeries,
+    /// Day-resolution access log: each month's sampled accesses spread over
+    /// the days of that billing period. The source of truth for
+    /// day-granular billing; `series` is its monthly view.
+    pub daily: DailyAccessLog,
     /// The options the workload was generated with.
     pub options: EnterpriseOptions,
 }
@@ -149,8 +157,7 @@ impl EnterpriseWorkload {
             // rarely-read raw data (up to max_size_gb). This size/heat
             // anticorrelation is what makes storage dominate account cost
             // and produces the large Table II benefits and the Fig 3 shape.
-            let size_cap_gb = (options.max_size_gb / (1.0 + volume / 5.0))
-                .max(options.min_size_gb);
+            let size_cap_gb = (options.max_size_gb / (1.0 + volume / 5.0)).max(options.min_size_gb);
             let log_min = options.min_size_gb.ln();
             let log_max = size_cap_gb.ln();
             let size_gb = (log_min + rng.gen::<f64>() * (log_max - log_min)).exp();
@@ -175,7 +182,9 @@ impl EnterpriseWorkload {
                 AccessPattern::Periodic {
                     base: (volume / total_months as f64 * 0.3).max(0.1),
                     peak: volume * 0.3,
-                    period: *[6u32, 12].get(rng.gen_range(0..2usize)).expect("two options"),
+                    period: *[6u32, 12]
+                        .get(rng.gen_range(0..2usize))
+                        .expect("two options"),
                 }
             } else {
                 AccessPattern::Spike {
@@ -184,7 +193,11 @@ impl EnterpriseWorkload {
                 }
             };
             // Latency SLAs: most data is best-effort; 10% needs sub-second.
-            let latency_threshold_seconds = if rng.gen::<f64>() < 0.1 { 1.0 } else { f64::INFINITY };
+            let latency_threshold_seconds = if rng.gen::<f64>() < 0.1 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
             datasets.push(DatasetMeta {
                 id: idx,
                 name: format!("dataset-{idx:04}"),
@@ -222,9 +235,43 @@ impl EnterpriseWorkload {
                 );
             }
         }
+        // Spread each month's sampled counts over the days of its billing
+        // period. A *separate* RNG keeps the monthly stream above untouched,
+        // so monthly statistics (and everything trained/validated on them)
+        // are unchanged by the day-resolution refinement; the monthly series
+        // is exactly the day log's monthly view.
+        let mut day_rng = SmallRng::seed_from_u64(options.seed ^ 0xD1B5_4A32_D192_ED03);
+        let mut daily = DailyAccessLog::new(total_months * DAYS_PER_MONTH);
+        for d in catalog.iter() {
+            for month in d.created_month..total_months {
+                let acc = series.get(d.id, month);
+                if acc.reads <= 0.0 && acc.writes <= 0.0 {
+                    continue;
+                }
+                let base_day = month * DAYS_PER_MONTH;
+                let mut reads_per_day = [0.0f64; DAYS_PER_MONTH as usize];
+                let mut writes_per_day = [0.0f64; DAYS_PER_MONTH as usize];
+                spread_over_days(&mut day_rng, acc.reads, &mut reads_per_day);
+                spread_over_days(&mut day_rng, acc.writes, &mut writes_per_day);
+                for (offset, (&reads, &writes)) in
+                    reads_per_day.iter().zip(&writes_per_day).enumerate()
+                {
+                    if reads > 0.0 || writes > 0.0 {
+                        daily.push(DailyAccess {
+                            dataset: d.id,
+                            day: base_day + offset as u32,
+                            reads,
+                            writes,
+                            read_fraction: acc.read_fraction,
+                        });
+                    }
+                }
+            }
+        }
         Ok(EnterpriseWorkload {
             catalog,
             series,
+            daily,
             options,
         })
     }
@@ -272,6 +319,21 @@ fn sample_count<R: Rng>(rng: &mut R, expected: f64) -> f64 {
     }
     let noise = rng.gen_range(0.7..1.3);
     (expected * noise).round().max(0.0)
+}
+
+/// Spread an integer-valued monthly count uniformly over the days of the
+/// month: each unit lands on an independently drawn day, so the per-day
+/// counts sum to the monthly count exactly.
+fn spread_over_days<R: Rng>(rng: &mut R, count: f64, per_day: &mut [f64; 30]) {
+    if !(count > 0.0) {
+        return;
+    }
+    // Monthly counts are `sample_count` outputs (rounded, bounded noise);
+    // the cap only guards against pathological hand-built series.
+    let units = count.min(50_000_000.0) as u64;
+    for _ in 0..units {
+        per_day[rng.gen_range(0..per_day.len())] += 1.0;
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +464,52 @@ mod tests {
         let b = EnterpriseWorkload::generate(small_options()).unwrap();
         assert_eq!(a.catalog, b.catalog);
         assert_eq!(a.series, b.series);
+        assert_eq!(a.daily, b.daily);
+    }
+
+    #[test]
+    fn daily_log_aggregates_back_to_the_monthly_series() {
+        // The monthly series is a *view* of the day log: per-month read and
+        // write counts must round-trip exactly (counts are spread unit by
+        // unit), and read volumes (reads × fraction) must agree to float
+        // accumulation error.
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        let view = w.series.months();
+        let monthly = w.daily.monthly_view();
+        assert_eq!(monthly.months(), view);
+        for d in w.catalog.iter() {
+            for month in 0..view {
+                let orig = w.series.get(d.id, month);
+                let agg = monthly.get(d.id, month);
+                assert_eq!(agg.reads, orig.reads, "dataset {} month {month}", d.id);
+                assert_eq!(agg.writes, orig.writes, "dataset {} month {month}", d.id);
+                let orig_volume = orig.reads * orig.read_fraction;
+                let agg_volume = agg.reads * agg.read_fraction;
+                assert!(
+                    (agg_volume - orig_volume).abs() < 1e-6 * (1.0 + orig_volume),
+                    "dataset {} month {month}: volume {agg_volume} vs {orig_volume}",
+                    d.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn daily_log_stays_within_each_dataset_lifetime() {
+        let w = EnterpriseWorkload::generate(small_options()).unwrap();
+        assert!(!w.daily.is_empty());
+        let horizon_days = w.series.months() * 30;
+        assert_eq!(w.daily.horizon_days(), horizon_days);
+        for r in w.daily.records() {
+            assert!(r.day < horizon_days);
+            let created_day = w.catalog.get(r.dataset).unwrap().created_month * 30;
+            assert!(
+                r.day >= created_day,
+                "dataset {} accessed on day {} before creation day {created_day}",
+                r.dataset,
+                r.day
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(WorkloadError::InvalidOption("x".into()).to_string().contains('x'));
+        assert!(WorkloadError::InvalidOption("x".into())
+            .to_string()
+            .contains('x'));
         assert!(WorkloadError::UnknownDataset(3).to_string().contains('3'));
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod access_log;
 pub mod dataset;
+pub mod daylog;
 pub mod enterprise;
 pub mod error;
 pub mod patterns;
@@ -30,6 +31,7 @@ pub mod queries;
 
 pub use access_log::{AccessSeries, MonthlyAccess};
 pub use dataset::{DatasetCatalog, DatasetMeta};
+pub use daylog::{DailyAccess, DailyAccessLog};
 pub use enterprise::{EnterpriseOptions, EnterpriseWorkload};
 pub use error::WorkloadError;
 pub use patterns::AccessPattern;

@@ -86,26 +86,128 @@ impl TpchQueryTemplate {
         };
         vec![
             t(1, &[("lineitem", 0.95, true)]),
-            t(2, &[("part", 0.2, false), ("supplier", 1.0, false), ("partsupp", 0.3, false), ("nation", 1.0, false), ("region", 1.0, false)]),
-            t(3, &[("customer", 0.2, false), ("orders", 0.5, true), ("lineitem", 0.5, true)]),
+            t(
+                2,
+                &[
+                    ("part", 0.2, false),
+                    ("supplier", 1.0, false),
+                    ("partsupp", 0.3, false),
+                    ("nation", 1.0, false),
+                    ("region", 1.0, false),
+                ],
+            ),
+            t(
+                3,
+                &[
+                    ("customer", 0.2, false),
+                    ("orders", 0.5, true),
+                    ("lineitem", 0.5, true),
+                ],
+            ),
             t(4, &[("orders", 0.25, true), ("lineitem", 0.25, true)]),
-            t(5, &[("customer", 1.0, false), ("orders", 0.15, true), ("lineitem", 0.15, true), ("supplier", 1.0, false), ("nation", 1.0, false), ("region", 1.0, false)]),
+            t(
+                5,
+                &[
+                    ("customer", 1.0, false),
+                    ("orders", 0.15, true),
+                    ("lineitem", 0.15, true),
+                    ("supplier", 1.0, false),
+                    ("nation", 1.0, false),
+                    ("region", 1.0, false),
+                ],
+            ),
             t(6, &[("lineitem", 0.15, true)]),
-            t(7, &[("supplier", 1.0, false), ("lineitem", 0.3, true), ("orders", 0.3, true), ("customer", 1.0, false), ("nation", 1.0, false)]),
-            t(8, &[("part", 0.05, false), ("supplier", 1.0, false), ("lineitem", 0.3, true), ("orders", 0.3, true), ("customer", 1.0, false), ("nation", 1.0, false), ("region", 1.0, false)]),
-            t(9, &[("part", 0.1, false), ("supplier", 1.0, false), ("lineitem", 0.6, false), ("partsupp", 0.4, false), ("orders", 0.6, false), ("nation", 1.0, false)]),
-            t(10, &[("customer", 1.0, false), ("orders", 0.1, true), ("lineitem", 0.1, true), ("nation", 1.0, false)]),
-            t(11, &[("partsupp", 0.5, false), ("supplier", 1.0, false), ("nation", 1.0, false)]),
+            t(
+                7,
+                &[
+                    ("supplier", 1.0, false),
+                    ("lineitem", 0.3, true),
+                    ("orders", 0.3, true),
+                    ("customer", 1.0, false),
+                    ("nation", 1.0, false),
+                ],
+            ),
+            t(
+                8,
+                &[
+                    ("part", 0.05, false),
+                    ("supplier", 1.0, false),
+                    ("lineitem", 0.3, true),
+                    ("orders", 0.3, true),
+                    ("customer", 1.0, false),
+                    ("nation", 1.0, false),
+                    ("region", 1.0, false),
+                ],
+            ),
+            t(
+                9,
+                &[
+                    ("part", 0.1, false),
+                    ("supplier", 1.0, false),
+                    ("lineitem", 0.6, false),
+                    ("partsupp", 0.4, false),
+                    ("orders", 0.6, false),
+                    ("nation", 1.0, false),
+                ],
+            ),
+            t(
+                10,
+                &[
+                    ("customer", 1.0, false),
+                    ("orders", 0.1, true),
+                    ("lineitem", 0.1, true),
+                    ("nation", 1.0, false),
+                ],
+            ),
+            t(
+                11,
+                &[
+                    ("partsupp", 0.5, false),
+                    ("supplier", 1.0, false),
+                    ("nation", 1.0, false),
+                ],
+            ),
             t(12, &[("orders", 0.3, true), ("lineitem", 0.15, true)]),
             t(13, &[("customer", 1.0, false), ("orders", 1.0, false)]),
             t(14, &[("lineitem", 0.08, true), ("part", 0.3, false)]),
             t(15, &[("lineitem", 0.12, true), ("supplier", 1.0, false)]),
-            t(16, &[("partsupp", 0.6, false), ("part", 0.3, false), ("supplier", 0.2, false)]),
+            t(
+                16,
+                &[
+                    ("partsupp", 0.6, false),
+                    ("part", 0.3, false),
+                    ("supplier", 0.2, false),
+                ],
+            ),
             t(17, &[("lineitem", 0.1, false), ("part", 0.02, false)]),
-            t(18, &[("customer", 0.3, false), ("orders", 0.6, false), ("lineitem", 0.6, false)]),
+            t(
+                18,
+                &[
+                    ("customer", 0.3, false),
+                    ("orders", 0.6, false),
+                    ("lineitem", 0.6, false),
+                ],
+            ),
             t(19, &[("lineitem", 0.05, false), ("part", 0.05, false)]),
-            t(20, &[("supplier", 1.0, false), ("nation", 1.0, false), ("partsupp", 0.3, false), ("part", 0.1, false), ("lineitem", 0.2, true)]),
-            t(21, &[("supplier", 1.0, false), ("lineitem", 0.5, false), ("orders", 0.5, false), ("nation", 1.0, false)]),
+            t(
+                20,
+                &[
+                    ("supplier", 1.0, false),
+                    ("nation", 1.0, false),
+                    ("partsupp", 0.3, false),
+                    ("part", 0.1, false),
+                    ("lineitem", 0.2, true),
+                ],
+            ),
+            t(
+                21,
+                &[
+                    ("supplier", 1.0, false),
+                    ("lineitem", 0.5, false),
+                    ("orders", 0.5, false),
+                    ("nation", 1.0, false),
+                ],
+            ),
             t(22, &[("customer", 0.3, false), ("orders", 0.4, false)]),
         ]
     }
@@ -166,9 +268,7 @@ impl QueryWorkload {
         let templates = TpchQueryTemplate::all();
         let mut rng = SmallRng::seed_from_u64(options.seed);
         let total_queries = options.queries_per_template * templates.len();
-        let zipf = options
-            .template_skew
-            .map(|s| Zipf::new(templates.len(), s));
+        let zipf = options.template_skew.map(|s| Zipf::new(templates.len(), s));
 
         let file_count = |table: &str| -> usize {
             table_files
@@ -348,8 +448,8 @@ mod tests {
 
     #[test]
     fn tpch_workload_covers_templates_and_respects_layout() {
-        let w = QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default())
-            .unwrap();
+        let w =
+            QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default()).unwrap();
         assert!(!w.families.is_empty());
         // Total query executions = 22 templates * 20 queries.
         assert_eq!(w.total_queries(), 440.0);
@@ -371,10 +471,10 @@ mod tests {
 
     #[test]
     fn workload_generation_is_deterministic() {
-        let a = QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default())
-            .unwrap();
-        let b = QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default())
-            .unwrap();
+        let a =
+            QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default()).unwrap();
+        let b =
+            QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default()).unwrap();
         assert_eq!(a, b);
     }
 

@@ -47,8 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
     println!("Building ground truth by compressing {} query samples and {} random samples (gzip, csv layout)...",
         samples.len(), random.len());
-    let query_examples = build_examples(&samples, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
-    let random_examples = build_examples(&random, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
+    let query_examples = build_examples(
+        &samples,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &extractor,
+    );
+    let random_examples = build_examples(
+        &random,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &extractor,
+    );
 
     // Table V flavour: query-based vs random samples, Random Forest.
     let split = query_examples.len() * 3 / 4;
@@ -70,8 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nCompression-ratio prediction on held-out query samples (paper Table V):");
     let q_eval = rf_query.evaluate(test_q);
     let r_eval = rf_random.evaluate(test_q);
-    println!("  trained on query samples : MAE {:.3}  MAPE {:.2}%  R2 {:.3}", q_eval.mae, q_eval.mape, q_eval.r2);
-    println!("  trained on random samples: MAE {:.3}  MAPE {:.2}%  R2 {:.3}", r_eval.mae, r_eval.mape, r_eval.r2);
+    println!(
+        "  trained on query samples : MAE {:.3}  MAPE {:.2}%  R2 {:.3}",
+        q_eval.mae, q_eval.mape, q_eval.r2
+    );
+    println!(
+        "  trained on random samples: MAE {:.3}  MAPE {:.2}%  R2 {:.3}",
+        r_eval.mae, r_eval.mape, r_eval.r2
+    );
 
     // Table VI flavour: model family sweep on query samples.
     println!("\nModel family comparison (paper Table VI, gzip / csv):");

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Table IV: OPTASSIGN vs intuitive baselines.
     println!("\nTiering policies vs the all-hot platform baseline:");
-    println!("{:<42} {:>10} {:>9} {:>10}", "Model", "Access", "Months", "Benefit %");
+    println!(
+        "{:<42} {:>10} {:>9} {:>10}",
+        "Model", "Access", "Months", "Benefit %"
+    );
     for row in tiering_baseline_comparison(&account)? {
         println!(
             "{:<42} {:>10} {:>9} {:>10.2}",
@@ -53,13 +56,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Table II: several customer accounts.
     let accounts = vec![
-        ("Customer A".to_string(), EnterpriseOptions { n_datasets: 250, seed: 1, ..account.clone() }),
-        ("Customer B".to_string(), EnterpriseOptions { n_datasets: 180, seed: 2, ..account.clone() }),
-        ("Customer C".to_string(), EnterpriseOptions { n_datasets: 120, seed: 3, ..account.clone() }),
-        ("Customer D".to_string(), EnterpriseOptions { n_datasets: 150, seed: 4, ..account }),
+        (
+            "Customer A".to_string(),
+            EnterpriseOptions {
+                n_datasets: 250,
+                seed: 1,
+                ..account.clone()
+            },
+        ),
+        (
+            "Customer B".to_string(),
+            EnterpriseOptions {
+                n_datasets: 180,
+                seed: 2,
+                ..account.clone()
+            },
+        ),
+        (
+            "Customer C".to_string(),
+            EnterpriseOptions {
+                n_datasets: 120,
+                seed: 3,
+                ..account.clone()
+            },
+        ),
+        (
+            "Customer D".to_string(),
+            EnterpriseOptions {
+                n_datasets: 150,
+                seed: 4,
+                ..account
+            },
+        ),
     ];
     println!("\nProjected % cost benefit per customer account (paper Table II):");
-    println!("{:<12} {:>14} {:>10} {:>10}", "Customer", "Size (PB)", "2 months", "6 months");
+    println!(
+        "{:<12} {:>14} {:>10} {:>10}",
+        "Customer", "Size (PB)", "2 months", "6 months"
+    );
     for row in customer_benefit_table(&accounts)? {
         println!(
             "{:<12} {:>14.4} {:>10.2} {:>10.2}",

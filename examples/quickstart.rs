@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (_, tier) in catalog.iter() {
         println!(
             "  {:8} storage {:>7.3} c/GB/mo   read {:>8.5} c/GB   TTFB {:>9.4} s",
-            tier.name, tier.storage_cost_cents_per_gb_month, tier.read_cost_cents_per_gb, tier.ttfb_seconds
+            tier.name,
+            tier.storage_cost_cents_per_gb_month,
+            tier.read_cost_cents_per_gb,
+            tier.ttfb_seconds
         );
     }
 

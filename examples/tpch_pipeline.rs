@@ -18,7 +18,12 @@ fn print_table(label: &str, inputs: &PipelineInputs) -> Result<(), Box<dyn std::
     for o in run_all_policies(inputs)? {
         println!(
             "{:<42} {:>10.1} {:>9.1} {:>9.1} {:>10.1}  {:?}",
-            o.policy, o.storage_cost, o.read_cost, o.decompression_cost, o.total_cost, o.tiering_scheme
+            o.policy,
+            o.storage_cost,
+            o.read_cost,
+            o.decompression_cost,
+            o.total_cost,
+            o.tiering_scheme
         );
     }
     Ok(())

@@ -98,7 +98,9 @@ pub struct Bytes {
 impl Bytes {
     /// Copy a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Length in bytes.
@@ -182,7 +184,10 @@ mod tests {
         assert_eq!(frozen.len(), 3 + 1 + 4 + 8 + 8 + 8);
         assert_eq!(&frozen[..3], b"hdr");
         assert_eq!(frozen[3], 7);
-        assert_eq!(u32::from_le_bytes(frozen[4..8].try_into().unwrap()), 0xDEADBEEF);
+        assert_eq!(
+            u32::from_le_bytes(frozen[4..8].try_into().unwrap()),
+            0xDEADBEEF
+        );
         assert_eq!(f64::from_le_bytes(frozen[24..32].try_into().unwrap()), 1.5);
         assert_eq!(frozen.to_vec().len(), frozen.len());
     }

@@ -234,7 +234,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.benchmark_group(name.to_string()).bench_function(name, f);
+        self.benchmark_group(name.to_string())
+            .bench_function(name, f);
         self
     }
 }

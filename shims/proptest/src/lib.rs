@@ -167,13 +167,19 @@ pub mod collection {
     impl From<::core::ops::Range<usize>> for SizeRange {
         fn from(r: ::core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<::core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: ::core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -224,9 +230,13 @@ where
         seed = seed.wrapping_mul(0x100000001b3);
     }
     for case_index in 0..config.cases {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (case_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (case_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
         if let Err(message) = case(&mut rng) {
-            panic!("proptest case {case_index}/{} of '{test_name}' failed: {message}", config.cases);
+            panic!(
+                "proptest case {case_index}/{} of '{test_name}' failed: {message}",
+                config.cases
+            );
         }
     }
 }
@@ -307,7 +317,9 @@ macro_rules! prop_assert_ne {
         if left == right {
             return ::core::result::Result::Err(format!(
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($left), stringify!($right), left,
+                stringify!($left),
+                stringify!($right),
+                left,
             ));
         }
     }};
@@ -335,11 +347,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest case")]
     fn failing_property_panics_with_case_number() {
-        crate::run_cases(
-            &ProptestConfig::with_cases(4),
-            "always_fails",
-            |_| Err("boom".to_string()),
-        );
+        crate::run_cases(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            Err("boom".to_string())
+        });
     }
 
     #[test]

@@ -34,10 +34,18 @@ fn query_sampled_predictor_beats_random_sampled_predictor() {
     let query_tables = query_samples(&orders, &files, &workload.families).unwrap();
     let random_tables = random_samples(&orders, query_tables.len(), 60, 3).unwrap();
 
-    let query_examples =
-        build_examples(&query_tables, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
-    let random_examples =
-        build_examples(&random_tables, CompressionScheme::Gzip, DataLayout::Csv, &extractor);
+    let query_examples = build_examples(
+        &query_tables,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &extractor,
+    );
+    let random_examples = build_examples(
+        &random_tables,
+        CompressionScheme::Gzip,
+        DataLayout::Csv,
+        &extractor,
+    );
 
     let split = query_examples.len() * 2 / 3;
     let (train_q, test_q) = query_examples.split_at(split.max(4));
@@ -65,7 +73,11 @@ fn query_sampled_predictor_beats_random_sampled_predictor() {
         eval_q.mae,
         eval_r.mae
     );
-    assert!(eval_q.mape < 25.0, "query-sample MAPE too high: {}", eval_q.mape);
+    assert!(
+        eval_q.mape < 25.0,
+        "query-sample MAPE too high: {}",
+        eval_q.mape
+    );
 }
 
 #[test]

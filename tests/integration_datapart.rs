@@ -34,8 +34,8 @@ fn file_catalog() -> FileCatalog {
 
 #[test]
 fn gpart_on_a_real_workload_sits_between_the_baselines() {
-    let workload = QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default())
-        .unwrap();
+    let workload =
+        QueryWorkload::generate_tpch(&tpch_layout(), &QueryWorkloadOptions::default()).unwrap();
     let initial = Partition::from_families(&workload.families);
     let catalog = file_catalog();
     let nm = metrics::evaluate(&no_merge(&initial), &catalog).unwrap();

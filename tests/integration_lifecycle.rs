@@ -1,0 +1,59 @@
+//! End-to-end test of the lifecycle scenario: a generated enterprise
+//! account whose datasets cool over time is planned with per-billing-period
+//! tier schedules and replayed through the day-granular billing engine,
+//! threading workload → optassign → cloudsim → core in one pass.
+
+use scope_core::{lifecycle_tradeoff, run_lifecycle, LifecycleOptions};
+use scope_workload::EnterpriseOptions;
+
+fn options() -> LifecycleOptions {
+    LifecycleOptions {
+        workload: EnterpriseOptions {
+            n_datasets: 80,
+            history_months: 8,
+            future_months: 6,
+            seed: 7,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn lifecycle_scenario_runs_end_to_end_and_beats_frozen_placements() {
+    let outcome = run_lifecycle(&options()).unwrap();
+    // The whole trace fits the horizon.
+    assert_eq!(outcome.dropped_events, 0);
+    // The optimized placements beat the all-hot platform default, and the
+    // per-period schedules beat the best frozen placement: cooling datasets
+    // make mid-horizon re-tiering worth real money.
+    assert!(outcome.benefit_static > 0.0, "{outcome:?}");
+    assert!(
+        outcome.benefit_scheduled > outcome.benefit_static,
+        "{outcome:?}"
+    );
+    assert!(outcome.transitions > 0, "{outcome:?}");
+    // Sanity: totals are positive and ordered.
+    assert!(outcome.scheduled_total > 0.0);
+    assert!(outcome.scheduled_total < outcome.static_total);
+    assert!(outcome.static_total < outcome.all_hot_total);
+}
+
+#[test]
+fn retier_granularity_tradeoff_is_monotone() {
+    let sweep = lifecycle_tradeoff(&options(), &[1, 2, 6]).unwrap();
+    assert_eq!(sweep.len(), 3);
+    // Finer re-tiering granularity never costs more; the horizon-length
+    // granularity degenerates to a frozen placement.
+    for w in sweep.windows(2) {
+        assert!(
+            w[0].1.scheduled_total <= w[1].1.scheduled_total * (1.0 + 1e-9),
+            "granularity {} total {} vs granularity {} total {}",
+            w[0].0,
+            w[0].1.scheduled_total,
+            w[1].0,
+            w[1].1.scheduled_total,
+        );
+    }
+    assert_eq!(sweep[2].1.transitions, 0);
+}

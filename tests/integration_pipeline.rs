@@ -88,7 +88,11 @@ fn outcomes_are_internally_consistent() {
             + outcome.read_cost
             + outcome.write_cost
             + outcome.decompression_cost;
-        assert!((outcome.total_cost - sum).abs() < 1e-6, "{}", outcome.policy);
+        assert!(
+            (outcome.total_cost - sum).abs() < 1e-6,
+            "{}",
+            outcome.policy
+        );
         // Tier histogram covers every partition.
         assert_eq!(
             outcome.tiering_scheme.iter().sum::<usize>(),
