@@ -26,6 +26,28 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+# Release-mode test pass: the optimizer DP oracles and proptests are an
+# order of magnitude slower in debug, and release occasionally surfaces
+# optimization-dependent float bugs debug hides. The total-count floor is
+# the pre-PR-3 baseline — if the suite ever shrinks below it, tests were
+# lost, not just reorganised.
+min_tests=369
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo test -q --release (count floor: $min_tests)"
+    release_out=$(cargo test -q --release 2>&1) || {
+        echo "$release_out"
+        echo "FAIL: release test run failed"
+        exit 1
+    }
+    total=$(echo "$release_out" | grep -E '^test result' \
+        | grep -oE '[0-9]+ passed' | awk '{s += $1} END {print s + 0}')
+    echo "    $total tests passed in release mode"
+    if [[ "$total" -lt "$min_tests" ]]; then
+        echo "FAIL: release test count $total dropped below the baseline $min_tests"
+        exit 1
+    fi
+fi
+
 echo "==> cargo bench --no-run (criterion benches must compile)"
 cargo bench --no-run
 

@@ -1,0 +1,85 @@
+//! Criterion benchmarks over the merged multi-provider tier space: the
+//! greedy solver on the 12-tier azure/s3/gcs catalog and the egress-aware
+//! schedule DP, so the cost of tripling the decision space shows up in the
+//! perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_cloudsim::{CostModel, ProviderCatalog};
+use scope_optassign::{
+    plan_tier_schedule_with_model, solve_greedy, OptAssignProblem, PartitionSpec, PeriodAccess,
+    ScheduleOptions,
+};
+
+/// Random partitions homed on azure:Hot with mixed heat and occasional
+/// sub-second latency SLAs (the enterprise-account shape).
+fn partitions(n: usize, providers: &ProviderCatalog) -> Vec<PartitionSpec> {
+    let home = providers.merged_tier_id("azure", "Hot").expect("home tier");
+    let mut rng = SmallRng::seed_from_u64(99);
+    (0..n)
+        .map(|i| {
+            let mut p = PartitionSpec::new(
+                i,
+                format!("p{i}"),
+                rng.gen_range(1.0..2000.0),
+                if rng.gen_range(0..3) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..200.0)
+                },
+            )
+            .with_current_tier(home);
+            if rng.gen_range(0..10) == 0 {
+                p = p.with_latency_threshold(1.0);
+            }
+            p
+        })
+        .collect()
+}
+
+fn bench_merged_greedy(c: &mut Criterion) {
+    let providers = ProviderCatalog::azure_s3_gcs();
+    let mut group = c.benchmark_group("multicloud_greedy");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let problem = OptAssignProblem::multi_provider(&providers, partitions(n, &providers), 6.0);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, problem| {
+            b.iter(|| solve_greedy(problem).expect("merged instance solves"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merged_schedule_dp(c: &mut Criterion) {
+    let providers = ProviderCatalog::azure_s3_gcs();
+    let model = CostModel::with_topology(providers.merged_catalog(), providers.topology());
+    let home = providers.merged_tier_id("azure", "Hot").expect("home tier");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("multicloud_schedule_dp");
+    group.sample_size(10);
+    for n_periods in [6usize, 12] {
+        let periods: Vec<PeriodAccess> = (0..n_periods)
+            .map(|p| PeriodAccess::new(rng.gen_range(0.0..5_000.0) / (1 + p) as f64, 0.0))
+            .collect();
+        let options = ScheduleOptions {
+            current_tier: Some(home),
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_periods),
+            &periods,
+            |b, periods| {
+                b.iter(|| {
+                    plan_tier_schedule_with_model(&model, 500.0, periods, &options, None)
+                        .expect("merged DP plans")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merged_greedy, bench_merged_schedule_dp);
+criterion_main!(benches);

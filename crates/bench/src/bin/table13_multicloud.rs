@@ -1,0 +1,75 @@
+//! Beyond the paper: cross-provider placement over the merged
+//! azure/s3/gcs tier space, single-provider vs egress-aware cross-provider
+//! planning at several egress price points (the SkyStore-style experiment
+//! the multi-provider catalog enables).
+
+use scope_bench::heading;
+use scope_core::{multicloud_egress_sweep, MultiCloudOptions};
+use scope_workload::EnterpriseOptions;
+
+fn main() {
+    let options = MultiCloudOptions {
+        workload: EnterpriseOptions {
+            n_datasets: 200,
+            history_months: 8,
+            future_months: 6,
+            seed: 7,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    heading("Multi-cloud placement — cooling account, home = azure:Hot");
+    println!("(egress scale 1 = discounted interconnect rates, ~5 = public internet prices)\n");
+    let sweep = multicloud_egress_sweep(&options, &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0])
+        .expect("multicloud sweep runs");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "scale",
+        "best single",
+        "cross total",
+        "egress paid",
+        "x-moves",
+        "best 1p",
+        "benefit 1p%",
+        "benefit x%"
+    );
+    for (scale, o) in &sweep {
+        println!(
+            "{:<8} {:>14.1} {:>14.1} {:>12.1} {:>12} {:>10} {:>12.2} {:>12.2}",
+            scale,
+            o.best_single_total,
+            o.cross_total,
+            o.cross_egress,
+            o.cross_provider_moves,
+            o.best_single_provider,
+            o.benefit_best_single,
+            o.benefit_cross
+        );
+    }
+
+    heading("Per-provider split at the interconnect price point (scale 1)");
+    let (_, at_one) = sweep
+        .iter()
+        .find(|(s, _)| *s == 1.0)
+        .expect("scale 1 is in the sweep");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "provider", "total (c)", "egress (c)", "transitions"
+    );
+    for s in &at_one.single {
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>12}",
+            s.provider, s.total, s.egress, s.transitions
+        );
+    }
+    println!(
+        "\ncross-provider: total {:.1} c, egress {:.1} c, {} transitions ({} cross-cloud), \
+         {:.2}% saved vs best single provider",
+        at_one.cross_total,
+        at_one.cross_egress,
+        at_one.cross_transitions,
+        at_one.cross_provider_moves,
+        at_one.savings_vs_best_single
+    );
+}

@@ -19,6 +19,7 @@
 
 use crate::cost::{CostBreakdown, CostModel, ObjectSpec};
 use crate::error::CloudSimError;
+use crate::providers::ProviderCatalog;
 use crate::tiers::{TierCatalog, TierId};
 use crate::timeline::{events_from_monthly, BillingEvent, PlacementSchedule, DAYS_PER_MONTH};
 use serde::{Deserialize, Serialize};
@@ -170,6 +171,24 @@ impl BillingSimulator {
         }
     }
 
+    /// Create a simulator over a multi-provider catalog: placements use
+    /// merged [`TierId`]s (see
+    /// [`ProviderCatalog::merged_catalog`]) and schedule segments that
+    /// cross providers are charged the egress rate of the provider pair in
+    /// addition to the usual read+write transfer.
+    pub fn multi_provider(providers: &ProviderCatalog) -> Self {
+        BillingSimulator {
+            model: CostModel::with_topology(providers.merged_catalog(), providers.topology()),
+            objects: Vec::new(),
+            schedules: HashMap::new(),
+        }
+    }
+
+    /// The cost model the simulator bills with.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
     /// Register an object with a placement frozen for the whole horizon.
     pub fn place(&mut self, obj: ObjectSpec, placement: Placement) -> Result<(), CloudSimError> {
         self.place_scheduled(obj, PlacementSchedule::constant(placement))
@@ -229,7 +248,11 @@ impl BillingSimulator {
     ///   overlaps.
     /// * **Tier changes** (including the initial move off
     ///   [`ObjectSpec::current_tier`] at day 0) are charged in the period
-    ///   the transition day falls in.
+    ///   the transition day falls in. In a multi-provider simulator
+    ///   ([`BillingSimulator::multi_provider`]) a change whose source and
+    ///   destination tiers belong to different providers additionally
+    ///   books the provider-pair egress charge into
+    ///   [`CostBreakdown::egress`].
     /// * **Early deletion** is exact to the day: moving an object off a
     ///   tier with a minimum residency period charges the *unmet* days —
     ///   the residency period minus the days actually served on that tier
@@ -299,18 +322,47 @@ impl BillingSimulator {
                 // nothing, as before: the pre-horizon compression state is
                 // unknown.)
                 let period = (seg.start_day / DAYS_PER_MONTH) as usize;
-                let change = if prev_tier != Some(seg.placement.tier) {
-                    self.model
-                        .tier_change_cost(prev_tier, seg.placement.tier, stored_gb)
+                let (change, egress) = if prev_tier != Some(seg.placement.tier) {
+                    if let (true, Some(from)) = (seg.start_day > 0, prev_tier) {
+                        // Mid-horizon move: the read off the old tier (and
+                        // the egress, billed by the source provider) cover
+                        // the bytes actually resident there, which a
+                        // simultaneous recompression can make different
+                        // from the new stored size.
+                        (
+                            self.model.read_cost(from, prev_stored_gb, 1.0)
+                                + self.model.write_cost(seg.placement.tier, stored_gb),
+                            self.model
+                                .egress_cost(prev_tier, seg.placement.tier, prev_stored_gb),
+                        )
+                    } else {
+                        // Initial move at day 0: the pre-horizon
+                        // compression state is unknown, so the legacy
+                        // convention prices the read+write on the
+                        // destination's stored size — but egress (new in
+                        // the provider layer, no legacy constraint)
+                        // covers the bytes leaving the source, same as
+                        // the mid-horizon rule above.
+                        (
+                            self.model
+                                .read_write_cost(prev_tier, seg.placement.tier, stored_gb),
+                            self.model
+                                .egress_cost(prev_tier, seg.placement.tier, prev_stored_gb),
+                        )
+                    }
                 } else if seg.start_day > 0 && stored_gb != prev_stored_gb {
-                    self.model
-                        .read_cost(seg.placement.tier, prev_stored_gb, 1.0)
-                        + self.model.write_cost(seg.placement.tier, stored_gb)
+                    (
+                        self.model
+                            .read_cost(seg.placement.tier, prev_stored_gb, 1.0)
+                            + self.model.write_cost(seg.placement.tier, stored_gb),
+                        0.0,
+                    )
                 } else {
-                    0.0
+                    (0.0, 0.0)
                 };
                 months[period].breakdown.write += change;
-                obj_total += change;
+                months[period].breakdown.egress += egress;
+                obj_total += change + egress;
 
                 // Early-deletion penalty, pro-rated by the days already
                 // served on the tier being left.
@@ -735,6 +787,129 @@ mod tests {
         let month = 10.0 * 2.08;
         assert!((report.months[0].breakdown.storage - month).abs() < 1e-9);
         assert!((report.months[1].breakdown.storage - month * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_horizon_move_with_recompression_reads_the_old_stored_bytes() {
+        // Regression test: a tier change that also recompresses once priced
+        // the source-tier read on the *destination's* stored size. 100 GB
+        // uncompressed on Hot moving to Cool at 2:1 must read 100 GB off
+        // Hot and write 50 GB onto Cool.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(hot)).with_transition(
+            30,
+            Placement {
+                tier: cool,
+                compression_ratio: 2.0,
+                decompression_seconds: 0.5,
+            },
+        );
+        s.place_scheduled(ObjectSpec::new("a", 100.0).on_tier(hot), schedule)
+            .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        let expected = 100.0 * 0.01331 + 50.0 * 0.02662;
+        assert!(
+            (report.months[1].breakdown.write - expected).abs() < 1e-9,
+            "write {} expected {}",
+            report.months[1].breakdown.write,
+            expected
+        );
+        // And the egress of a cross-provider move covers the source bytes.
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let merged = providers.merged_catalog();
+        let azure_hot = merged.tier_id("azure:Hot").unwrap();
+        let gcs_coldline = merged.tier_id("gcs:Coldline").unwrap();
+        let mut s = BillingSimulator::multi_provider(&providers);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(azure_hot))
+            .with_transition(
+                30,
+                Placement {
+                    tier: gcs_coldline,
+                    compression_ratio: 2.0,
+                    decompression_seconds: 0.5,
+                },
+            );
+        s.place_scheduled(ObjectSpec::new("a", 100.0).on_tier(azure_hot), schedule)
+            .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        assert!(
+            (report.months[1].breakdown.egress - 2.0 * 100.0).abs() < 1e-9,
+            "egress {} should cover the 100 GB leaving azure",
+            report.months[1].breakdown.egress
+        );
+        // The same migration performed at day 0 books the same egress: the
+        // egress base is the source bytes regardless of when the move
+        // happens or how the destination compresses.
+        let mut s = BillingSimulator::multi_provider(&providers);
+        s.place(
+            ObjectSpec::new("a", 100.0).on_tier(azure_hot),
+            Placement {
+                tier: gcs_coldline,
+                compression_ratio: 2.0,
+                decompression_seconds: 0.5,
+            },
+        )
+        .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        assert!(
+            (report.months[0].breakdown.egress - 2.0 * 100.0).abs() < 1e-9,
+            "day-0 egress {} should also cover the 100 GB leaving azure",
+            report.months[0].breakdown.egress
+        );
+    }
+
+    #[test]
+    fn cross_provider_segment_books_egress_in_the_period_of_the_move() {
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let merged = providers.merged_catalog();
+        let azure_hot = merged.tier_id("azure:Hot").unwrap();
+        let gcs_coldline = merged.tier_id("gcs:Coldline").unwrap();
+        let mut s = BillingSimulator::multi_provider(&providers);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(azure_hot))
+            .with_transition(30, Placement::uncompressed(gcs_coldline));
+        s.place_scheduled(ObjectSpec::new("a", 100.0).on_tier(azure_hot), schedule)
+            .unwrap();
+        let report = s.run_days(90, &[]).unwrap();
+        // The azure→gcs move (2.0 c/GB over 100 GB) lands in period 1.
+        assert_eq!(report.months[0].breakdown.egress, 0.0);
+        assert!((report.months[1].breakdown.egress - 200.0).abs() < 1e-9);
+        assert_eq!(report.months[2].breakdown.egress, 0.0);
+        // Read+write transfer is booked separately in the write term.
+        assert!(report.months[1].breakdown.write > 0.0);
+        // Per-object attribution carries the egress too.
+        let total_months: f64 = report.months.iter().map(|m| m.total()).sum();
+        assert!((report.per_object["a"] - total_months).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intra_provider_moves_in_a_multi_catalog_pay_no_egress() {
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let merged = providers.merged_catalog();
+        let hot = merged.tier_id("azure:Hot").unwrap();
+        let cool = merged.tier_id("azure:Cool").unwrap();
+        let mut s = BillingSimulator::multi_provider(&providers);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(hot))
+            .with_transition(30, Placement::uncompressed(cool));
+        s.place_scheduled(ObjectSpec::new("a", 100.0).on_tier(hot), schedule)
+            .unwrap();
+        let report = s.run_days(60, &[]).unwrap();
+        assert_eq!(report.total_breakdown().egress, 0.0);
+        // And the totals match the plain single-provider simulator running
+        // the same schedule (azure merged ids coincide with local ids).
+        let single_cat = TierCatalog::azure_adls_gen2();
+        let sh = single_cat.tier_id("Hot").unwrap();
+        let sc = single_cat.tier_id("Cool").unwrap();
+        let mut single = BillingSimulator::new(single_cat);
+        let schedule = PlacementSchedule::constant(Placement::uncompressed(sh))
+            .with_transition(30, Placement::uncompressed(sc));
+        single
+            .place_scheduled(ObjectSpec::new("a", 100.0).on_tier(sh), schedule)
+            .unwrap();
+        let reference = single.run_days(60, &[]).unwrap();
+        assert_eq!(report, reference);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! focused" variants of Tables IX–XI.
 
 use crate::error::CloudSimError;
+use crate::providers::ProviderTopology;
 use crate::tiers::{TierCatalog, TierId};
 use serde::{Deserialize, Serialize};
 
@@ -141,12 +142,14 @@ pub struct CostBreakdown {
     pub write: f64,
     /// Decompression compute cost.
     pub decompression: f64,
+    /// Inter-provider egress cost (zero in single-provider models).
+    pub egress: f64,
 }
 
 impl CostBreakdown {
     /// Sum of all components.
     pub fn total(&self) -> f64 {
-        self.storage + self.read + self.write + self.decompression
+        self.storage + self.read + self.write + self.decompression + self.egress
     }
 
     /// Element-wise sum of two breakdowns.
@@ -156,6 +159,7 @@ impl CostBreakdown {
             read: self.read + other.read,
             write: self.write + other.write,
             decompression: self.decompression + other.decompression,
+            egress: self.egress + other.egress,
         }
     }
 
@@ -165,24 +169,65 @@ impl CostBreakdown {
         self.read += other.read;
         self.write += other.write;
         self.decompression += other.decompression;
+        self.egress += other.egress;
     }
 }
 
-/// Cost model over a [`TierCatalog`].
+/// Cost model over a [`TierCatalog`], optionally provider-aware.
+///
+/// With a [`ProviderTopology`] attached (via [`CostModel::with_topology`],
+/// typically over a merged multi-provider catalog), tier changes that cross
+/// providers additionally pay the egress rate of the source→destination
+/// provider pair. Without one, every cost is identical to the historical
+/// single-provider model.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     catalog: TierCatalog,
+    topology: Option<ProviderTopology>,
 }
 
 impl CostModel {
-    /// Create a cost model for the given catalog.
+    /// Create a cost model for the given catalog (single-provider: no
+    /// egress anywhere).
     pub fn new(catalog: TierCatalog) -> Self {
-        CostModel { catalog }
+        CostModel {
+            catalog,
+            topology: None,
+        }
+    }
+
+    /// Create a provider-aware cost model: `catalog` is a merged
+    /// multi-provider catalog and `topology` its provider/egress companion
+    /// (see [`ProviderCatalog`](crate::ProviderCatalog)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology does not cover the catalog tier-for-tier — a
+    /// mismatched (catalog, topology) pair would otherwise silently price
+    /// every uncovered tier's egress as zero.
+    pub fn with_topology(catalog: TierCatalog, topology: ProviderTopology) -> Self {
+        assert_eq!(
+            topology.tier_count(),
+            catalog.len(),
+            "provider topology covers {} tiers but the catalog has {} — \
+             catalog and topology must come from the same ProviderCatalog",
+            topology.tier_count(),
+            catalog.len()
+        );
+        CostModel {
+            catalog,
+            topology: Some(topology),
+        }
     }
 
     /// The underlying tier catalog.
     pub fn catalog(&self) -> &TierCatalog {
         &self.catalog
+    }
+
+    /// The provider topology, if this model is provider-aware.
+    pub fn topology(&self) -> Option<&ProviderTopology> {
+        self.topology.as_ref()
     }
 
     /// Storage cost (cents) of keeping `size_gb` gigabytes on `tier` for
@@ -207,16 +252,42 @@ impl CostModel {
         t.write_cost_cents_per_gb * size_gb
     }
 
-    /// Tier change cost `Delta_{u,v}` for moving `size_gb` GB from `from` to
-    /// `to`: a read from the source tier plus a write to the destination.
-    /// Moving data to the tier it already occupies is free; newly ingested
-    /// data (`from == None`) only pays the write.
-    pub fn tier_change_cost(&self, from: Option<TierId>, to: TierId, size_gb: f64) -> f64 {
+    /// Inter-provider egress cost (cents) of moving `size_gb` GB from
+    /// `from` to `to`: the source provider's egress rate towards the
+    /// destination provider. Zero when the model has no topology, for new
+    /// ingests (`from == None`), and for intra-provider moves.
+    pub fn egress_cost(&self, from: Option<TierId>, to: TierId, size_gb: f64) -> f64 {
+        match (&self.topology, from) {
+            (Some(topo), Some(f)) if f != to => topo.tier_egress_rate(f, to) * size_gb,
+            _ => 0.0,
+        }
+    }
+
+    /// The intra-cloud half of a tier change: a read off the source tier
+    /// plus a write onto the destination (no egress). Moving data to the
+    /// tier it already occupies is free; newly ingested data
+    /// (`from == None`) only pays the write. Callers that bill egress
+    /// separately compose this with [`CostModel::egress_cost`] on the
+    /// source-resident byte count, which can differ from `size_gb` when a
+    /// move also changes compression.
+    pub fn read_write_cost(&self, from: Option<TierId>, to: TierId, size_gb: f64) -> f64 {
         match from {
             Some(f) if f == to => 0.0,
             Some(f) => self.read_cost(f, size_gb, 1.0) + self.write_cost(to, size_gb),
             None => self.write_cost(to, size_gb),
         }
+    }
+
+    /// Tier change cost `Delta_{u,v}` for moving `size_gb` GB from `from` to
+    /// `to`: a read from the source tier plus a write to the destination,
+    /// plus — in a provider-aware model — the inter-provider egress charge.
+    /// The single size covers both ends, so this is the right call for
+    /// moves that keep the stored byte count (e.g. the uncompressed
+    /// schedule DP); compression-changing moves should compose
+    /// [`CostModel::read_write_cost`] and [`CostModel::egress_cost`] with
+    /// their respective byte counts.
+    pub fn tier_change_cost(&self, from: Option<TierId>, to: TierId, size_gb: f64) -> f64 {
+        self.read_write_cost(from, to, size_gb) + self.egress_cost(from, to, size_gb)
     }
 
     /// Decompression compute cost (cents) for `accesses` accesses each
@@ -262,11 +333,16 @@ impl CostModel {
         decompression_seconds: f64,
     ) -> CostBreakdown {
         let stored_gb = obj.size_gb / compression_ratio.max(f64::MIN_POSITIVE);
+        let write = self.read_write_cost(obj.current_tier, tier, stored_gb);
         CostBreakdown {
             storage: self.storage_cost(tier, stored_gb, months),
             read: self.read_cost(tier, stored_gb, accesses),
-            write: self.tier_change_cost(obj.current_tier, tier, stored_gb),
+            write,
             decompression: self.decompression_cost(decompression_seconds, accesses),
+            // Egress covers the bytes leaving the source tier — the
+            // object's current (uncompressed) size — matching how the
+            // billing engine charges the move.
+            egress: self.egress_cost(obj.current_tier, tier, obj.size_gb),
         }
     }
 
@@ -293,7 +369,7 @@ impl CostModel {
             decompression_seconds,
         );
         weights.alpha * b.storage
-            + weights.gamma * b.write
+            + weights.gamma * (b.write + b.egress)
             + weights.beta * (b.read + b.decompression)
     }
 
@@ -406,18 +482,77 @@ mod tests {
             read: 2.0,
             write: 3.0,
             decompression: 4.0,
+            egress: 5.0,
         };
         let b = CostBreakdown {
             storage: 0.5,
             read: 0.5,
             write: 0.5,
             decompression: 0.5,
+            egress: 0.5,
         };
-        assert_eq!(a.total(), 10.0);
+        assert_eq!(a.total(), 15.0);
         let mut acc = a;
         acc.accumulate(&b);
-        assert_eq!(acc.total(), 12.0);
-        assert_eq!(a.add(&b).total(), 12.0);
+        assert_eq!(acc.total(), 17.5);
+        assert_eq!(a.add(&b).total(), 17.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must come from the same ProviderCatalog")]
+    fn mismatched_topology_is_rejected_at_construction() {
+        use crate::providers::ProviderCatalog;
+        // A topology for the 12-tier merged catalog paired with the 4-tier
+        // azure catalog would silently price egress as zero for every tier
+        // it does not cover; the constructor refuses the pair instead.
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let _ = CostModel::with_topology(TierCatalog::azure_adls_gen2(), providers.topology());
+    }
+
+    #[test]
+    fn topology_adds_egress_to_cross_provider_moves_only() {
+        use crate::providers::ProviderCatalog;
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let m = CostModel::with_topology(providers.merged_catalog(), providers.topology());
+        let azure_hot = m.catalog().tier_id("azure:Hot").unwrap();
+        let azure_cool = m.catalog().tier_id("azure:Cool").unwrap();
+        let s3_ia = m.catalog().tier_id("s3:Standard-IA").unwrap();
+
+        // Intra-provider: same as the topology-free model.
+        let single = CostModel::new(TierCatalog::azure_adls_gen2());
+        let hot = single.catalog().tier_id("Hot").unwrap();
+        let cool = single.catalog().tier_id("Cool").unwrap();
+        assert_eq!(
+            m.tier_change_cost(Some(azure_hot), azure_cool, 100.0),
+            single.tier_change_cost(Some(hot), cool, 100.0)
+        );
+        assert_eq!(m.egress_cost(Some(azure_hot), azure_cool, 100.0), 0.0);
+
+        // Cross-provider: the azure→s3 rate (2.0 c/GB) on top of read+write.
+        let rw = m.read_write_cost(Some(azure_hot), s3_ia, 100.0);
+        let eg = m.egress_cost(Some(azure_hot), s3_ia, 100.0);
+        assert!((eg - 2.0 * 100.0).abs() < 1e-9);
+        assert!((m.tier_change_cost(Some(azure_hot), s3_ia, 100.0) - (rw + eg)).abs() < 1e-12);
+        // New ingests and stay-put moves never pay egress.
+        assert_eq!(m.egress_cost(None, s3_ia, 100.0), 0.0);
+        assert_eq!(m.egress_cost(Some(s3_ia), s3_ia, 100.0), 0.0);
+
+        // The breakdown splits egress out of the write term, and the
+        // objective charges it under gamma.
+        let obj = ObjectSpec::new("d", 100.0).on_tier(azure_hot);
+        let b = m.total_cost(&obj, s3_ia, 6.0, 0.0, 1.0, 0.0);
+        assert!((b.egress - 200.0).abs() < 1e-9);
+        assert!((b.write - rw).abs() < 1e-12);
+        let gamma_only = m.objective(
+            &obj,
+            s3_ia,
+            6.0,
+            0.0,
+            1.0,
+            0.0,
+            &CostWeights::new(0.0, 0.0, 1.0),
+        );
+        assert!((gamma_only - (b.write + b.egress)).abs() < 1e-12);
     }
 
     #[test]

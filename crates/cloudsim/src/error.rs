@@ -7,6 +7,12 @@ use std::fmt;
 pub enum CloudSimError {
     /// A tier name or id was requested that does not exist in the catalog.
     UnknownTier(String),
+    /// A provider name or id was requested that does not exist in the
+    /// provider catalog.
+    UnknownProvider(String),
+    /// A provider catalog was constructed with a malformed egress matrix
+    /// (wrong shape, negative/non-finite rate, or non-zero diagonal).
+    InvalidEgressMatrix(String),
     /// A tier catalog was constructed with no tiers.
     EmptyCatalog,
     /// An object size, access count or horizon was negative or non-finite.
@@ -31,6 +37,12 @@ impl fmt::Display for CloudSimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CloudSimError::UnknownTier(name) => write!(f, "unknown storage tier: {name}"),
+            CloudSimError::UnknownProvider(name) => {
+                write!(f, "unknown storage provider: {name}")
+            }
+            CloudSimError::InvalidEgressMatrix(why) => {
+                write!(f, "invalid egress matrix: {why}")
+            }
             CloudSimError::EmptyCatalog => write!(f, "tier catalog must contain at least one tier"),
             CloudSimError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name}: {value}")

@@ -27,6 +27,30 @@
 //!   (and the "% cost benefit" numbers of Tables II and IV) exactly.
 //! * [`timeline`] — the day-granular time axis: [`BillingEvent`],
 //!   [`PlacementSchedule`], schedule segments and day/period arithmetic.
+//! * [`ProviderCatalog`] — multi-provider tier catalogs: named providers,
+//!   each with its own tier ladder and residency rules, plus a
+//!   per-provider-pair egress cost matrix. Its merged tier space (and the
+//!   [`ProviderTopology`] companion) lets the cost model, the billing
+//!   engine ([`BillingSimulator::multi_provider`]) and every optimizer in
+//!   `scope-optassign` price cross-provider placement honestly.
+//!
+//! ## Shipped provider catalogs ([`ProviderCatalog::azure_s3_gcs`])
+//!
+//! | Provider | Tiers (storage c/GB/mo)                                                       | Residency rules (min. days) |
+//! |----------|-------------------------------------------------------------------------------|-----------------------------|
+//! | `azure`  | Premium (15.0), Hot (2.08), Cool (1.52), Archive (0.099)                       | Cool 30, Archive 180        |
+//! | `s3`     | Standard (2.3), Standard-IA (1.25), Glacier-IR (0.4), Deep-Archive (0.099)     | IA 30, GIR 90, Deep 180     |
+//! | `gcs`    | Standard (2.0), Nearline (1.0), Coldline (0.4), Archive (0.12) — all ms-latency | NL 30, CL 90, Archive 365   |
+//!
+//! Egress matrix (cents/GB, discounted interconnect rates; scale with
+//! [`ProviderCatalog::with_egress_scale`] — ×5 approximates the public
+//! internet prices):
+//!
+//! | from \ to | azure | s3  | gcs |
+//! |-----------|-------|-----|-----|
+//! | azure     | 0     | 2.0 | 2.0 |
+//! | s3        | 2.1   | 0   | 2.1 |
+//! | gcs       | 2.5   | 2.5 | 0   |
 //!
 //! ```
 //! use scope_cloudsim::{TierCatalog, CostModel, ObjectSpec};
@@ -49,6 +73,7 @@
 pub mod billing;
 pub mod cost;
 pub mod error;
+pub mod providers;
 pub mod sla;
 pub mod tiers;
 pub mod timeline;
@@ -58,6 +83,7 @@ pub use billing::{
 };
 pub use cost::{CostBreakdown, CostModel, CostWeights, ObjectSpec};
 pub use error::CloudSimError;
+pub use providers::{Provider, ProviderCatalog, ProviderId, ProviderTopology};
 pub use sla::{LatencyEstimate, SlaPolicy};
 pub use tiers::{Tier, TierCatalog, TierId};
 pub use timeline::{

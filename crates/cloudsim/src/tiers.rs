@@ -137,6 +137,54 @@ impl TierCatalog {
         TierCatalog::new(tiers).expect("static catalog is non-empty")
     }
 
+    /// An S3-style four-tier ladder (Standard, Standard-IA, Glacier-IR,
+    /// Deep Archive) for the multi-provider experiments.
+    ///
+    /// The numbers are stylized from the published S3 price sheet the same
+    /// way Table I/XII stylize ADLS Gen2: storage in cents/GB/month,
+    /// per-GB retrieval charges folded into the read rate, and minimum
+    /// storage durations as the early-deletion window.
+    ///
+    /// | Tier         | storage c/GB/mo | read c/GB | TTFB (s) | min. duration |
+    /// |--------------|-----------------|-----------|----------|---------------|
+    /// | Standard     | 2.3             | 0.0135    | 0.1      | 0 days        |
+    /// | Standard-IA  | 1.25            | 1.0       | 0.1      | 30 days       |
+    /// | Glacier-IR   | 0.4             | 3.0       | 0.1      | 90 days       |
+    /// | Deep Archive | 0.099           | 5.0       | 43200    | 180 days      |
+    pub fn aws_s3() -> Self {
+        let tiers = vec![
+            Tier::new("Standard", 2.3, 0.0135, 0.005, 0.1),
+            Tier::new("Standard-IA", 1.25, 1.0, 0.01, 0.1).with_early_deletion_days(30),
+            Tier::new("Glacier-IR", 0.4, 3.0, 0.02, 0.1).with_early_deletion_days(90),
+            Tier::new("Deep-Archive", 0.099, 5.0, 0.05, 43200.0).with_early_deletion_days(180),
+        ];
+        TierCatalog::new(tiers).expect("static catalog is non-empty")
+    }
+
+    /// A GCS-style four-tier ladder (Standard, Nearline, Coldline,
+    /// Archive) for the multi-provider experiments.
+    ///
+    /// GCS's defining difference from the other ladders: every tier —
+    /// including Archive — serves reads at millisecond time-to-first-byte,
+    /// trading that for per-GB retrieval fees and long minimum storage
+    /// durations on the cold tiers.
+    ///
+    /// | Tier     | storage c/GB/mo | read c/GB | TTFB (s) | min. duration |
+    /// |----------|-----------------|-----------|----------|---------------|
+    /// | Standard | 2.0             | 0.014     | 0.08     | 0 days        |
+    /// | Nearline | 1.0             | 1.0       | 0.08     | 30 days       |
+    /// | Coldline | 0.4             | 2.0       | 0.08     | 90 days       |
+    /// | Archive  | 0.12            | 5.0       | 0.08     | 365 days      |
+    pub fn gcp_gcs() -> Self {
+        let tiers = vec![
+            Tier::new("Standard", 2.0, 0.014, 0.005, 0.08),
+            Tier::new("Nearline", 1.0, 1.0, 0.01, 0.08).with_early_deletion_days(30),
+            Tier::new("Coldline", 0.4, 2.0, 0.02, 0.08).with_early_deletion_days(90),
+            Tier::new("Archive", 0.12, 5.0, 0.05, 0.08).with_early_deletion_days(365),
+        ];
+        TierCatalog::new(tiers).expect("static catalog is non-empty")
+    }
+
     /// Catalog restricted to the Hot and Cool tiers, used for the
     /// Enterprise Data I experiments of Tables III and IV ("OptAssign
     /// (Hot, Cool)").
@@ -341,6 +389,35 @@ mod tests {
         assert_eq!(c.fastest_tier(), TierId(0));
         assert_eq!(c.archive_tier(), TierId(3));
         assert_eq!(c.tier(c.archive_tier()).unwrap().name, "Archive");
+    }
+
+    #[test]
+    fn s3_and_gcs_ladders_trade_storage_for_read_cost() {
+        for catalog in [TierCatalog::aws_s3(), TierCatalog::gcp_gcs()] {
+            assert_eq!(catalog.len(), 4);
+            let tiers: Vec<&Tier> = catalog.iter().map(|(_, t)| t).collect();
+            for w in tiers.windows(2) {
+                assert!(
+                    w[0].storage_cost_cents_per_gb_month > w[1].storage_cost_cents_per_gb_month
+                );
+                assert!(w[0].read_cost_cents_per_gb <= w[1].read_cost_cents_per_gb);
+                assert!(w[0].ttfb_seconds <= w[1].ttfb_seconds);
+                assert!(w[0].early_deletion_days <= w[1].early_deletion_days);
+            }
+        }
+    }
+
+    #[test]
+    fn gcs_archive_is_fast_but_expensive_to_read() {
+        let gcs = TierCatalog::gcp_gcs();
+        let archive = gcs.tier(gcs.tier_id("Archive").unwrap()).unwrap();
+        // The millisecond-latency archive is what makes cross-provider
+        // placement interesting for latency-bounded cold data.
+        assert!(archive.ttfb_seconds < 1.0);
+        assert_eq!(archive.early_deletion_days, 365);
+        let s3 = TierCatalog::aws_s3();
+        let deep = s3.tier(s3.tier_id("Deep-Archive").unwrap()).unwrap();
+        assert!(deep.ttfb_seconds > 3600.0);
     }
 
     #[test]

@@ -32,12 +32,17 @@
 //! * [`lifecycle`] — the day-granular lifecycle scenario: datasets that
 //!   cool over time are re-tiered at billing-period boundaries by the
 //!   residency-aware schedule DP and replayed through the day-granular
-//!   billing engine against frozen-placement baselines.
+//!   billing engine against frozen-placement baselines,
+//! * [`multicloud`] — the cross-provider scenario: the same cooling
+//!   account placed inside each single provider vs across the merged
+//!   multi-provider tier space with egress-aware planning, reporting the
+//!   egress-adjusted savings split.
 
 #![warn(missing_docs)]
 
 pub mod enterprise;
 pub mod lifecycle;
+pub mod multicloud;
 pub mod pipeline;
 pub mod policy;
 pub mod scenario;
@@ -48,6 +53,10 @@ pub use enterprise::{
     CustomerBenefit,
 };
 pub use lifecycle::{lifecycle_tradeoff, run_lifecycle, LifecycleOptions, LifecycleOutcome};
+pub use multicloud::{
+    multicloud_egress_sweep, run_multicloud, MultiCloudOptions, MultiCloudOutcome,
+    SingleProviderOutcome,
+};
 pub use pipeline::{run_all_policies, run_policy, PolicyOutcome};
 pub use policy::Policy;
 pub use scenario::{

@@ -82,8 +82,9 @@ pub struct LifecycleOutcome {
 /// Convert the day-resolution access log of a window
 /// `[from_day, from_day + horizon_days)` into billing events with days
 /// re-based to the window start. Read volume is `reads × fraction × size`;
-/// write volume uses the appends-not-rewrites convention.
-fn billing_events(
+/// write volume uses the appends-not-rewrites convention. Shared with the
+/// multi-cloud scenario in [`crate::multicloud`].
+pub(crate) fn billing_events(
     workload: &EnterpriseWorkload,
     from_day: u32,
     horizon_days: u32,

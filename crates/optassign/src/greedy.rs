@@ -182,6 +182,33 @@ mod tests {
     }
 
     #[test]
+    fn multi_provider_greedy_weighs_egress_against_cheaper_ladders() {
+        use scope_cloudsim::ProviderCatalog;
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let azure_hot = providers.merged_tier_id("azure", "Hot").unwrap();
+        let azure = providers.provider_id("azure").unwrap();
+        let topo = providers.topology();
+        // A cold, latency-bounded partition already on azure Hot: with the
+        // interconnect egress matrix the greedy sends it to another cloud's
+        // 0.4 c/GB sub-second tier, but at 10x egress it stays home.
+        let part = || {
+            vec![PartitionSpec::new(0, "cold-sla", 100.0, 0.0)
+                .with_latency_threshold(1.0)
+                .with_current_tier(azure_hot)]
+        };
+        let problem = OptAssignProblem::multi_provider(&providers, part(), 6.0);
+        let a = solve_greedy(&problem).unwrap();
+        assert_ne!(topo.provider_of(a.choices[0].0), Some(azure));
+        assert!(a.breakdown.egress > 0.0);
+
+        let expensive = providers.clone().with_egress_scale(10.0).unwrap();
+        let problem = OptAssignProblem::multi_provider(&expensive, part(), 6.0);
+        let b = solve_greedy(&problem).unwrap();
+        assert_eq!(topo.provider_of(b.choices[0].0), Some(azure));
+        assert_eq!(b.breakdown.egress, 0.0);
+    }
+
+    #[test]
     fn scales_linearly_in_partition_count() {
         // Not a timing assertion (those live in the benches), just a check
         // that a thousand-partition instance solves and assigns everything.

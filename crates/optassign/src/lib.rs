@@ -29,6 +29,13 @@
 //!   early-deletion (residency) penalties per period and finds the
 //!   cost-optimal mid-horizon re-tiering plan, the objective the paper's
 //!   per-billing-period tier changes call for.
+//!
+//! Every solver also searches **merged multi-provider tier spaces**: build
+//! the problem with [`OptAssignProblem::multi_provider`] (or pass a
+//! provider-aware `CostModel` to the schedule DP) and tier ids range over
+//! every provider's ladder while cross-provider moves are priced with the
+//! catalog's egress matrix — the SkyStore-style generalisation of the
+//! paper's single-cloud OPTASSIGN.
 
 #![warn(missing_docs)]
 
@@ -44,9 +51,12 @@ pub use error::OptAssignError;
 pub use greedy::solve_greedy;
 pub use ilp::{solve_branch_and_bound, BranchAndBoundStats};
 pub use matching::solve_equal_size_matching;
-pub use predictor::{ideal_tier_labels, PredictorFeatures, TierPredictor, TieringBaseline};
+pub use predictor::{
+    ideal_tier_labels, ideal_tier_labels_multi, PredictorFeatures, TierPredictor, TieringBaseline,
+};
 pub use problem::{Assignment, CompressionOption, OptAssignProblem, PartitionSpec, NO_COMPRESSION};
 pub use schedule::{
-    ideal_tier_schedules, plan_tier_schedule, schedule_cost, PeriodAccess, ScheduleOptions,
-    TierSchedule,
+    ideal_tier_schedules, ideal_tier_schedules_with_model, plan_tier_schedule,
+    plan_tier_schedule_with_model, schedule_cost, schedule_cost_with_model, PeriodAccess,
+    ScheduleOptions, TierSchedule,
 };

@@ -267,6 +267,31 @@ mod tests {
     }
 
     #[test]
+    fn matching_searches_the_merged_multi_provider_space() {
+        use scope_cloudsim::ProviderCatalog;
+        // Without capacity bounds the matching must agree with the greedy on
+        // the merged, egress-aware instance (both are optimal there).
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let azure_hot = providers.merged_tier_id("azure", "Hot").unwrap();
+        let parts: Vec<_> = (0..5)
+            .map(|i| {
+                PartitionSpec::new(i, format!("p{i}"), 50.0, (i * 40) as f64)
+                    .with_current_tier(azure_hot)
+                    .with_latency_threshold(1.0)
+            })
+            .collect();
+        let problem = OptAssignProblem::multi_provider(&providers, parts, 6.0);
+        let matched = solve_equal_size_matching(&problem).unwrap();
+        let greedy = solve_greedy(&problem).unwrap();
+        assert!((matched.objective - greedy.objective).abs() < 1e-6);
+        // The latency SLA keeps every choice off the two slow archives.
+        for &(tier, _) in &matched.choices {
+            let t = problem.catalog.tier(tier).unwrap();
+            assert!(t.ttfb_seconds <= 1.0, "{} violates the SLA", t.name);
+        }
+    }
+
+    #[test]
     fn non_equal_sizes_or_compression_are_rejected() {
         let catalog = TierCatalog::azure_adls_gen2();
         let parts = vec![

@@ -16,7 +16,9 @@
 //! pushdown / directly on compressed data (0 when pushdown is unsupported).
 
 use crate::error::OptAssignError;
-use scope_cloudsim::{CostBreakdown, CostModel, CostWeights, TierCatalog, TierId};
+use scope_cloudsim::{
+    CostBreakdown, CostModel, CostWeights, ProviderCatalog, ProviderTopology, TierCatalog, TierId,
+};
 use serde::{Deserialize, Serialize};
 
 /// Index of the mandatory "no compression" option in every partition's
@@ -184,8 +186,15 @@ impl PartitionSpec {
 /// An OPTASSIGN problem instance.
 #[derive(Debug, Clone)]
 pub struct OptAssignProblem {
-    /// The tier catalog (costs, latencies, capacities).
+    /// The tier catalog (costs, latencies, capacities). For multi-provider
+    /// instances this is a *merged* catalog (see
+    /// [`ProviderCatalog::merged_catalog`]) and [`Self::topology`] carries
+    /// the provider identity of every tier.
     pub catalog: TierCatalog,
+    /// Provider identity + egress matrix for the tiers of a merged
+    /// multi-provider catalog. `None` for the classic single-provider
+    /// problem (no egress anywhere).
+    pub topology: Option<ProviderTopology>,
     /// Partitions to place.
     pub partitions: Vec<PartitionSpec>,
     /// Objective weights (α, β, γ).
@@ -202,6 +211,7 @@ impl OptAssignProblem {
     pub fn new(catalog: TierCatalog, partitions: Vec<PartitionSpec>, horizon_months: f64) -> Self {
         OptAssignProblem {
             catalog,
+            topology: None,
             partitions,
             weights: CostWeights::default(),
             horizon_months,
@@ -209,10 +219,44 @@ impl OptAssignProblem {
         }
     }
 
+    /// Create a problem over the merged tier space of a multi-provider
+    /// catalog. Partition `current_tier`s use merged [`TierId`]s and every
+    /// solver prices cross-provider moves with the catalog's egress matrix.
+    pub fn multi_provider(
+        providers: &ProviderCatalog,
+        partitions: Vec<PartitionSpec>,
+        horizon_months: f64,
+    ) -> Self {
+        OptAssignProblem {
+            catalog: providers.merged_catalog(),
+            topology: Some(providers.topology()),
+            partitions,
+            weights: CostWeights::default(),
+            horizon_months,
+            pushdown_fraction: 0.0,
+        }
+    }
+
+    /// Builder-style setter for the provider topology (for callers that
+    /// build the merged catalog themselves).
+    pub fn with_topology(mut self, topology: ProviderTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Builder-style setter for the objective weights.
     pub fn with_weights(mut self, weights: CostWeights) -> Self {
         self.weights = weights;
         self
+    }
+
+    /// The cost model this problem prices placements with (egress-aware
+    /// when a topology is attached).
+    pub fn cost_model(&self) -> CostModel {
+        match &self.topology {
+            Some(t) => CostModel::with_topology(self.catalog.clone(), t.clone()),
+            None => CostModel::new(self.catalog.clone()),
+        }
     }
 
     /// Builder-style setter for the pushdown fraction.
@@ -233,6 +277,16 @@ impl OptAssignProblem {
                 "horizon_months must be positive, got {}",
                 self.horizon_months
             )));
+        }
+        if let Some(t) = &self.topology {
+            if t.tier_count() != self.catalog.len() {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "provider topology covers {} tiers but the catalog has {} — \
+                     catalog and topology must come from the same ProviderCatalog",
+                    t.tier_count(),
+                    self.catalog.len()
+                )));
+            }
         }
         for (i, p) in self.partitions.iter().enumerate() {
             if p.id != i {
@@ -292,19 +346,23 @@ impl OptAssignProblem {
     /// Unweighted cost breakdown of placing partition `p` on `tier` with
     /// option `k` over the horizon.
     ///
-    /// The write term carries the full price of the move: the tier-change
-    /// read+write plus the early-deletion penalty for the unmet days of the
-    /// current tier's minimum residency period (pro-rated by
+    /// The write term carries the full intra-cloud price of the move: the
+    /// tier-change read+write plus the early-deletion penalty for the unmet
+    /// days of the current tier's minimum residency period (pro-rated by
     /// [`PartitionSpec::residency_days`]), so the objective matches what
-    /// the billing engine charges for the move.
+    /// the billing engine charges for the move. In a multi-provider problem
+    /// a cross-provider move additionally fills the egress term.
     pub fn cost_breakdown(&self, p: &PartitionSpec, tier: TierId, k: usize) -> CostBreakdown {
-        let model = CostModel::new(self.catalog.clone());
+        let model = self.cost_model();
         let opt = &p.compression_options[k];
         // Storage and migration are charged on the full stored size; reads
         // only touch `read_fraction` of it.
         let stored_gb = p.stored_gb(k);
         let accesses = self.effective_accesses(p);
-        let mut write = model.tier_change_cost(p.current_tier, tier, stored_gb);
+        let mut write = model.read_write_cost(p.current_tier, tier, stored_gb);
+        // Egress covers the bytes leaving the source tier (the partition's
+        // current, uncompressed size), matching the billing engine.
+        let egress = model.egress_cost(p.current_tier, tier, p.size_gb);
         if let Some(from) = p.current_tier {
             if from != tier {
                 // Same rule the billing engine applies; `validate` checks
@@ -320,14 +378,16 @@ impl OptAssignProblem {
             read: model.read_cost(tier, stored_gb * p.read_fraction.clamp(0.0, 1.0), accesses),
             write,
             decompression: model.decompression_cost(opt.decompress_seconds, accesses),
+            egress,
         }
     }
 
-    /// The weighted objective contribution (Eq. 1) of one placement.
+    /// The weighted objective contribution (Eq. 1) of one placement. Egress
+    /// is a transfer cost and is weighted with γ alongside the write term.
     pub fn placement_cost(&self, p: &PartitionSpec, tier: TierId, k: usize) -> f64 {
         let b = self.cost_breakdown(p, tier, k);
         self.weights.alpha * b.storage
-            + self.weights.gamma * b.write
+            + self.weights.gamma * (b.write + b.egress)
             + self.weights.beta * (b.read + b.decompression)
     }
 
@@ -589,6 +649,44 @@ mod tests {
         assert!((move_cost(&served) - (change + 1.52 * 100.0 * (10.0 / 30.0))).abs() < 1e-9);
         // Staying on the tier owes nothing at all.
         assert_eq!(problem.cost_breakdown(&fresh, cool, 0).write, 0.0);
+    }
+
+    #[test]
+    fn multi_provider_problem_prices_egress_into_cross_provider_moves() {
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let merged = providers.merged_catalog();
+        let azure_hot = merged.tier_id("azure:Hot").unwrap();
+        let azure_cool = merged.tier_id("azure:Cool").unwrap();
+        let gcs_coldline = merged.tier_id("gcs:Coldline").unwrap();
+        let p = PartitionSpec::new(0, "d", 100.0, 0.0).with_current_tier(azure_hot);
+        let problem = OptAssignProblem::multi_provider(&providers, vec![p], 6.0);
+        assert!(problem.validate().is_ok());
+        // A topology that does not cover the catalog is rejected up front
+        // (it would otherwise silently price uncovered tiers' egress as 0).
+        let mismatched = OptAssignProblem::new(
+            TierCatalog::azure_adls_gen2(),
+            vec![PartitionSpec::new(0, "d", 1.0, 0.0)],
+            6.0,
+        )
+        .with_topology(providers.topology());
+        assert!(mismatched.validate().is_err());
+        let part = &problem.partitions[0];
+        // Intra-provider move: no egress.
+        let intra = problem.cost_breakdown(part, azure_cool, 0);
+        assert_eq!(intra.egress, 0.0);
+        // Cross-provider move: azure→gcs at 2.0 c/GB.
+        let cross = problem.cost_breakdown(part, gcs_coldline, 0);
+        assert!((cross.egress - 200.0).abs() < 1e-9);
+        // placement_cost charges egress under gamma: zeroing gamma removes
+        // both the write and the egress terms.
+        let gamma_free = OptAssignProblem::multi_provider(
+            &providers,
+            vec![PartitionSpec::new(0, "d", 100.0, 0.0).with_current_tier(azure_hot)],
+            6.0,
+        )
+        .with_weights(CostWeights::new(0.0, 0.0, 1.0));
+        let move_only = gamma_free.placement_cost(&gamma_free.partitions[0], gcs_coldline, 0);
+        assert!((move_only - (cross.write + cross.egress)).abs() < 1e-9);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! tier at the moment of a move determine the early-deletion penalty. With
 //! `L` tiers and `T` periods the state space is `O(L·T)` and the transition
 //! space `O(L²·T²)` — trivial for realistic horizons (`T ≤ 24`).
+//!
+//! The DP also searches **merged multi-provider tier spaces**: via
+//! [`plan_tier_schedule_with_model`] with a provider-aware
+//! [`CostModel`] the transition costs include the inter-provider egress
+//! charge, so a schedule only crosses clouds when the destination ladder's
+//! savings repay the egress (and any unmet-residency penalty of the tier
+//! being left).
 
 use crate::error::OptAssignError;
 use scope_cloudsim::billing::Placement;
@@ -136,6 +143,33 @@ pub fn plan_tier_schedule(
     periods: &[PeriodAccess],
     options: &ScheduleOptions,
 ) -> Result<TierSchedule, OptAssignError> {
+    plan_tier_schedule_with_model(
+        &CostModel::new(catalog.clone()),
+        size_gb,
+        periods,
+        options,
+        None,
+    )
+}
+
+/// [`plan_tier_schedule`] over an explicit [`CostModel`] — the entry point
+/// for multi-provider planning: with a provider-aware model (see
+/// [`CostModel::with_topology`]) the DP's transition costs include the
+/// inter-provider egress charge, so the optimum crosses providers only when
+/// the storage/read savings repay the egress.
+///
+/// `allowed_tiers` optionally restricts the search to a subset of the
+/// catalog (e.g. one provider's tiers inside a merged catalog); `None`
+/// searches the whole catalog. The latency threshold of `options` filters
+/// on top of this.
+pub fn plan_tier_schedule_with_model(
+    model: &CostModel,
+    size_gb: f64,
+    periods: &[PeriodAccess],
+    options: &ScheduleOptions,
+    allowed_tiers: Option<&[TierId]>,
+) -> Result<TierSchedule, OptAssignError> {
+    let catalog = model.catalog();
     if periods.is_empty() {
         return Err(OptAssignError::InvalidProblem(
             "schedule horizon must cover at least one period".to_string(),
@@ -147,12 +181,19 @@ pub fn plan_tier_schedule(
         )));
     }
     let retier_every = options.retier_every.max(1);
-    let model = CostModel::new(catalog.clone());
-    let usable: Vec<TierId> = catalog
-        .iter()
-        .filter(|(_, t)| t.ttfb_seconds <= options.latency_threshold_seconds)
-        .map(|(id, _)| id)
-        .collect();
+    let candidates: Vec<TierId> = match allowed_tiers {
+        Some(ids) => ids.to_vec(),
+        None => catalog.tier_ids(),
+    };
+    let mut usable: Vec<TierId> = Vec::with_capacity(candidates.len());
+    for id in candidates {
+        let tier = catalog
+            .tier(id)
+            .map_err(|e| OptAssignError::InvalidProblem(e.to_string()))?;
+        if tier.ttfb_seconds <= options.latency_threshold_seconds {
+            usable.push(id);
+        }
+    }
     if usable.is_empty() {
         return Err(OptAssignError::InvalidProblem(
             "no tier satisfies the latency threshold".to_string(),
@@ -179,10 +220,10 @@ pub fn plan_tier_schedule(
         let mut c = model.tier_change_cost(options.current_tier, tier, size_gb);
         if let Some(from) = options.current_tier {
             if from != tier {
-                c += departure_penalty(&model, from, size_gb, options.residency_days)?;
+                c += departure_penalty(model, from, size_gb, options.residency_days)?;
             }
         }
-        c += period_cost(&model, tier, size_gb, &periods[0]);
+        c += period_cost(model, tier, size_gb, &periods[0]);
         cost[idx(ti, 0)] = c;
     }
     parents.push(vec![usize::MAX; n_tiers * n]);
@@ -198,7 +239,7 @@ pub fn plan_tier_schedule(
                     continue;
                 }
                 // Stay on the same tier: the entry period is unchanged.
-                let stay = cost[s] + period_cost(&model, tier, size_gb, period);
+                let stay = cost[s] + period_cost(model, tier, size_gb, period);
                 if stay < next[s] {
                     next[s] = stay;
                     parent[s] = s;
@@ -214,7 +255,7 @@ pub fn plan_tier_schedule(
                 if e == 0 && options.current_tier == Some(tier) {
                     days_served += options.residency_days;
                 }
-                let penalty = departure_penalty(&model, tier, size_gb, days_served)?;
+                let penalty = departure_penalty(model, tier, size_gb, days_served)?;
                 for (ui, &to) in usable.iter().enumerate() {
                     if ui == ti {
                         continue;
@@ -222,7 +263,7 @@ pub fn plan_tier_schedule(
                     let c = cost[s]
                         + model.tier_change_cost(Some(tier), to, size_gb)
                         + penalty
-                        + period_cost(&model, to, size_gb, period);
+                        + period_cost(model, to, size_gb, period);
                     let d = idx(ui, p);
                     if c < next[d] {
                         next[d] = c;
@@ -269,6 +310,24 @@ pub fn schedule_cost(
     tiers: &[TierId],
     options: &ScheduleOptions,
 ) -> Result<f64, OptAssignError> {
+    schedule_cost_with_model(
+        &CostModel::new(catalog.clone()),
+        size_gb,
+        periods,
+        tiers,
+        options,
+    )
+}
+
+/// [`schedule_cost`] over an explicit [`CostModel`] — prices egress-aware
+/// transitions when the model carries a provider topology.
+pub fn schedule_cost_with_model(
+    model: &CostModel,
+    size_gb: f64,
+    periods: &[PeriodAccess],
+    tiers: &[TierId],
+    options: &ScheduleOptions,
+) -> Result<f64, OptAssignError> {
     if tiers.len() != periods.len() || periods.is_empty() {
         return Err(OptAssignError::InvalidProblem(format!(
             "schedule length {} does not match horizon {}",
@@ -276,7 +335,6 @@ pub fn schedule_cost(
             periods.len()
         )));
     }
-    let model = CostModel::new(catalog.clone());
     let mut prev = options.current_tier;
     let mut days_served = options.residency_days;
     let mut total = 0.0;
@@ -284,11 +342,11 @@ pub fn schedule_cost(
         if prev != Some(tier) {
             total += model.tier_change_cost(prev, tier, size_gb);
             if let Some(from) = prev {
-                total += departure_penalty(&model, from, size_gb, days_served)?;
+                total += departure_penalty(model, from, size_gb, days_served)?;
             }
             days_served = 0;
         }
-        total += period_cost(&model, tier, size_gb, access);
+        total += period_cost(model, tier, size_gb, access);
         days_served += DAYS_PER_MONTH;
         prev = Some(tier);
     }
@@ -315,6 +373,37 @@ pub fn ideal_tier_schedules(
     write_volume_fraction: f64,
     retier_every: u32,
 ) -> Result<Vec<TierSchedule>, OptAssignError> {
+    ideal_tier_schedules_with_model(
+        &CostModel::new(catalog.clone()),
+        None,
+        datasets,
+        series,
+        from_month,
+        horizon_months,
+        current_tier,
+        write_volume_fraction,
+        retier_every,
+    )
+}
+
+/// [`ideal_tier_schedules`] over an explicit [`CostModel`] and an optional
+/// tier restriction — the multi-provider entry point: pass a
+/// provider-aware model over a merged catalog to plan cross-provider
+/// schedules with egress-aware transition costs, and restrict
+/// `allowed_tiers` to one provider's merged tier ids to plan a
+/// single-provider baseline inside the same cost model.
+#[allow(clippy::too_many_arguments)]
+pub fn ideal_tier_schedules_with_model(
+    model: &CostModel,
+    allowed_tiers: Option<&[TierId]>,
+    datasets: &DatasetCatalog,
+    series: &AccessSeries,
+    from_month: u32,
+    horizon_months: u32,
+    current_tier: TierId,
+    write_volume_fraction: f64,
+    retier_every: u32,
+) -> Result<Vec<TierSchedule>, OptAssignError> {
     let mut schedules = Vec::with_capacity(datasets.len());
     for d in datasets.iter() {
         let periods: Vec<PeriodAccess> = (from_month..from_month + horizon_months)
@@ -332,7 +421,13 @@ pub fn ideal_tier_schedules(
             retier_every,
             ..Default::default()
         };
-        schedules.push(plan_tier_schedule(catalog, d.size_gb, &periods, &options)?);
+        schedules.push(plan_tier_schedule_with_model(
+            model,
+            d.size_gb,
+            &periods,
+            &options,
+            allowed_tiers,
+        )?);
     }
     Ok(schedules)
 }
@@ -526,6 +621,73 @@ mod tests {
             assert_eq!(p.tier, s.tiers[(day / DAYS_PER_MONTH) as usize]);
         }
         assert_eq!(placement.transitions().len(), s.transition_count());
+    }
+
+    #[test]
+    fn multi_provider_dp_crosses_clouds_only_when_egress_pays_for_itself() {
+        use scope_cloudsim::ProviderCatalog;
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let model = CostModel::with_topology(providers.merged_catalog(), providers.topology());
+        let azure_hot = providers.merged_tier_id("azure", "Hot").unwrap();
+        let azure = providers.provider_id("azure").unwrap();
+        let azure_tiers = providers.provider_tier_ids(azure).unwrap();
+        // One busy period, then quiet; a 60 s latency SLA rules out the
+        // azure and s3 archives, so azure's best cold tier is Cool
+        // (1.52 c/GB/mo) while s3/gcs offer 0.4 c/GB/mo.
+        let mut periods = vec![PeriodAccess::new(5_000.0, 0.0)];
+        periods.extend(vec![PeriodAccess::default(); 5]);
+        let opts = ScheduleOptions {
+            current_tier: Some(azure_hot),
+            latency_threshold_seconds: 60.0,
+            ..Default::default()
+        };
+        let cross = plan_tier_schedule_with_model(&model, 100.0, &periods, &opts, None).unwrap();
+        let home_only =
+            plan_tier_schedule_with_model(&model, 100.0, &periods, &opts, Some(&azure_tiers))
+                .unwrap();
+        // At ~2 c/GB interconnect egress the 1.12 c/GB/mo saving over the
+        // remaining periods repays the move: the plan leaves azure…
+        let topo = providers.topology();
+        assert!(
+            cross
+                .tiers
+                .iter()
+                .any(|&t| topo.provider_of(t) != Some(azure)),
+            "cross plan stayed home: {:?}",
+            cross.tiers
+        );
+        assert!(cross.planned_cost < home_only.planned_cost - 1e-6);
+        // …and the restricted plan never does.
+        assert!(home_only
+            .tiers
+            .iter()
+            .all(|&t| topo.provider_of(t) == Some(azure)));
+
+        // At public-internet egress (×10) crossing no longer pays: the
+        // unrestricted optimum coincides with the azure-only plan.
+        let expensive = providers.clone().with_egress_scale(10.0).unwrap();
+        let model_x = CostModel::with_topology(expensive.merged_catalog(), expensive.topology());
+        let stay = plan_tier_schedule_with_model(&model_x, 100.0, &periods, &opts, None).unwrap();
+        assert!(stay
+            .tiers
+            .iter()
+            .all(|&t| topo.provider_of(t) == Some(azure)));
+        assert!((stay.planned_cost - home_only.planned_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allowed_tiers_restriction_validates_ids() {
+        let periods = vec![PeriodAccess::default(); 2];
+        let model = CostModel::new(catalog());
+        let bad = [TierId(99)];
+        assert!(
+            plan_tier_schedule_with_model(&model, 1.0, &periods, &on_hot(), Some(&bad)).is_err()
+        );
+        // Restricting to a single tier forces a frozen schedule on it.
+        let only_cool = [cool()];
+        let s = plan_tier_schedule_with_model(&model, 1.0, &periods, &on_hot(), Some(&only_cool))
+            .unwrap();
+        assert!(s.tiers.iter().all(|&t| t == cool()));
     }
 
     #[test]

@@ -187,4 +187,82 @@ mod tests {
         assert_eq!(series.months(), 2);
         assert_eq!(series.dataset_count(), 0);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The derived monthly view is *exactly* the independent
+            /// aggregation of the day-stamped records: reads and writes sum
+            /// per 30-day bucket, the monthly read fraction is the
+            /// read-weighted average of daily fractions (1.0 for read-less
+            /// months), and out-of-horizon records never contribute.
+            #[test]
+            fn monthly_view_equals_independent_aggregation(
+                horizon_days in 1u32..200,
+                datasets in proptest::collection::vec(0usize..5, 1..40),
+                days in proptest::collection::vec(0u32..230, 40),
+                reads in proptest::collection::vec(0.0f64..50.0, 40),
+                writes in proptest::collection::vec(0.0f64..20.0, 40),
+                fractions in proptest::collection::vec(0.0f64..1.0, 40),
+            ) {
+                let mut log = DailyAccessLog::new(horizon_days);
+                for (i, &dataset) in datasets.iter().enumerate() {
+                    log.push(DailyAccess {
+                        dataset,
+                        day: days[i % days.len()],
+                        reads: reads[i % reads.len()],
+                        writes: writes[i % writes.len()],
+                        read_fraction: fractions[i % fractions.len()],
+                    });
+                }
+                let series = log.monthly_view();
+
+                // Independent reference aggregation straight off the raw
+                // record list (kept by the log in insertion order).
+                let months = horizon_days.div_ceil(DAYS_PER_MONTH);
+                prop_assert_eq!(series.months(), months);
+                for dataset in 0..6 {
+                    for month in 0..months + 2 {
+                        let in_bucket: Vec<&DailyAccess> = log
+                            .records()
+                            .iter()
+                            .filter(|r| {
+                                r.dataset == dataset && r.day / DAYS_PER_MONTH == month
+                            })
+                            .collect();
+                        let reads: f64 = in_bucket.iter().map(|r| r.reads).sum();
+                        let writes: f64 = in_bucket.iter().map(|r| r.writes).sum();
+                        let weighted: f64 =
+                            in_bucket.iter().map(|r| r.reads * r.read_fraction).sum();
+                        let got = series.get(dataset, month);
+                        prop_assert_eq!(
+                            got.reads, reads,
+                            "dataset {} month {}", dataset, month
+                        );
+                        prop_assert_eq!(got.writes, writes);
+                        if in_bucket.is_empty() {
+                            // Untouched buckets come back as the series
+                            // default, whose fraction is meaningless
+                            // without reads.
+                            prop_assert_eq!(got, MonthlyAccess::default());
+                        } else {
+                            let expect_fraction =
+                                if reads > 0.0 { weighted / reads } else { 1.0 };
+                            prop_assert!(
+                                (got.read_fraction - expect_fraction).abs() <= 1e-12,
+                                "fraction {} vs {}", got.read_fraction, expect_fraction
+                            );
+                        }
+                    }
+                }
+                // Horizon filtering happened at push time: no record beyond
+                // the horizon is in the log at all.
+                prop_assert!(log.records().iter().all(|r| r.day < horizon_days));
+            }
+        }
+    }
 }

@@ -1,0 +1,86 @@
+//! Acceptance tests for multi-provider, egress-aware placement: the same
+//! cooling enterprise account placed single-provider vs cross-provider,
+//! in both egress regimes.
+//!
+//! * At the shipped discounted-interconnect egress rates, crossing clouds
+//!   strictly beats the best single-provider placement (latency-bounded
+//!   cooling data reaches another provider's cheap millisecond-latency
+//!   cold tiers, and the savings repay the egress).
+//! * At public-internet egress prices (×10) the optimizer performs no
+//!   cross-provider moves at all, and the merged-space plan collapses to
+//!   exactly the home-provider plan — staying single-provider *is* the
+//!   optimum.
+
+use scope_cloudsim::ProviderCatalog;
+use scope_core::{run_multicloud, MultiCloudOptions};
+use scope_workload::EnterpriseOptions;
+
+fn options() -> MultiCloudOptions {
+    MultiCloudOptions {
+        workload: EnterpriseOptions {
+            n_datasets: 100,
+            history_months: 6,
+            future_months: 6,
+            seed: 42,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn interconnect_egress_makes_cross_provider_placement_win() {
+    let outcome = run_multicloud(&options()).unwrap();
+    assert_eq!(outcome.dropped_events, 0, "{outcome:?}");
+    // The plan really crosses clouds and really pays egress for it…
+    assert!(outcome.cross_provider_moves > 0, "{outcome:?}");
+    assert!(outcome.cross_egress > 0.0, "{outcome:?}");
+    // …and still strictly beats every single-provider placement,
+    // including the home provider that pays no egress at all.
+    for s in &outcome.single {
+        assert!(
+            outcome.cross_total < s.total,
+            "cross {} should beat {} at {}",
+            outcome.cross_total,
+            s.provider,
+            s.total
+        );
+    }
+    assert!(
+        outcome.savings_vs_best_single > 0.0,
+        "egress-adjusted savings should be positive: {outcome:?}"
+    );
+    assert!(outcome.benefit_cross > outcome.benefit_best_single);
+}
+
+#[test]
+fn internet_egress_makes_staying_single_provider_optimal() {
+    let opts = MultiCloudOptions {
+        providers: ProviderCatalog::azure_s3_gcs()
+            .with_egress_scale(10.0)
+            .unwrap(),
+        ..options()
+    };
+    let outcome = run_multicloud(&opts).unwrap();
+    // No cross-provider move survives internet egress pricing: the merged
+    // search stays entirely inside the home provider…
+    assert_eq!(outcome.cross_provider_moves, 0, "{outcome:?}");
+    assert_eq!(outcome.cross_egress, 0.0, "{outcome:?}");
+    // …and the best single provider is the home one (everyone else pays
+    // the full migration egress on every byte).
+    assert_eq!(outcome.best_single_provider, "azure", "{outcome:?}");
+    let home = outcome
+        .single
+        .iter()
+        .find(|s| s.provider == "azure")
+        .unwrap();
+    assert!(
+        (outcome.cross_total - home.total).abs() <= 1e-9 * (1.0 + home.total.abs()),
+        "cross plan {} should collapse to the home plan {}",
+        outcome.cross_total,
+        home.total
+    );
+    // Egress-aware re-tiering inside the home ladder still beats the
+    // frozen all-home baseline.
+    assert!(outcome.benefit_cross > 0.0, "{outcome:?}");
+}
