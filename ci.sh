@@ -29,9 +29,9 @@ cargo test -q
 # Release-mode test pass: the optimizer DP oracles and proptests are an
 # order of magnitude slower in debug, and release occasionally surfaces
 # optimization-dependent float bugs debug hides. The total-count floor is
-# the pre-PR-3 baseline — if the suite ever shrinks below it, tests were
+# the PR-4 suite size — if the suite ever shrinks below it, tests were
 # lost, not just reorganised.
-min_tests=369
+min_tests=423
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {
@@ -46,6 +46,13 @@ if [[ $quick -eq 0 ]]; then
         echo "FAIL: release test count $total dropped below the baseline $min_tests"
         exit 1
     fi
+
+    # Smoke-run the PR-4 bench bin so BENCH_4.json generation can't rot:
+    # quick instances, table-vs-reference equality asserted inside the bin,
+    # JSON written out of tree (the committed BENCH_4.json is a full run).
+    echo "==> solver_bench --json --quick (BENCH_4 smoke)"
+    cargo run --release -q -p scope-bench --bin solver_bench -- \
+        --json --quick --out target/BENCH_4.quick.json
 fi
 
 echo "==> cargo bench --no-run (criterion benches must compile)"

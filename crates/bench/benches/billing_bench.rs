@@ -3,60 +3,15 @@
 //! billing-engine throughput shows up in the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use scope_cloudsim::{
-    billing::Placement, BillingEvent, BillingSimulator, ObjectSpec, PlacementSchedule, TierCatalog,
-    DAYS_PER_MONTH,
-};
+use scope_bench::{billing_fixture, billing_object_names, BILLING_HORIZON_DAYS as HORIZON_DAYS};
 
-const HORIZON_DAYS: u32 = 6 * DAYS_PER_MONTH;
 const N_OBJECTS: usize = 1000;
-
-/// A simulator with ~1k objects on lifecycle schedules (hot → cooler at a
-/// random period boundary) and a day-stamped trace of `n_events` accesses.
-fn scheduled_fixture(n_events: usize) -> (BillingSimulator, Vec<BillingEvent>) {
-    let catalog = TierCatalog::azure_adls_gen2();
-    let n_tiers = catalog.len();
-    let mut sim = BillingSimulator::new(catalog);
-    let mut rng = SmallRng::seed_from_u64(42);
-    for i in 0..N_OBJECTS {
-        let size_gb = rng.gen_range(1.0..500.0);
-        let start = scope_cloudsim::TierId(rng.gen_range(0..n_tiers));
-        let later = scope_cloudsim::TierId(rng.gen_range(0..n_tiers));
-        let mut schedule = PlacementSchedule::constant(Placement::uncompressed(start));
-        if rng.gen_range(0..4) > 0 {
-            let boundary = rng.gen_range(1..HORIZON_DAYS / DAYS_PER_MONTH) * DAYS_PER_MONTH;
-            schedule = schedule.with_transition(boundary, Placement::uncompressed(later));
-        }
-        sim.place_scheduled(
-            ObjectSpec::new(format!("obj-{i}"), size_gb)
-                .on_tier(start)
-                .with_residency_days(rng.gen_range(0..120)),
-            schedule,
-        )
-        .expect("valid placement");
-    }
-    let events = (0..n_events)
-        .map(|_| {
-            let object = format!("obj-{}", rng.gen_range(0..N_OBJECTS));
-            let day = rng.gen_range(0..HORIZON_DAYS);
-            let volume = rng.gen_range(0.01..50.0);
-            if rng.gen_range(0..10) == 0 {
-                BillingEvent::write(object, day, volume)
-            } else {
-                BillingEvent::read(object, day, volume)
-            }
-        })
-        .collect();
-    (sim, events)
-}
 
 fn bench_billing_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("billing_run_days");
     group.sample_size(10);
     for n_events in [10_000usize, 100_000] {
-        let (sim, events) = scheduled_fixture(n_events);
+        let (sim, events) = billing_fixture(N_OBJECTS, n_events);
         group.throughput(Throughput::Elements(n_events as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(n_events),
@@ -67,5 +22,44 @@ fn bench_billing_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_billing_engine);
+/// PR-4 before/after on the per-event accounting alone: the pre-interning
+/// engine cloned each event's object name into a `HashMap<String, f64>`
+/// entry; the interned engine resolves a dense id (no allocation) and
+/// bumps a flat `Vec` slot. Isolated here so the allocation cost stays
+/// visible in the perf trajectory even as the rest of the engine evolves.
+fn bench_event_accounting(c: &mut Criterion) {
+    use std::collections::HashMap;
+    let (_, events) = billing_fixture(N_OBJECTS, 100_000);
+    let names = billing_object_names(N_OBJECTS);
+    let name_ids: HashMap<&str, u32> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i as u32))
+        .collect();
+    let mut group = c.benchmark_group("billing_event_accounting");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("before_clone_per_event", |b| {
+        b.iter(|| {
+            let mut per_object: HashMap<String, f64> = HashMap::with_capacity(names.len());
+            for ev in &events {
+                *per_object.entry(ev.object.clone()).or_insert(0.0) += ev.volume_gb;
+            }
+            per_object
+        })
+    });
+    group.bench_function("after_interned_ids", |b| {
+        b.iter(|| {
+            let mut totals = vec![0.0f64; names.len()];
+            for ev in &events {
+                if let Some(&id) = name_ids.get(ev.object.as_str()) {
+                    totals[id as usize] += ev.volume_gb;
+                }
+            }
+            totals
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_billing_engine, bench_event_accounting);
 criterion_main!(benches);

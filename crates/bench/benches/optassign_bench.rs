@@ -5,9 +5,11 @@
 //! branch-and-bound stays practical on capacity-constrained instances.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scope_cloudsim::TierCatalog;
+use scope_cloudsim::{ProviderCatalog, TierCatalog};
+use scope_optassign::reference::solve_greedy_reference;
 use scope_optassign::{
-    solve_branch_and_bound, solve_greedy, CompressionOption, OptAssignProblem, PartitionSpec,
+    solve_branch_and_bound, solve_greedy, CompressionOption, CostTable, OptAssignProblem,
+    PartitionSpec,
 };
 
 fn problem(n: usize, with_capacity: bool) -> OptAssignProblem {
@@ -49,5 +51,35 @@ fn bench_branch_and_bound(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_greedy, bench_branch_and_bound);
+/// The 463-dataset paper-scale instance on the merged 3-provider catalog:
+/// cost-table construction, the table-driven greedy, and the pre-table
+/// model-driven reference (one catalog + topology clone per evaluation) —
+/// the speedup the PR-4 cost-table engine pins in `BENCH_4.json`.
+fn bench_cost_table_vs_model(c: &mut Criterion) {
+    let providers = ProviderCatalog::azure_s3_gcs();
+    let partitions: Vec<PartitionSpec> = (0..463)
+        .map(|i| {
+            PartitionSpec::new(i, format!("p{i}"), 1.0 + (i % 97) as f64, (i % 31) as f64)
+                .with_compression_option(CompressionOption::new("gzip", 3.5, 4.0))
+                .with_compression_option(CompressionOption::new("snappy", 1.8, 0.4))
+        })
+        .collect();
+    let p = OptAssignProblem::multi_provider(&providers, partitions, 6.0);
+    let mut group = c.benchmark_group("optassign_cost_table");
+    group.bench_function("build_table_463x12x3", |b| b.iter(|| CostTable::build(&p)));
+    group.bench_function("greedy_table_driven", |b| {
+        b.iter(|| solve_greedy(&p).unwrap())
+    });
+    group.bench_function("greedy_model_driven_reference", |b| {
+        b.iter(|| solve_greedy_reference(&p).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_branch_and_bound,
+    bench_cost_table_vs_model
+);
 criterion_main!(benches);

@@ -15,7 +15,66 @@
 //!   G-PART handles hundreds of query families, the codecs process MBs in
 //!   milliseconds).
 //!
-//! This library only holds small shared formatting helpers.
+//! This library holds small shared formatting helpers plus the billing
+//! benchmark fixture shared by the `billing_bench` criterion bench and the
+//! `solver_bench` bin (one definition, so the two always measure the same
+//! workload).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scope_cloudsim::{
+    billing::Placement, BillingEvent, BillingSimulator, ObjectSpec, PlacementSchedule, TierCatalog,
+    TierId, DAYS_PER_MONTH,
+};
+
+/// Horizon of the billing benchmark fixture, in days.
+pub const BILLING_HORIZON_DAYS: u32 = 6 * DAYS_PER_MONTH;
+
+/// Object names of the billing fixture, `obj-0 .. obj-{n-1}`.
+pub fn billing_object_names(n_objects: usize) -> Vec<String> {
+    (0..n_objects).map(|i| format!("obj-{i}")).collect()
+}
+
+/// The day-granular billing benchmark fixture: `n_objects` objects on
+/// lifecycle schedules (hot → cooler at a random period boundary) and a
+/// day-stamped trace of `n_events` accesses, generated from a fixed seed so
+/// every bench target replays the identical workload.
+pub fn billing_fixture(n_objects: usize, n_events: usize) -> (BillingSimulator, Vec<BillingEvent>) {
+    let catalog = TierCatalog::azure_adls_gen2();
+    let n_tiers = catalog.len();
+    let mut sim = BillingSimulator::new(catalog);
+    let mut rng = SmallRng::seed_from_u64(42);
+    for i in 0..n_objects {
+        let size_gb = rng.gen_range(1.0..500.0);
+        let start = TierId(rng.gen_range(0..n_tiers));
+        let later = TierId(rng.gen_range(0..n_tiers));
+        let mut schedule = PlacementSchedule::constant(Placement::uncompressed(start));
+        if rng.gen_range(0..4) > 0 {
+            let boundary = rng.gen_range(1..BILLING_HORIZON_DAYS / DAYS_PER_MONTH) * DAYS_PER_MONTH;
+            schedule = schedule.with_transition(boundary, Placement::uncompressed(later));
+        }
+        sim.place_scheduled(
+            ObjectSpec::new(format!("obj-{i}"), size_gb)
+                .on_tier(start)
+                .with_residency_days(rng.gen_range(0..120)),
+            schedule,
+        )
+        .expect("valid placement");
+    }
+    let events = (0..n_events)
+        .map(|_| {
+            let object = format!("obj-{}", rng.gen_range(0..n_objects));
+            let day = rng.gen_range(0..BILLING_HORIZON_DAYS);
+            let volume = rng.gen_range(0.01..50.0);
+            if rng.gen_range(0..10) == 0 {
+                BillingEvent::write(object, day, volume)
+            } else {
+                BillingEvent::read(object, day, volume)
+            }
+        })
+        .collect();
+    (sim, events)
+}
 
 /// Format a floating-point cell with a fixed width for the printed tables.
 pub fn cell(value: f64) -> String {

@@ -154,21 +154,32 @@ impl Placement {
 
 /// Replays accesses against placement schedules and accrues per-period
 /// costs on a day-granular time axis.
+///
+/// Object names are **interned at placement time** into dense `u32` ids:
+/// the streaming loop of [`BillingSimulator::run_days`] accounts storage,
+/// transitions and per-event access costs into flat `Vec`s indexed by those
+/// ids — no `String` clone and no allocation per event — and the final
+/// [`BillingReport`] rematerializes the `String`-keyed per-object map once
+/// at the end.
 #[derive(Debug, Clone)]
 pub struct BillingSimulator {
     model: CostModel,
     objects: Vec<ObjectSpec>,
-    schedules: HashMap<String, PlacementSchedule>,
+    /// Interned name id of each placed object (parallel to `objects`).
+    object_ids: Vec<u32>,
+    /// Distinct object names; index = interned id.
+    names: Vec<String>,
+    /// Name → interned id lookup.
+    name_ids: HashMap<String, u32>,
+    /// Schedule per interned name id (re-placing a name replaces its
+    /// schedule, matching the historical `HashMap::insert` semantics).
+    schedules: Vec<PlacementSchedule>,
 }
 
 impl BillingSimulator {
     /// Create a simulator over the given catalog.
     pub fn new(catalog: TierCatalog) -> Self {
-        BillingSimulator {
-            model: CostModel::new(catalog),
-            objects: Vec::new(),
-            schedules: HashMap::new(),
-        }
+        Self::with_model(CostModel::new(catalog))
     }
 
     /// Create a simulator over a multi-provider catalog: placements use
@@ -177,10 +188,20 @@ impl BillingSimulator {
     /// cross providers are charged the egress rate of the provider pair in
     /// addition to the usual read+write transfer.
     pub fn multi_provider(providers: &ProviderCatalog) -> Self {
+        Self::with_model(CostModel::with_topology(
+            providers.merged_catalog(),
+            providers.topology(),
+        ))
+    }
+
+    fn with_model(model: CostModel) -> Self {
         BillingSimulator {
-            model: CostModel::with_topology(providers.merged_catalog(), providers.topology()),
+            model,
             objects: Vec::new(),
-            schedules: HashMap::new(),
+            object_ids: Vec::new(),
+            names: Vec::new(),
+            name_ids: HashMap::new(),
+            schedules: Vec::new(),
         }
     }
 
@@ -206,7 +227,20 @@ impl BillingSimulator {
         for placement in schedule.placements() {
             self.model.catalog().tier(placement.tier)?;
         }
-        self.schedules.insert(obj.name.clone(), schedule);
+        let id = match self.name_ids.get(obj.name.as_str()) {
+            Some(&id) => {
+                self.schedules[id as usize] = schedule;
+                id
+            }
+            None => {
+                let id = self.names.len() as u32;
+                self.name_ids.insert(obj.name.clone(), id);
+                self.names.push(obj.name.clone());
+                self.schedules.push(schedule);
+                id
+            }
+        };
+        self.object_ids.push(id);
         self.objects.push(obj);
         Ok(())
     }
@@ -282,12 +316,15 @@ impl BillingSimulator {
                 ..Default::default()
             })
             .collect();
-        let mut per_object: HashMap<String, f64> = HashMap::with_capacity(self.objects.len());
+        // Per-object totals are accumulated in a flat vector indexed by the
+        // interned name ids — the String-keyed map is only rematerialized
+        // once, in the final report.
+        let mut totals: Vec<f64> = vec![0.0; self.names.len()];
 
         // Storage + transition + residency-penalty costs, per object, by
         // streaming over its constant-placement segments.
-        for obj in &self.objects {
-            let schedule = &self.schedules[&obj.name];
+        for (obj, &id) in self.objects.iter().zip(&self.object_ids) {
+            let schedule = &self.schedules[id as usize];
             let mut obj_total = 0.0;
             // Where the object is coming from and how long it has been
             // there: seeds the early-deletion accounting of the first (and
@@ -388,18 +425,21 @@ impl BillingSimulator {
                 prev_tier = Some(seg.placement.tier);
                 prev_stored_gb = stored_gb;
             }
-            per_object.insert(obj.name.clone(), obj_total);
+            // Assignment (not +=) matches the historical insert-overwrite
+            // semantics when several objects share a name.
+            totals[id as usize] = obj_total;
         }
 
         // Access costs, streamed in trace order against the placement in
-        // force on each event's day.
+        // force on each event's day. The interned-id lookup makes this loop
+        // clone-free and allocation-free per event.
         let mut dropped_events: u64 = 0;
         for ev in events {
             if ev.day >= horizon_days {
                 dropped_events += 1; // outside the billed horizon
                 continue;
             }
-            let Some(schedule) = self.schedules.get(&ev.object) else {
+            let Some(&id) = self.name_ids.get(ev.object.as_str()) else {
                 continue; // accesses to unknown objects are ignored
             };
             if !ev.volume_gb.is_finite() || ev.volume_gb < 0.0 {
@@ -408,7 +448,7 @@ impl BillingSimulator {
                     value: ev.volume_gb,
                 });
             }
-            let placement = schedule.placement_at(ev.day);
+            let placement = self.schedules[id as usize].placement_at(ev.day);
             let effective_gb = ev.volume_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
             let m = &mut months[(ev.day / DAYS_PER_MONTH) as usize];
             let cost = match ev.kind {
@@ -427,12 +467,12 @@ impl BillingSimulator {
                     w
                 }
             };
-            *per_object.entry(ev.object.clone()).or_insert(0.0) += cost;
+            totals[id as usize] += cost;
         }
 
         Ok(BillingReport {
             months,
-            per_object,
+            per_object: self.names.iter().cloned().zip(totals).collect(),
             dropped_events,
         })
     }
@@ -910,6 +950,48 @@ mod tests {
             .unwrap();
         let reference = single.run_days(60, &[]).unwrap();
         assert_eq!(report, reference);
+    }
+
+    #[test]
+    fn interned_accounting_keys_per_object_totals_by_name() {
+        // The event loop accounts into interned-id vectors; the report must
+        // still key per-object totals by the original names, cover every
+        // placed object (accessed or not), and attribute event costs to the
+        // right object.
+        let mut s = sim();
+        let hot = s.model.catalog().tier_id("Hot").unwrap();
+        let cool = s.model.catalog().tier_id("Cool").unwrap();
+        s.place(ObjectSpec::new("alpha", 10.0), Placement::uncompressed(hot))
+            .unwrap();
+        s.place(ObjectSpec::new("beta", 20.0), Placement::uncompressed(cool))
+            .unwrap();
+        let trace = vec![
+            AccessEvent::read("alpha", 0, 10.0),
+            AccessEvent::read("alpha", 1, 10.0),
+            AccessEvent::write("beta", 0, 5.0),
+        ];
+        let report = s.run(2, &trace).unwrap();
+        assert_eq!(report.per_object.len(), 2);
+        let alpha_expected = 2.0 * (10.0 * 2.08) // storage
+            + 10.0 * 0.01331 // ingest write
+            + 2.0 * 10.0 * 0.01331; // two reads
+        assert!((report.per_object["alpha"] - alpha_expected).abs() < 1e-9);
+        // The per-object totals sum to the grand total.
+        let sum: f64 = report.per_object.values().sum();
+        assert!((sum - report.total()).abs() < 1e-9);
+        // Re-placing the same name replaces its schedule rather than
+        // double-billing under one key.
+        let mut s = sim();
+        s.place(ObjectSpec::new("alpha", 10.0), Placement::uncompressed(hot))
+            .unwrap();
+        s.place(
+            ObjectSpec::new("alpha", 10.0),
+            Placement::uncompressed(cool),
+        )
+        .unwrap();
+        let report = s.run(1, &[]).unwrap();
+        assert_eq!(report.per_object.len(), 1);
+        assert_eq!(s.object_count(), 2);
     }
 
     #[test]

@@ -73,6 +73,7 @@
 pub mod billing;
 pub mod cost;
 pub mod error;
+pub mod parallel;
 pub mod providers;
 pub mod sla;
 pub mod tiers;
@@ -83,6 +84,7 @@ pub use billing::{
 };
 pub use cost::{CostBreakdown, CostModel, CostWeights, ObjectSpec};
 pub use error::CloudSimError;
+pub use parallel::{parallel_map, parallel_map_with_threads};
 pub use providers::{Provider, ProviderCatalog, ProviderId, ProviderTopology};
 pub use sla::{LatencyEstimate, SlaPolicy};
 pub use tiers::{Tier, TierCatalog, TierId};

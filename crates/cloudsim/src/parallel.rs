@@ -1,0 +1,140 @@
+//! Deterministic parallel fan-out over index ranges.
+//!
+//! The solvers and sweeps in the upper crates are embarrassingly parallel
+//! over independent items (partitions of a cost table, datasets of a
+//! schedule plan, configurations of a sweep), but their results must be
+//! **bit-for-bit identical** to the sequential path: the optimizer output
+//! feeds golden-pinned tables and differential oracles. This module
+//! provides the one fan-out shape that guarantees it:
+//!
+//! * work is chunked by **index** into contiguous slices,
+//! * each worker computes its slice with the shared closure,
+//! * results are merged back **in index order**.
+//!
+//! Because every item's result is a pure function of `(index, item)` and
+//! floating-point arithmetic is performed per item exactly as the
+//! sequential loop would, the output is independent of the thread count —
+//! [`parallel_map_with_threads`] with 1 thread *is* the sequential loop,
+//! and the determinism proptests pin `threads = n` against it. No work
+//! stealing, no reduction-order dependence, no rayon in the shims.
+
+/// Upper bound on worker threads: fan-outs nest (a sweep over
+/// configurations may build cost tables in parallel inside each
+/// configuration), so each level stays modest instead of oversubscribing
+/// quadratically.
+const MAX_THREADS: usize = 8;
+
+/// Number of hardware threads to fan out over, capped at [`MAX_THREADS`].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Map `f` over `items` in parallel with the default thread count,
+/// returning results in index order. Bit-for-bit identical to
+/// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with_threads(items, default_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit thread count (1 = plain sequential
+/// loop). The thread count affects only wall-clock time, never the output:
+/// chunks are contiguous index ranges and the merge concatenates them in
+/// chunk order.
+pub fn parallel_map_with_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let base = ci * chunk_len;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, item)| f(base + j, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            chunks.push(handle.join().expect("fan-out worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |_, &x: &u32| x * 2).is_empty());
+        assert_eq!(parallel_map(&[7u32], |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn results_arrive_in_index_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| i as u64 + x)
+            .collect();
+        for threads in 1..=11 {
+            let got = parallel_map_with_threads(&items, threads, |i, &x| i as u64 + x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        // Accumulating arithmetic per item: the merge must never change the
+        // per-item value, only the wall-clock.
+        let items: Vec<f64> = (0..257).map(|i| 0.1 * i as f64 + 0.037).collect();
+        let f = |i: usize, &x: &f64| (x * 1.0001 + i as f64 / 3.0).sin() * x;
+        let sequential = parallel_map_with_threads(&items, 1, f);
+        for threads in [2, 3, 5, 8, 13] {
+            let parallel = parallel_map_with_threads(&items, threads, f);
+            for (a, b) in sequential.iter().zip(&parallel) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_item_count() {
+        // More threads than items must not panic or drop items.
+        let items = [1, 2, 3];
+        assert_eq!(
+            parallel_map_with_threads(&items, 64, |_, &x| x),
+            vec![1, 2, 3]
+        );
+        assert!(default_threads() >= 1);
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::error::CloudSimError;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Identifier of a tier inside a [`TierCatalog`].
 ///
@@ -93,6 +94,13 @@ impl Tier {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TierCatalog {
     tiers: Vec<Tier>,
+    /// Interned name → index lookup, built once at construction so
+    /// [`TierCatalog::tier_id`] is O(1) instead of a linear scan. Tier
+    /// names never change after construction (`set_capacity` and
+    /// `clear_capacities` touch only capacities), so the index cannot go
+    /// stale; catalogs built through [`TierCatalog::new`] — including
+    /// merged multi-provider catalogs — always carry it.
+    name_index: HashMap<String, usize>,
     /// Compute cost in cents per second (`C^c`), used to price
     /// decompression CPU time. Default follows Table XII (0.001 cents/s).
     pub compute_cost_cents_per_second: f64,
@@ -106,8 +114,15 @@ impl TierCatalog {
         if tiers.is_empty() {
             return Err(CloudSimError::EmptyCatalog);
         }
+        // First occurrence wins, matching the historical linear-scan
+        // semantics for (pathological) duplicate-name catalogs.
+        let mut name_index = HashMap::with_capacity(tiers.len());
+        for (i, t) in tiers.iter().enumerate() {
+            name_index.entry(t.name.clone()).or_insert(i);
+        }
         Ok(TierCatalog {
             tiers,
+            name_index,
             compute_cost_cents_per_second: 0.001,
         })
     }
@@ -253,12 +268,14 @@ impl TierCatalog {
             .ok_or_else(|| CloudSimError::UnknownTier(format!("{id}")))
     }
 
-    /// Look up a tier id by (case-sensitive) name.
+    /// Look up a tier id by (case-sensitive) name. O(1): resolved through
+    /// the interned index built at construction, not a scan of the ladder —
+    /// merged multi-provider catalogs resolve `provider:tier` names at the
+    /// same constant cost as a four-tier ladder.
     pub fn tier_id(&self, name: &str) -> Result<TierId, CloudSimError> {
-        self.tiers
-            .iter()
-            .position(|t| t.name == name)
-            .map(TierId)
+        self.name_index
+            .get(name)
+            .map(|&i| TierId(i))
             .ok_or_else(|| CloudSimError::UnknownTier(name.to_string()))
     }
 
@@ -418,6 +435,36 @@ mod tests {
         let s3 = TierCatalog::aws_s3();
         let deep = s3.tier(s3.tier_id("Deep-Archive").unwrap()).unwrap();
         assert!(deep.ttfb_seconds > 3600.0);
+    }
+
+    #[test]
+    fn interned_tier_id_agrees_with_a_linear_scan_on_merged_catalogs() {
+        // Regression: `tier_id` used to be an O(n) `Vec::position` scan; the
+        // interned index must resolve every name — including the
+        // `provider:tier` names of a merged catalog — to exactly the id the
+        // scan would have found, and reject unknown names the same way.
+        use crate::providers::ProviderCatalog;
+        let merged = ProviderCatalog::azure_s3_gcs().merged_catalog();
+        for (id, tier) in merged.iter() {
+            let scanned = merged
+                .iter()
+                .position(|(_, t)| t.name == tier.name)
+                .map(TierId)
+                .unwrap();
+            assert_eq!(merged.tier_id(&tier.name).unwrap(), scanned);
+            assert_eq!(merged.tier_id(&tier.name).unwrap(), id);
+        }
+        assert!(matches!(
+            merged.tier_id("azure:Glacier"),
+            Err(CloudSimError::UnknownTier(_))
+        ));
+        // Unqualified names do not resolve in the merged space.
+        assert!(merged.tier_id("Hot").is_err());
+        // The index survives capacity mutation (names are untouched).
+        let mut c = TierCatalog::azure_adls_gen2();
+        c.set_capacity("Cool", 10.0).unwrap();
+        c.clear_capacities();
+        assert_eq!(c.tier_id("Cool").unwrap(), TierId(2));
     }
 
     #[test]

@@ -274,24 +274,29 @@ pub fn run_multicloud(options: &MultiCloudOptions) -> Result<MultiCloudOutcome, 
 /// discounted rates, ~5 = public internet prices). Everything else —
 /// workload seed, home placement, granularity — is held fixed, so the
 /// sweep isolates what egress pricing does to the single-vs-cross split.
+///
+/// The per-scale experiments are independent full pipelines (workload
+/// generation → schedule DP → day-granular replay), so they fan out with
+/// the deterministic parallel helper of [`scope_cloudsim::parallel`] and
+/// merge in scale order — the sweep output is bit-for-bit the sequential
+/// loop's.
 pub fn multicloud_egress_sweep(
     options: &MultiCloudOptions,
     scales: &[f64],
 ) -> Result<Vec<(f64, MultiCloudOutcome)>, ScopeError> {
-    scales
-        .iter()
-        .map(|&scale| {
-            let scaled = MultiCloudOptions {
-                providers: options
-                    .providers
-                    .clone()
-                    .with_egress_scale(scale)
-                    .map_err(|e| ScopeError::InvalidConfig(e.to_string()))?,
-                ..options.clone()
-            };
-            Ok((scale, run_multicloud(&scaled)?))
-        })
-        .collect()
+    scope_cloudsim::parallel::parallel_map(scales, |_, &scale| {
+        let scaled = MultiCloudOptions {
+            providers: options
+                .providers
+                .clone()
+                .with_egress_scale(scale)
+                .map_err(|e| ScopeError::InvalidConfig(e.to_string()))?,
+            ..options.clone()
+        };
+        Ok((scale, run_multicloud(&scaled)?))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The merged placement never loses to staying inside any one provider:

@@ -211,6 +211,11 @@ fn table_specs(inputs: &PipelineInputs, options: &[Vec<CompressionOption>]) -> V
 /// For every `(alpha, beta)` pair the optimizer plans with the variant's
 /// *predicted* compression values; the returned point reports the cost and
 /// latency the plan actually achieves under the *ground-truth* values.
+///
+/// Sweep points are independent, so they are computed with the
+/// deterministic parallel fan-out of [`scope_cloudsim::parallel`] (chunked
+/// by α index, merged in index order): the returned curve is bit-for-bit
+/// the one the sequential loop produced.
 pub fn tradeoff_sweep(
     inputs: &PipelineInputs,
     variant: PredictorVariant,
@@ -220,8 +225,7 @@ pub fn tradeoff_sweep(
     inputs.validate()?;
     let predicted = predicted_options(inputs, variant);
     let truth = predicted_options(inputs, PredictorVariant::GroundTruth);
-    let mut points = Vec::with_capacity(alphas.len());
-    for &alpha in alphas {
+    let points = scope_cloudsim::parallel::parallel_map(alphas, |_, &alpha| {
         let weights = CostWeights::new(alpha, beta, alpha.max(0.01));
         // Plan with predicted values.
         let plan_problem = OptAssignProblem::new(
@@ -242,16 +246,16 @@ pub fn tradeoff_sweep(
             scope_optassign::Assignment::from_choices(&eval_problem, plan.choices.clone())?;
         let latency = realized.expected_ttfb(&eval_problem)
             + realized.expected_decompression_latency(&eval_problem);
-        points.push(TradeoffPoint {
+        Ok(TradeoffPoint {
             alpha,
             beta,
             storage_cost: realized.breakdown.storage,
             latency_cost: realized.breakdown.read + realized.breakdown.decompression,
             total_cost: realized.breakdown.total(),
             latency_seconds: latency,
-        });
-    }
-    Ok(points)
+        })
+    });
+    points.into_iter().collect()
 }
 
 #[cfg(test)]

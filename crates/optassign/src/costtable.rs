@@ -1,0 +1,351 @@
+//! The cost-table engine: the dense `[partition × tier × compression]`
+//! cost matrix every solver searches instead of re-deriving prices through
+//! the [`CostModel`].
+//!
+//! The OPTASSIGN inner loops are pure cost evaluation: the greedy scans
+//! every `(tier, scheme)` pair per partition, branch-and-bound builds
+//! sorted candidate lists and suffix lower bounds from the same values, and
+//! the Hungarian matching fills an `n × m` edge-weight matrix with them.
+//! Before this engine each evaluation went through
+//! [`OptAssignProblem::placement_cost`], which clones the catalog (and, on
+//! merged multi-provider instances, the topology) into a fresh model per
+//! call — the allocation churn flagged as a ROADMAP open item. A
+//! [`CostTable`] instead evaluates the **full matrix exactly once per
+//! solve** with a single hoisted model (egress/topology-aware via
+//! [`CostModel::with_topology`] when the problem carries a topology),
+//! alongside a per-entry SLA-feasibility mask and precomputed per-partition
+//! column minima, and the solvers do table lookups from then on.
+//!
+//! Construction fans out across partitions with the deterministic parallel
+//! helper ([`scope_cloudsim::parallel`]) on large instances; because every
+//! row is a pure function of its partition, the table — and therefore every
+//! solver result — is **bit-for-bit identical** to the sequential,
+//! model-driven path (enforced by the differential proptests in
+//! `tests/differential_costtable.rs` against [`crate::reference`]).
+
+use crate::error::OptAssignError;
+use crate::problem::{Assignment, OptAssignProblem};
+use scope_cloudsim::parallel::parallel_map;
+use scope_cloudsim::{CostBreakdown, TierId};
+
+/// Below this partition count the table is built sequentially: thread
+/// spawn overhead would dominate the handful of evaluations. Purely a
+/// wall-clock heuristic — the parallel and sequential builds are
+/// bit-identical.
+const PARALLEL_BUILD_MIN_PARTITIONS: usize = 64;
+
+/// One partition's slice of the table, produced independently (and
+/// possibly on another thread) during construction.
+struct Row {
+    cost: Vec<f64>,
+    feasible: Vec<bool>,
+    breakdowns: Vec<CostBreakdown>,
+    min_feasible: Option<(f64, TierId, usize)>,
+}
+
+/// Dense per-solve cost matrix over `[partition × tier × compression]`.
+///
+/// Entry `(n, l, k)` holds the weighted objective contribution (Eq. 1) of
+/// placing partition `n` on tier `l` with compression option `k`, the
+/// matching unweighted [`CostBreakdown`], and whether the placement is
+/// feasible (latency threshold + fixed-compression constraint; capacity is
+/// a coupling constraint the solvers handle). Costs are priced for **all**
+/// entries — including infeasible ones — so explicit choice lists (e.g.
+/// re-pricing a plan under ground truth) can be evaluated from the table
+/// too; feasibility is a separate mask.
+pub struct CostTable {
+    n_tiers: usize,
+    /// Start of partition `n`'s block in the flat arrays; the block is
+    /// `n_tiers * n_options[n]` entries, tier-major.
+    offsets: Vec<usize>,
+    /// Compression option count per partition.
+    n_options: Vec<usize>,
+    cost: Vec<f64>,
+    feasible: Vec<bool>,
+    breakdowns: Vec<CostBreakdown>,
+    /// Per-partition `(cost, tier, k)` minimum over feasible entries, in
+    /// exactly the scan order and tie-break of
+    /// [`OptAssignProblem::min_feasible_cost`].
+    min_feasible: Vec<Option<(f64, TierId, usize)>>,
+}
+
+impl CostTable {
+    /// Evaluate the full cost matrix for a **validated** problem.
+    ///
+    /// One [`CostModel`](scope_cloudsim::CostModel) is hoisted for the
+    /// whole build; rows are computed in parallel (chunked by partition
+    /// index, merged in index order) once the instance is large enough to
+    /// repay the fan-out.
+    ///
+    /// # Panics
+    ///
+    /// May panic on unvalidated problems (out-of-catalog current tiers) —
+    /// call [`OptAssignProblem::validate`] first, as every solver does.
+    pub fn build(problem: &OptAssignProblem) -> CostTable {
+        let model = problem.cost_model();
+        let n_tiers = problem.n_tiers();
+
+        let build_row = |_: usize, p: &crate::problem::PartitionSpec| -> Row {
+            let n_opts = p.compression_options.len();
+            let mut cost = Vec::with_capacity(n_tiers * n_opts);
+            let mut feasible = Vec::with_capacity(n_tiers * n_opts);
+            let mut breakdowns = Vec::with_capacity(n_tiers * n_opts);
+            let mut min_feasible: Option<(f64, TierId, usize)> = None;
+            for t in 0..n_tiers {
+                let tier = TierId(t);
+                for k in 0..n_opts {
+                    let b = problem.cost_breakdown_with(&model, p, tier, k);
+                    let c = problem.weighted_objective(&b);
+                    let ok = problem.is_feasible(p, tier, k);
+                    if ok && min_feasible.map(|(mc, _, _)| c < mc).unwrap_or(true) {
+                        min_feasible = Some((c, tier, k));
+                    }
+                    cost.push(c);
+                    feasible.push(ok);
+                    breakdowns.push(b);
+                }
+            }
+            Row {
+                cost,
+                feasible,
+                breakdowns,
+                min_feasible,
+            }
+        };
+
+        let rows: Vec<Row> = if problem.partitions.len() >= PARALLEL_BUILD_MIN_PARTITIONS {
+            parallel_map(&problem.partitions, build_row)
+        } else {
+            problem
+                .partitions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| build_row(i, p))
+                .collect()
+        };
+
+        let total: usize = rows.iter().map(|r| r.cost.len()).sum();
+        let mut table = CostTable {
+            n_tiers,
+            offsets: Vec::with_capacity(rows.len()),
+            n_options: Vec::with_capacity(rows.len()),
+            cost: Vec::with_capacity(total),
+            feasible: Vec::with_capacity(total),
+            breakdowns: Vec::with_capacity(total),
+            min_feasible: Vec::with_capacity(rows.len()),
+        };
+        for (row, p) in rows.into_iter().zip(&problem.partitions) {
+            table.offsets.push(table.cost.len());
+            table.n_options.push(p.compression_options.len());
+            table.cost.extend(row.cost);
+            table.feasible.extend(row.feasible);
+            table.breakdowns.extend(row.breakdowns);
+            table.min_feasible.push(row.min_feasible);
+        }
+        table
+    }
+
+    /// Number of tiers per partition block.
+    pub fn n_tiers(&self) -> usize {
+        self.n_tiers
+    }
+
+    /// Number of partitions covered.
+    pub fn n_partitions(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Number of compression options of partition `n`.
+    pub fn n_options(&self, n: usize) -> usize {
+        self.n_options[n]
+    }
+
+    #[inline]
+    fn index(&self, n: usize, tier: TierId, k: usize) -> usize {
+        debug_assert!(tier.index() < self.n_tiers && k < self.n_options[n]);
+        self.offsets[n] + tier.index() * self.n_options[n] + k
+    }
+
+    /// Weighted objective contribution of placing partition `n` on `tier`
+    /// with option `k` (priced even for infeasible entries).
+    #[inline]
+    pub fn cost(&self, n: usize, tier: TierId, k: usize) -> f64 {
+        self.cost[self.index(n, tier, k)]
+    }
+
+    /// Unweighted cost breakdown of the same placement.
+    #[inline]
+    pub fn breakdown(&self, n: usize, tier: TierId, k: usize) -> &CostBreakdown {
+        &self.breakdowns[self.index(n, tier, k)]
+    }
+
+    /// The SLA-feasibility mask: latency threshold and fixed-compression
+    /// constraint, exactly [`OptAssignProblem::is_feasible`].
+    #[inline]
+    pub fn is_feasible(&self, n: usize, tier: TierId, k: usize) -> bool {
+        self.feasible[self.index(n, tier, k)]
+    }
+
+    /// The precomputed column minimum of partition `n`: its cheapest
+    /// feasible `(cost, tier, k)` ignoring capacity — the greedy choice and
+    /// the branch-and-bound lower-bound ingredient. `None` when no
+    /// placement satisfies the partition's constraints.
+    #[inline]
+    pub fn min_feasible(&self, n: usize) -> Option<(f64, TierId, usize)> {
+        self.min_feasible[n]
+    }
+
+    /// Feasible candidates of partition `n` sorted by increasing cost, in
+    /// exactly the construction order and (stable) sort the historical
+    /// branch-and-bound used, so the search expands identical nodes.
+    pub fn candidates_sorted(&self, n: usize) -> Vec<(f64, TierId, usize)> {
+        let mut cands = Vec::new();
+        for t in 0..self.n_tiers {
+            let tier = TierId(t);
+            for k in 0..self.n_options[n] {
+                if self.feasible[self.index(n, tier, k)] {
+                    cands.push((self.cost(n, tier, k), tier, k));
+                }
+            }
+        }
+        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        cands
+    }
+
+    /// Assemble an [`Assignment`] from explicit choices by summing table
+    /// entries — same accumulation order (partition order) and arithmetic
+    /// as [`Assignment::from_choices`], without touching the model again.
+    pub fn assignment(
+        &self,
+        problem: &OptAssignProblem,
+        choices: Vec<(TierId, usize)>,
+    ) -> Result<Assignment, OptAssignError> {
+        if choices.len() != problem.partitions.len() {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "expected {} choices, got {}",
+                problem.partitions.len(),
+                choices.len()
+            )));
+        }
+        let mut objective = 0.0;
+        let mut breakdown = CostBreakdown::default();
+        for (n, &(tier, k)) in choices.iter().enumerate() {
+            objective += self.cost(n, tier, k);
+            breakdown.accumulate(self.breakdown(n, tier, k));
+        }
+        Ok(Assignment {
+            choices,
+            objective,
+            breakdown,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{CompressionOption, PartitionSpec};
+    use scope_cloudsim::{ProviderCatalog, TierCatalog};
+
+    fn partition(id: usize, size: f64, accesses: f64) -> PartitionSpec {
+        PartitionSpec::new(id, format!("p{id}"), size, accesses)
+            .with_compression_option(CompressionOption::new("gzip", 4.0, 5.0))
+            .with_compression_option(CompressionOption::new("snappy", 2.0, 0.5))
+    }
+
+    #[test]
+    fn table_entries_match_the_model_driven_evaluation_exactly() {
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let azure_hot = providers.merged_tier_id("azure", "Hot").unwrap();
+        let parts: Vec<PartitionSpec> = (0..5)
+            .map(|i| {
+                partition(i, 10.0 * (i + 1) as f64, (i * 7) as f64)
+                    .with_current_tier(azure_hot)
+                    .with_latency_threshold(if i % 2 == 0 { 60.0 } else { f64::INFINITY })
+            })
+            .collect();
+        let problem = OptAssignProblem::multi_provider(&providers, parts, 6.0);
+        problem.validate().unwrap();
+        let table = CostTable::build(&problem);
+        assert_eq!(table.n_partitions(), 5);
+        assert_eq!(table.n_tiers(), 12);
+        for (n, p) in problem.partitions.iter().enumerate() {
+            assert_eq!(table.n_options(n), 3);
+            for tier in problem.catalog.tier_ids() {
+                for k in 0..3 {
+                    // Bit-for-bit: same arithmetic, hoisted model or not.
+                    assert_eq!(
+                        table.cost(n, tier, k).to_bits(),
+                        problem.placement_cost(p, tier, k).to_bits()
+                    );
+                    assert_eq!(
+                        table.breakdown(n, tier, k),
+                        &problem.cost_breakdown(p, tier, k)
+                    );
+                    assert_eq!(
+                        table.is_feasible(n, tier, k),
+                        problem.is_feasible(p, tier, k)
+                    );
+                }
+            }
+            match (table.min_feasible(n), problem.min_feasible_cost(p)) {
+                (Some((tc, tt, tk)), Some((mc, mt, mk))) => {
+                    assert_eq!(tc.to_bits(), mc.to_bits());
+                    assert_eq!((tt, tk), (mt, mk));
+                }
+                (a, b) => assert_eq!(a.is_none(), b.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        // 80 partitions crosses the parallel threshold; compare against a
+        // small problem replicated row-by-row through the sequential path.
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts: Vec<PartitionSpec> = (0..80)
+            .map(|i| partition(i, 1.0 + (i % 13) as f64, (i % 7) as f64))
+            .collect();
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        problem.validate().unwrap();
+        let table = CostTable::build(&problem);
+        for (n, p) in problem.partitions.iter().enumerate() {
+            for tier in problem.catalog.tier_ids() {
+                for k in 0..p.compression_options.len() {
+                    assert_eq!(
+                        table.cost(n, tier, k).to_bits(),
+                        problem.placement_cost(p, tier, k).to_bits(),
+                        "entry ({n}, {tier}, {k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_partitions_have_no_column_min() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts = vec![partition(0, 1.0, 1.0).with_latency_threshold(1e-9)];
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let table = CostTable::build(&problem);
+        assert!(table.min_feasible(0).is_none());
+        assert!(table.candidates_sorted(0).is_empty());
+        // Costs are still priced for infeasible entries.
+        assert!(table.cost(0, TierId(0), 0) > 0.0);
+    }
+
+    #[test]
+    fn assignment_from_table_matches_from_choices() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let parts = vec![partition(0, 10.0, 5.0), partition(1, 20.0, 1.0)];
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let table = CostTable::build(&problem);
+        let choices = vec![(hot, 1), (cool, 0)];
+        let via_table = table.assignment(&problem, choices.clone()).unwrap();
+        let via_model = Assignment::from_choices(&problem, choices).unwrap();
+        assert_eq!(via_table, via_model);
+        assert!(table.assignment(&problem, vec![(hot, 0)]).is_err());
+    }
+}

@@ -7,7 +7,14 @@
 //! scheme counts — which is what makes OPTASSIGN "scalable and effective"
 //! on petabyte-scale catalogs (2.53 s for 463 datasets in the paper; the
 //! Criterion benches reproduce the scaling).
+//!
+//! The per-partition minima come from a [`CostTable`] evaluated once per
+//! solve (with one hoisted cost model, in parallel on large instances)
+//! instead of re-deriving each price through a freshly cloned model; the
+//! historical path survives as [`crate::reference::solve_greedy_reference`]
+//! and the differential proptests pin both bit-for-bit equal.
 
+use crate::costtable::CostTable;
 use crate::error::OptAssignError;
 use crate::problem::{Assignment, OptAssignProblem};
 
@@ -21,9 +28,10 @@ use crate::problem::{Assignment, OptAssignProblem};
 /// latency requirements" prescription.
 pub fn solve_greedy(problem: &OptAssignProblem) -> Result<Assignment, OptAssignError> {
     problem.validate()?;
+    let table = CostTable::build(problem);
     let mut choices = Vec::with_capacity(problem.partitions.len());
-    for p in &problem.partitions {
-        match problem.min_feasible_cost(p) {
+    for (i, p) in problem.partitions.iter().enumerate() {
+        match table.min_feasible(i) {
             Some((_, tier, k)) => choices.push((tier, k)),
             None => {
                 return Err(OptAssignError::InfeasiblePartition {
@@ -33,7 +41,7 @@ pub fn solve_greedy(problem: &OptAssignProblem) -> Result<Assignment, OptAssignE
             }
         }
     }
-    Assignment::from_choices(problem, choices)
+    table.assignment(problem, choices)
 }
 
 /// Solve greedily, iteratively relaxing latency thresholds by `factor` (> 1)

@@ -15,7 +15,15 @@
 //! capacity-free instances of the paper it collapses to the greedy solution
 //! immediately; on 3-PARTITION-like instances it still finds the exact
 //! optimum, just more slowly.
+//!
+//! Candidate costs come from a [`CostTable`] evaluated once per solve (the
+//! bound's suffix minima are the table's precomputed column-min scans); the
+//! pre-table, clone-per-evaluation path survives as
+//! [`crate::reference::solve_branch_and_bound_reference`] for differential
+//! tests and benchmarks, sharing this module's search core so only the cost
+//! evaluation differs.
 
+use crate::costtable::CostTable;
 use crate::error::OptAssignError;
 use crate::problem::{Assignment, OptAssignProblem};
 use scope_cloudsim::TierId;
@@ -93,37 +101,17 @@ impl<'a> SearchState<'a> {
     }
 }
 
-/// Solve OPTASSIGN exactly with capacity constraints by branch and bound.
-///
-/// `node_budget` caps the number of explored nodes; when it is hit the best
-/// incumbent found so far is returned with `proved_optimal = false`.
-pub fn solve_branch_and_bound(
+/// The search core shared by the table-driven and reference solvers: given
+/// per-partition sorted candidate lists (each guaranteed non-empty by the
+/// caller), run the branch-and-bound and return the best choices. How the
+/// candidate costs were *evaluated* is the only thing the two paths differ
+/// in.
+pub(crate) fn branch_and_bound_search(
     problem: &OptAssignProblem,
+    candidates: Vec<Vec<(f64, TierId, usize)>>,
     node_budget: u64,
-) -> Result<(Assignment, BranchAndBoundStats), OptAssignError> {
-    problem.validate()?;
+) -> Result<(Vec<(TierId, usize)>, BranchAndBoundStats), OptAssignError> {
     let n = problem.partitions.len();
-
-    // Candidate lists and per-partition minima.
-    let mut candidates: Vec<Vec<(f64, TierId, usize)>> = Vec::with_capacity(n);
-    for p in &problem.partitions {
-        let mut cands = Vec::new();
-        for tier in problem.catalog.tier_ids() {
-            for k in 0..p.compression_options.len() {
-                if problem.is_feasible(p, tier, k) {
-                    cands.push((problem.placement_cost(p, tier, k), tier, k));
-                }
-            }
-        }
-        if cands.is_empty() {
-            return Err(OptAssignError::InfeasiblePartition {
-                partition: p.id,
-                name: p.name.clone(),
-            });
-        }
-        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        candidates.push(cands);
-    }
 
     // Visit order: largest partitions first (hardest to pack).
     let mut order: Vec<usize> = (0..n).collect();
@@ -185,7 +173,36 @@ pub fn solve_branch_and_bound(
         .ok_or(OptAssignError::InfeasibleCapacity)?;
     let mut stats = state.stats;
     stats.proved_optimal = proved_optimal;
-    let assignment = Assignment::from_choices(problem, choices)?;
+    Ok((choices, stats))
+}
+
+/// Solve OPTASSIGN exactly with capacity constraints by branch and bound.
+///
+/// `node_budget` caps the number of explored nodes; when it is hit the best
+/// incumbent found so far is returned with `proved_optimal = false`.
+pub fn solve_branch_and_bound(
+    problem: &OptAssignProblem,
+    node_budget: u64,
+) -> Result<(Assignment, BranchAndBoundStats), OptAssignError> {
+    problem.validate()?;
+    let table = CostTable::build(problem);
+
+    // Candidate lists from the table's precomputed feasible entries.
+    let mut candidates: Vec<Vec<(f64, TierId, usize)>> =
+        Vec::with_capacity(problem.partitions.len());
+    for (i, p) in problem.partitions.iter().enumerate() {
+        let cands = table.candidates_sorted(i);
+        if cands.is_empty() {
+            return Err(OptAssignError::InfeasiblePartition {
+                partition: p.id,
+                name: p.name.clone(),
+            });
+        }
+        candidates.push(cands);
+    }
+
+    let (choices, stats) = branch_and_bound_search(problem, candidates, node_budget)?;
+    let assignment = table.assignment(problem, choices)?;
     Ok((assignment, stats))
 }
 

@@ -36,17 +36,41 @@
 //! every provider's ladder while cross-provider moves are priced with the
 //! catalog's egress matrix — the SkyStore-style generalisation of the
 //! paper's single-cloud OPTASSIGN.
+//!
+//! ## The cost-table engine ([`costtable`])
+//!
+//! Every solver's inner loop is pure cost evaluation, so each solve first
+//! materialises a [`CostTable`]: the dense `[partition × tier ×
+//! compression]` matrix of weighted objective values, unweighted
+//! breakdowns and SLA-feasibility flags, evaluated **exactly once** with a
+//! single hoisted cost model (egress-aware on merged catalogs) and — on
+//! large instances — built in parallel with the deterministic fan-out of
+//! [`scope_cloudsim::parallel`]. Layout: per-partition tier-major blocks
+//! (`offset[n] + tier · K_n + k`), with per-partition column minima
+//! precomputed for the greedy choice and the branch-and-bound lower bound.
+//!
+//! **When to use which path:** the solvers and `ideal_tier_labels` are
+//! already table-driven — just call them. Use
+//! [`plan_tier_schedule_with_model`] / `*_with`-suffixed problem methods
+//! with a hoisted model when you price many placements yourself; the
+//! per-call convenience methods ([`OptAssignProblem::placement_cost`] et
+//! al.) clone the catalog per evaluation and are for one-off pricing. The
+//! pre-table model-driven solvers survive in [`reference`] as differential
+//! oracles and benchmark baselines — never as production paths.
 
 #![warn(missing_docs)]
 
+pub mod costtable;
 pub mod error;
 pub mod greedy;
 pub mod ilp;
 pub mod matching;
 pub mod predictor;
 pub mod problem;
+pub mod reference;
 pub mod schedule;
 
+pub use costtable::CostTable;
 pub use error::OptAssignError;
 pub use greedy::solve_greedy;
 pub use ilp::{solve_branch_and_bound, BranchAndBoundStats};

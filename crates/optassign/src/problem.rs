@@ -352,8 +352,29 @@ impl OptAssignProblem {
     /// [`PartitionSpec::residency_days`]), so the objective matches what
     /// the billing engine charges for the move. In a multi-provider problem
     /// a cross-provider move additionally fills the egress term.
+    ///
+    /// Convenience form that builds a fresh [`CostModel`] (a catalog +
+    /// topology clone) per call. Anything evaluating more than a handful of
+    /// placements should hoist one model with [`Self::cost_model`] and call
+    /// [`Self::cost_breakdown_with`] — or better, build a
+    /// [`CostTable`](crate::costtable::CostTable) once per solve, as every
+    /// shipped solver does.
     pub fn cost_breakdown(&self, p: &PartitionSpec, tier: TierId, k: usize) -> CostBreakdown {
-        let model = self.cost_model();
+        self.cost_breakdown_with(&self.cost_model(), p, tier, k)
+    }
+
+    /// [`Self::cost_breakdown`] over a caller-hoisted [`CostModel`] — the
+    /// per-solve entry point that avoids re-cloning catalog + topology on
+    /// every evaluation. The model must come from [`Self::cost_model`] (or
+    /// be built over the same catalog/topology); the arithmetic is
+    /// identical to the per-call form.
+    pub fn cost_breakdown_with(
+        &self,
+        model: &CostModel,
+        p: &PartitionSpec,
+        tier: TierId,
+        k: usize,
+    ) -> CostBreakdown {
         let opt = &p.compression_options[k];
         // Storage and migration are charged on the full stored size; reads
         // only touch `read_fraction` of it.
@@ -384,8 +405,29 @@ impl OptAssignProblem {
 
     /// The weighted objective contribution (Eq. 1) of one placement. Egress
     /// is a transfer cost and is weighted with γ alongside the write term.
+    ///
+    /// Builds a fresh [`CostModel`] per call — see [`Self::cost_breakdown`]
+    /// for when to hoist instead.
     pub fn placement_cost(&self, p: &PartitionSpec, tier: TierId, k: usize) -> f64 {
-        let b = self.cost_breakdown(p, tier, k);
+        self.placement_cost_with(&self.cost_model(), p, tier, k)
+    }
+
+    /// [`Self::placement_cost`] over a caller-hoisted [`CostModel`].
+    pub fn placement_cost_with(
+        &self,
+        model: &CostModel,
+        p: &PartitionSpec,
+        tier: TierId,
+        k: usize,
+    ) -> f64 {
+        self.weighted_objective(&self.cost_breakdown_with(model, p, tier, k))
+    }
+
+    /// Apply the problem's α/β/γ weights to an unweighted breakdown — the
+    /// single definition of the Eq. 1 weighting, shared by the per-call
+    /// pricing methods and the [`CostTable`](crate::costtable::CostTable)
+    /// builder so the two can never drift.
+    pub fn weighted_objective(&self, b: &CostBreakdown) -> f64 {
         self.weights.alpha * b.storage
             + self.weights.gamma * (b.write + b.egress)
             + self.weights.beta * (b.read + b.decompression)
@@ -394,6 +436,12 @@ impl OptAssignProblem {
     /// The cheapest feasible placement cost for a partition ignoring
     /// capacity — used both by the greedy solver and as the branch-and-bound
     /// lower bound.
+    ///
+    /// This is the historical **model-driven** evaluation: every
+    /// [`Self::placement_cost`] call clones the catalog (and topology) into
+    /// a fresh model. It is kept as the reference path the cost-table
+    /// engine is differential-tested (and benchmarked) against — hot paths
+    /// use [`CostTable::min_feasible`](crate::costtable::CostTable) instead.
     pub fn min_feasible_cost(&self, p: &PartitionSpec) -> Option<(f64, TierId, usize)> {
         let mut best: Option<(f64, TierId, usize)> = None;
         for tier in self.catalog.tier_ids() {
@@ -436,11 +484,14 @@ impl Assignment {
                 choices.len()
             )));
         }
+        // One hoisted model for the whole assignment instead of a catalog +
+        // topology clone per placement (2 clones per partition before).
+        let model = problem.cost_model();
         let mut objective = 0.0;
         let mut breakdown = CostBreakdown::default();
         for (p, &(tier, k)) in problem.partitions.iter().zip(&choices) {
-            objective += problem.placement_cost(p, tier, k);
-            breakdown.accumulate(&problem.cost_breakdown(p, tier, k));
+            objective += problem.placement_cost_with(&model, p, tier, k);
+            breakdown.accumulate(&problem.cost_breakdown_with(&model, p, tier, k));
         }
         Ok(Assignment {
             choices,

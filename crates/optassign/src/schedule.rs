@@ -210,6 +210,25 @@ pub fn plan_tier_schedule_with_model(
     let idx = |t: usize, e: usize| t * n + e;
     let inf = f64::INFINITY;
 
+    // Cost tables hoisted out of the transition loops: the per-period stay
+    // cost of each usable tier and the usable×usable tier-change matrix are
+    // pure functions of (tier, period) / (from, to), so evaluating them
+    // once (instead of once per DP transition — O(L²·T²) model calls)
+    // changes nothing but the wall clock; the values are the exact f64s the
+    // inner loops computed before.
+    let mut stay_cost = Vec::with_capacity(n_tiers * n);
+    for &tier in &usable {
+        for access in periods {
+            stay_cost.push(period_cost(model, tier, size_gb, access));
+        }
+    }
+    let mut change_cost = Vec::with_capacity(n_tiers * n_tiers);
+    for &from in &usable {
+        for &to in &usable {
+            change_cost.push(model.tier_change_cost(Some(from), to, size_gb));
+        }
+    }
+
     let mut cost = vec![inf; n_tiers * n];
     let mut parents: Vec<Vec<usize>> = Vec::with_capacity(n);
 
@@ -223,12 +242,12 @@ pub fn plan_tier_schedule_with_model(
                 c += departure_penalty(model, from, size_gb, options.residency_days)?;
             }
         }
-        c += period_cost(model, tier, size_gb, &periods[0]);
+        c += stay_cost[ti * n];
         cost[idx(ti, 0)] = c;
     }
     parents.push(vec![usize::MAX; n_tiers * n]);
 
-    for (p, period) in periods.iter().enumerate().skip(1) {
+    for p in 1..n {
         let mut next = vec![inf; n_tiers * n];
         let mut parent = vec![usize::MAX; n_tiers * n];
         let may_move = (p as u32) % retier_every == 0;
@@ -239,7 +258,7 @@ pub fn plan_tier_schedule_with_model(
                     continue;
                 }
                 // Stay on the same tier: the entry period is unchanged.
-                let stay = cost[s] + period_cost(model, tier, size_gb, period);
+                let stay = cost[s] + stay_cost[ti * n + p];
                 if stay < next[s] {
                     next[s] = stay;
                     parent[s] = s;
@@ -256,14 +275,12 @@ pub fn plan_tier_schedule_with_model(
                     days_served += options.residency_days;
                 }
                 let penalty = departure_penalty(model, tier, size_gb, days_served)?;
-                for (ui, &to) in usable.iter().enumerate() {
+                for ui in 0..n_tiers {
                     if ui == ti {
                         continue;
                     }
-                    let c = cost[s]
-                        + model.tier_change_cost(Some(tier), to, size_gb)
-                        + penalty
-                        + period_cost(model, to, size_gb, period);
+                    let c =
+                        cost[s] + change_cost[ti * n_tiers + ui] + penalty + stay_cost[ui * n + p];
                     let d = idx(ui, p);
                     if c < next[d] {
                         next[d] = c;
@@ -392,6 +409,11 @@ pub fn ideal_tier_schedules(
 /// schedules with egress-aware transition costs, and restrict
 /// `allowed_tiers` to one provider's merged tier ids to plan a
 /// single-provider baseline inside the same cost model.
+///
+/// Each dataset's DP is independent, so the plans are computed with the
+/// deterministic parallel fan-out ([`scope_cloudsim::parallel`]): chunked
+/// by dataset index, merged in index order — the result (including which
+/// error is reported first) is bit-for-bit the sequential loop's.
 #[allow(clippy::too_many_arguments)]
 pub fn ideal_tier_schedules_with_model(
     model: &CostModel,
@@ -404,8 +426,8 @@ pub fn ideal_tier_schedules_with_model(
     write_volume_fraction: f64,
     retier_every: u32,
 ) -> Result<Vec<TierSchedule>, OptAssignError> {
-    let mut schedules = Vec::with_capacity(datasets.len());
-    for d in datasets.iter() {
+    let datasets: Vec<_> = datasets.iter().collect();
+    let plans = scope_cloudsim::parallel::parallel_map(&datasets, |_, d| {
         let periods: Vec<PeriodAccess> = (from_month..from_month + horizon_months)
             .map(|m| {
                 let acc = series.get(d.id, m);
@@ -421,15 +443,11 @@ pub fn ideal_tier_schedules_with_model(
             retier_every,
             ..Default::default()
         };
-        schedules.push(plan_tier_schedule_with_model(
-            model,
-            d.size_gb,
-            &periods,
-            &options,
-            allowed_tiers,
-        )?);
-    }
-    Ok(schedules)
+        plan_tier_schedule_with_model(model, d.size_gb, &periods, &options, allowed_tiers)
+    });
+    // Index-order collection: the first error surfaced is the one the
+    // sequential loop would have hit first.
+    plans.into_iter().collect()
 }
 
 #[cfg(test)]

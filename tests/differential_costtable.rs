@@ -1,0 +1,471 @@
+//! Differential proptests for the cost-table engine and the deterministic
+//! parallel fan-out.
+//!
+//! The PR-4 contract is *bit-for-bit* equivalence, not approximate
+//! agreement: the table-driven greedy / branch-and-bound / Hungarian
+//! matching must return **exactly** the assignments (choices, objective
+//! f64s, breakdowns) of the historical model-driven paths preserved in
+//! `scope_optassign::reference`; the cached schedule DP must return exactly
+//! the plans of the uncached transition arithmetic (replicated here as an
+//! independent oracle); the predictor's label encoding must equal
+//! reference-greedy labels; and the parallel fan-outs (cost-table build,
+//! per-dataset schedule planning, the core sweeps) must equal their
+//! sequential loops. Every comparison below is `assert_eq!` on structures
+//! containing raw `f64`s — no tolerances.
+
+use proptest::prelude::*;
+use scope_cloudsim::parallel::parallel_map_with_threads;
+use scope_cloudsim::{CostModel, ProviderCatalog, TierCatalog, TierId, DAYS_PER_MONTH};
+use scope_optassign::reference::{
+    solve_branch_and_bound_reference, solve_equal_size_matching_reference, solve_greedy_reference,
+};
+use scope_optassign::{
+    ideal_tier_labels, plan_tier_schedule_with_model, solve_branch_and_bound,
+    solve_equal_size_matching, solve_greedy, CompressionOption, OptAssignProblem, PartitionSpec,
+    PeriodAccess, ScheduleOptions, TierSchedule,
+};
+
+/// Random OPTASSIGN instance over either the Azure ladder or the merged
+/// 3-provider catalog, with mixed current tiers, residencies, latency
+/// thresholds and compression options.
+#[allow(clippy::too_many_arguments)]
+fn build_problem(
+    multi: bool,
+    n_parts: usize,
+    sizes: &[f64],
+    accesses: &[f64],
+    ratios: &[f64],
+    thresholds: &[f64],
+    current_picks: &[usize],
+    residencies: &[u32],
+) -> OptAssignProblem {
+    let providers = ProviderCatalog::azure_s3_gcs();
+    let n_tiers = if multi { 12 } else { 4 };
+    let parts: Vec<PartitionSpec> = (0..n_parts)
+        .map(|i| {
+            let mut p = PartitionSpec::new(
+                i,
+                format!("p{i}"),
+                sizes[i % sizes.len()],
+                accesses[i % accesses.len()],
+            )
+            .with_compression_option(CompressionOption::new(
+                "z",
+                ratios[i % ratios.len()],
+                ratios[(i + 1) % ratios.len()] / 4.0,
+            ))
+            .with_residency_days(residencies[i % residencies.len()]);
+            // Thresholds drawn log-ish: some exclude archives, some nothing.
+            let thr = thresholds[i % thresholds.len()];
+            if thr < 5.0 {
+                p = p.with_latency_threshold(thr.max(0.2));
+            }
+            let pick = current_picks[i % current_picks.len()];
+            if pick % (n_tiers + 1) < n_tiers {
+                p = p.with_current_tier(TierId(pick % (n_tiers + 1)));
+            }
+            p
+        })
+        .collect();
+    if multi {
+        OptAssignProblem::multi_provider(&providers, parts, 6.0)
+    } else {
+        OptAssignProblem::new(TierCatalog::azure_adls_gen2(), parts, 6.0)
+    }
+}
+
+/// Independent re-implementation of the schedule DP *without* the hoisted
+/// stay/change cost tables — the exact pre-PR-4 transition arithmetic,
+/// evaluated through the model on every transition. Serves as the
+/// bit-for-bit oracle for the cached DP.
+fn plan_tier_schedule_uncached(
+    model: &CostModel,
+    size_gb: f64,
+    periods: &[PeriodAccess],
+    options: &ScheduleOptions,
+) -> TierSchedule {
+    let catalog = model.catalog();
+    let usable: Vec<TierId> = catalog
+        .iter()
+        .filter(|(_, t)| t.ttfb_seconds <= options.latency_threshold_seconds)
+        .map(|(id, _)| id)
+        .collect();
+    assert!(!usable.is_empty());
+    let retier_every = options.retier_every.max(1);
+    let period_cost = |tier: TierId, access: &PeriodAccess| {
+        model.storage_cost(tier, size_gb, 1.0)
+            + model.read_cost(tier, access.read_gb, 1.0)
+            + model.write_cost(tier, access.write_gb)
+    };
+    let penalty = |tier: TierId, days: u32| {
+        model
+            .early_deletion_penalty(tier, size_gb, days)
+            .expect("tier from this catalog")
+    };
+    let n = periods.len();
+    let n_tiers = usable.len();
+    let idx = |t: usize, e: usize| t * n + e;
+    let inf = f64::INFINITY;
+    let mut cost = vec![inf; n_tiers * n];
+    let mut parents: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for (ti, &tier) in usable.iter().enumerate() {
+        let mut c = model.tier_change_cost(options.current_tier, tier, size_gb);
+        if let Some(from) = options.current_tier {
+            if from != tier {
+                c += penalty(from, options.residency_days);
+            }
+        }
+        c += period_cost(tier, &periods[0]);
+        cost[idx(ti, 0)] = c;
+    }
+    parents.push(vec![usize::MAX; n_tiers * n]);
+    for (p, period) in periods.iter().enumerate().skip(1) {
+        let mut next = vec![inf; n_tiers * n];
+        let mut parent = vec![usize::MAX; n_tiers * n];
+        let may_move = (p as u32) % retier_every == 0;
+        for (ti, &tier) in usable.iter().enumerate() {
+            for e in 0..p {
+                let s = idx(ti, e);
+                if cost[s] == inf {
+                    continue;
+                }
+                let stay = cost[s] + period_cost(tier, period);
+                if stay < next[s] {
+                    next[s] = stay;
+                    parent[s] = s;
+                }
+                if !may_move {
+                    continue;
+                }
+                let mut days_served = (p - e) as u32 * DAYS_PER_MONTH;
+                if e == 0 && options.current_tier == Some(tier) {
+                    days_served += options.residency_days;
+                }
+                let pen = penalty(tier, days_served);
+                for (ui, &to) in usable.iter().enumerate() {
+                    if ui == ti {
+                        continue;
+                    }
+                    let c = cost[s]
+                        + model.tier_change_cost(Some(tier), to, size_gb)
+                        + pen
+                        + period_cost(to, period);
+                    let d = idx(ui, p);
+                    if c < next[d] {
+                        next[d] = c;
+                        parent[d] = s;
+                    }
+                }
+            }
+        }
+        cost = next;
+        parents.push(parent);
+    }
+    let (mut best_state, best_cost) = cost
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, &c)| (i, c))
+        .unwrap();
+    assert!(best_cost.is_finite());
+    let mut tiers = vec![usable[0]; n];
+    for p in (0..n).rev() {
+        tiers[p] = usable[best_state / n];
+        best_state = parents[p][best_state];
+    }
+    TierSchedule {
+        tiers,
+        planned_cost: best_cost,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Table-driven greedy ≡ model-driven greedy, bit for bit (choices,
+    /// objective and breakdown f64s), on single- and multi-provider
+    /// instances.
+    #[test]
+    fn table_greedy_is_bit_identical_to_model_greedy(
+        n_parts in 1usize..8,
+        sizes in proptest::collection::vec(0.1f64..500.0, 4),
+        accesses in proptest::collection::vec(0.0f64..300.0, 4),
+        ratios in proptest::collection::vec(1.1f64..8.0, 4),
+        thresholds in proptest::collection::vec(0.0f64..10.0, 4),
+        current_picks in proptest::collection::vec(0usize..16, 4),
+        residencies in proptest::collection::vec(0u32..200, 4),
+        multi in proptest::arbitrary::any::<bool>(),
+    ) {
+        let problem = build_problem(
+            multi, n_parts, &sizes, &accesses, &ratios, &thresholds, &current_picks, &residencies,
+        );
+        match (solve_greedy(&problem), solve_greedy_reference(&problem)) {
+            (Ok(table), Ok(reference)) => prop_assert_eq!(table, reference),
+            (Err(_), Err(_)) => {} // both report the same infeasibility
+            (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Table-driven B&B ≡ model-driven B&B: identical assignments *and*
+    /// identical search statistics (same candidates → same tree).
+    #[test]
+    fn table_branch_and_bound_is_bit_identical_to_model_path(
+        n_parts in 1usize..6,
+        sizes in proptest::collection::vec(0.1f64..200.0, 4),
+        accesses in proptest::collection::vec(0.0f64..300.0, 4),
+        ratios in proptest::collection::vec(1.1f64..8.0, 4),
+        thresholds in proptest::collection::vec(0.0f64..10.0, 4),
+        current_picks in proptest::collection::vec(0usize..16, 4),
+        residencies in proptest::collection::vec(0u32..200, 4),
+        cap_units in proptest::collection::vec(0usize..5, 2),
+        multi in proptest::arbitrary::any::<bool>(),
+    ) {
+        let mut problem = build_problem(
+            multi, n_parts, &sizes, &accesses, &ratios, &thresholds, &current_picks, &residencies,
+        );
+        // Bound a couple of tiers (by name, ladder-dependent) so the search
+        // actually branches; leave the archives unbounded for feasibility.
+        let bounded = if multi { ["azure:Premium", "s3:Standard"] } else { ["Premium", "Hot"] };
+        for (name, &units) in bounded.iter().zip(&cap_units) {
+            problem.catalog.set_capacity(name, 50.0 * units as f64).unwrap();
+        }
+        match (
+            solve_branch_and_bound(&problem, 2_000_000),
+            solve_branch_and_bound_reference(&problem, 2_000_000),
+        ) {
+            (Ok((ta, ts)), Ok((ra, rs))) => {
+                prop_assert_eq!(ta, ra);
+                prop_assert_eq!(ts, rs);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Table-driven Hungarian matching ≡ model-driven matching on random
+    /// capacity-bounded equal-size instances.
+    #[test]
+    fn table_matching_is_bit_identical_to_model_path(
+        n_parts in 1usize..7,
+        size in 1.0f64..100.0,
+        accesses in proptest::collection::vec(0.0f64..5000.0, 4),
+        thresholds in proptest::collection::vec(0.0f64..10.0, 4),
+        cap_units in proptest::collection::vec(0usize..4, 3),
+        multi in proptest::arbitrary::any::<bool>(),
+    ) {
+        let providers = ProviderCatalog::azure_s3_gcs();
+        let n_tiers = if multi { 12 } else { 4 };
+        let parts: Vec<PartitionSpec> = (0..n_parts)
+            .map(|i| {
+                let mut p = PartitionSpec::new(i, format!("p{i}"), size, accesses[i % accesses.len()]);
+                let thr = thresholds[i % thresholds.len()];
+                if thr < 5.0 {
+                    p = p.with_latency_threshold(thr.max(0.2));
+                }
+                let _ = n_tiers;
+                p
+            })
+            .collect();
+        let mut problem = if multi {
+            OptAssignProblem::multi_provider(&providers, parts, 6.0)
+        } else {
+            OptAssignProblem::new(TierCatalog::azure_adls_gen2(), parts, 6.0)
+        };
+        let bounded = if multi { ["azure:Hot", "gcs:Standard", "s3:Standard-IA"] } else { ["Premium", "Hot", "Cool"] };
+        for (name, &units) in bounded.iter().zip(&cap_units) {
+            problem.catalog.set_capacity(name, size * units as f64).unwrap();
+        }
+        match (
+            solve_equal_size_matching(&problem),
+            solve_equal_size_matching_reference(&problem),
+        ) {
+            (Ok(table), Ok(reference)) => prop_assert_eq!(table, reference),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "paths disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The cached schedule DP ≡ the uncached per-transition arithmetic, bit
+    /// for bit, including on egress-aware merged catalogs.
+    #[test]
+    fn cached_schedule_dp_is_bit_identical_to_uncached(
+        n_periods in 1usize..6,
+        volumes in proptest::collection::vec(0.0f64..500.0, 8),
+        size_gb in 0.0f64..300.0,
+        current_pick in 0usize..14,
+        residency in 0u32..200,
+        retier_every in 1u32..3,
+        threshold in 0.0f64..10.0,
+        multi in proptest::arbitrary::any::<bool>(),
+    ) {
+        let model = if multi {
+            let providers = ProviderCatalog::azure_s3_gcs();
+            CostModel::with_topology(providers.merged_catalog(), providers.topology())
+        } else {
+            CostModel::new(TierCatalog::azure_adls_gen2())
+        };
+        let n_tiers = model.catalog().len();
+        let periods: Vec<PeriodAccess> = (0..n_periods)
+            .map(|p| PeriodAccess::new(
+                volumes[2 * p % volumes.len()],
+                volumes[(2 * p + 1) % volumes.len()] / 10.0,
+            ))
+            .collect();
+        // A sub-5s threshold keeps at least the fast tiers usable on both
+        // ladders (ms-latency tiers exist everywhere).
+        let latency = if threshold < 5.0 { threshold.max(0.2) } else { f64::INFINITY };
+        let options = ScheduleOptions {
+            current_tier: (current_pick % (n_tiers + 1) < n_tiers)
+                .then_some(TierId(current_pick % (n_tiers + 1))),
+            residency_days: residency,
+            latency_threshold_seconds: latency,
+            retier_every,
+        };
+        let cached = plan_tier_schedule_with_model(&model, size_gb, &periods, &options, None).unwrap();
+        let uncached = plan_tier_schedule_uncached(&model, size_gb, &periods, &options);
+        prop_assert_eq!(cached, uncached);
+    }
+
+    /// The deterministic fan-out returns exactly the sequential map for
+    /// every thread count, on float-producing work.
+    #[test]
+    fn parallel_map_equals_sequential_for_any_thread_count(
+        items in proptest::collection::vec(0.0f64..1000.0, 40),
+        threads in 1usize..12,
+    ) {
+        let f = |i: usize, &x: &f64| (x * 1.000001 + i as f64).sqrt() * (x + 0.5).ln_1p();
+        let sequential = parallel_map_with_threads(&items, 1, f);
+        let parallel = parallel_map_with_threads(&items, threads, f);
+        prop_assert_eq!(sequential, parallel);
+    }
+}
+
+/// The predictor's label encoding is greedy-derived; it must equal the
+/// labels obtained by running the *reference* greedy on the identically
+/// constructed problem — i.e. the table rewrite changed nothing about what
+/// the RF model trains on.
+#[test]
+fn ideal_tier_labels_match_reference_greedy_labels() {
+    use scope_workload::{EnterpriseOptions, EnterpriseWorkload};
+    let w = EnterpriseWorkload::generate(EnterpriseOptions {
+        n_datasets: 80,
+        history_months: 6,
+        future_months: 4,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
+    let catalog = TierCatalog::azure_hot_cool_archive();
+    let hot = catalog.tier_id("Hot").unwrap();
+    let (from_month, horizon) = (6u32, 4u32);
+    let labels =
+        ideal_tier_labels(&catalog, &w.catalog, &w.series, from_month, horizon, hot).unwrap();
+
+    // Reconstruct the label problem exactly as the predictor does and run
+    // the model-driven reference greedy on it.
+    let partitions: Vec<PartitionSpec> = w
+        .catalog
+        .iter()
+        .map(|d| {
+            let mut reads = 0.0;
+            let mut volume_weighted_fraction = 0.0;
+            for m in from_month..from_month + horizon {
+                let acc = w.series.get(d.id, m);
+                reads += acc.reads;
+                volume_weighted_fraction += acc.reads * acc.read_fraction;
+            }
+            let read_fraction = if reads > 0.0 {
+                (volume_weighted_fraction / reads).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            PartitionSpec::new(d.id, d.name.clone(), d.size_gb, reads)
+                .with_latency_threshold(d.latency_threshold_seconds)
+                .with_current_tier(hot)
+                .with_read_fraction(read_fraction)
+        })
+        .collect();
+    let problem = OptAssignProblem::new(catalog, partitions, horizon as f64);
+    let reference = solve_greedy_reference(&problem).unwrap();
+    let reference_labels: Vec<TierId> = reference.choices.iter().map(|&(t, _)| t).collect();
+    assert_eq!(labels, reference_labels);
+}
+
+/// The parallel per-dataset schedule fan-out equals the sequential
+/// per-dataset loop exactly.
+#[test]
+fn parallel_schedule_fanout_equals_sequential_planning() {
+    use scope_optassign::ideal_tier_schedules_with_model;
+    use scope_workload::{EnterpriseOptions, EnterpriseWorkload};
+    let w = EnterpriseWorkload::generate(EnterpriseOptions {
+        n_datasets: 60,
+        history_months: 6,
+        future_months: 4,
+        seed: 23,
+        ..Default::default()
+    })
+    .unwrap();
+    let providers = ProviderCatalog::azure_s3_gcs();
+    let model = CostModel::with_topology(providers.merged_catalog(), providers.topology());
+    let home = providers.merged_tier_id("azure", "Hot").unwrap();
+    let write_fraction = 0.05;
+    let fanned = ideal_tier_schedules_with_model(
+        &model,
+        None,
+        &w.catalog,
+        &w.series,
+        6,
+        4,
+        home,
+        write_fraction,
+        1,
+    )
+    .unwrap();
+    // Sequential oracle: one plan_tier_schedule_with_model call per dataset.
+    let sequential: Vec<TierSchedule> = w
+        .catalog
+        .iter()
+        .map(|d| {
+            let periods: Vec<PeriodAccess> = (6..10)
+                .map(|m| {
+                    let acc = w.series.get(d.id, m);
+                    PeriodAccess {
+                        read_gb: acc.reads * acc.read_fraction * d.size_gb,
+                        write_gb: acc.writes * write_fraction * d.size_gb,
+                    }
+                })
+                .collect();
+            let options = ScheduleOptions {
+                current_tier: Some(home),
+                latency_threshold_seconds: d.latency_threshold_seconds,
+                retier_every: 1,
+                ..Default::default()
+            };
+            plan_tier_schedule_with_model(&model, d.size_gb, &periods, &options, None).unwrap()
+        })
+        .collect();
+    assert_eq!(fanned, sequential);
+}
+
+/// The parallel tradeoff sweep equals running each α point on its own —
+/// the fan-out merge cannot reorder or perturb the curve.
+#[test]
+fn parallel_tradeoff_sweep_equals_per_alpha_points() {
+    use scope_core::scenario::{tpch_scenario, ScenarioOptions};
+    use scope_core::tradeoff::{tradeoff_sweep, PredictorVariant};
+    let inputs = tpch_scenario(&ScenarioOptions {
+        nominal_total_gb: 1.0,
+        generator_scale: 0.05,
+        queries_per_template: 4,
+        total_files: 24,
+        ..Default::default()
+    })
+    .unwrap();
+    let alphas = [0.0, 0.1, 0.3, 1.0, 3.0, 10.0];
+    let swept = tradeoff_sweep(&inputs, PredictorVariant::RandomForest, &alphas, 1.0).unwrap();
+    for (i, &alpha) in alphas.iter().enumerate() {
+        let single =
+            tradeoff_sweep(&inputs, PredictorVariant::RandomForest, &[alpha], 1.0).unwrap();
+        assert_eq!(swept[i], single[0], "alpha = {alpha}");
+    }
+}
