@@ -29,9 +29,9 @@ cargo test -q
 # Release-mode test pass: the optimizer DP oracles and proptests are an
 # order of magnitude slower in debug, and release occasionally surfaces
 # optimization-dependent float bugs debug hides. The total-count floor is
-# the PR-4 suite size — if the suite ever shrinks below it, tests were
+# the PR-5 suite size — if the suite ever shrinks below it, tests were
 # lost, not just reorganised.
-min_tests=423
+min_tests=447
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {
@@ -53,6 +53,13 @@ if [[ $quick -eq 0 ]]; then
     echo "==> solver_bench --json --quick (BENCH_4 smoke)"
     cargo run --release -q -p scope-bench --bin solver_bench -- \
         --json --quick --out target/BENCH_4.quick.json
+
+    # Same for the PR-5 learning-pipeline bench: fast-vs-reference equality
+    # (trees, forests, boosting, entropies, DP plans) asserted inside the
+    # bin on quick instances.
+    echo "==> train_bench --json --quick (BENCH_5 smoke)"
+    cargo run --release -q -p scope-bench --bin train_bench -- \
+        --json --quick --out target/BENCH_5.quick.json
 fi
 
 echo "==> cargo bench --no-run (criterion benches must compile)"

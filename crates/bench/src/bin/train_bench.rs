@@ -1,0 +1,443 @@
+//! PR-5 benchmark suite: the learning-pipeline fast path vs the preserved
+//! seed-shaped reference paths.
+//!
+//! ```text
+//! train_bench [--json] [--quick] [--out PATH]
+//! ```
+//!
+//! * `--json`  — also write the results as JSON (default path
+//!   `BENCH_5.json` in the working directory; override with `--out`).
+//! * `--quick` — small instances / single rep, for the CI smoke run.
+//!
+//! Every section runs the **same instance** through both families —
+//! `scope_learn::reference` / `weighted_entropy_by_type_reference` /
+//! `solve_ordered_exact_reference` (per-node re-sorts, clone-based
+//! bootstraps, sequential loops, per-cell `String` rendering, per-merge
+//! window re-scans: exactly the pre-PR-5 code paths) and the production
+//! fast paths (presort CART on a column-major [`ColumnMatrix`], bagging by
+//! index, deterministic parallel fan-out, distinct-value entropy counting,
+//! incremental DP window statistics) — asserts the outputs are **identical**
+//! (bit-for-bit models, predictions, entropies and DP plans), and reports
+//! min-of-reps wall-clock per path. The headline numbers are forest
+//! training at 50 000 rows and the ordered DP at 2 000 partitions.
+
+use scope_compredict::features::{weighted_entropy_by_type, weighted_entropy_by_type_reference};
+use scope_datapart::{solve_ordered_exact, solve_ordered_exact_reference, OrderedPartition};
+use scope_learn::boosting::BoostingParams;
+use scope_learn::forest::ForestParams;
+use scope_learn::reference::{
+    fit_boosting_reference, fit_forest_classifier_reference, fit_forest_classifier_seed,
+    fit_forest_regressor_reference, fit_forest_regressor_seed, fit_tree_regressor_reference,
+    fit_tree_regressor_seed,
+};
+use scope_learn::tree::TreeParams;
+use scope_learn::{
+    Classifier, ColumnMatrix, DecisionTreeRegressor, GradientBoostingRegressor,
+    RandomForestClassifier, RandomForestRegressor, Regressor,
+};
+use scope_table::{TpchGenerator, TpchOptions, TpchTable};
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    json: bool,
+    out: String,
+    rows: usize,
+    reps: usize,
+    dp_partitions: usize,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut quick = false;
+        let mut json = false;
+        let mut out = "BENCH_5.json".to_string();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--json" => json = true,
+                "--out" => out = args.next().expect("--out requires a path"),
+                other => panic!("unknown argument {other} (expected --json / --quick / --out)"),
+            }
+        }
+        Config {
+            quick,
+            json,
+            out,
+            rows: if quick { 5_000 } else { 50_000 },
+            reps: if quick { 1 } else { 2 },
+            dp_partitions: if quick { 400 } else { 2_000 },
+        }
+    }
+}
+
+/// Min-of-reps wall clock (seconds) of `f`, returning the last result.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Synthetic training set shaped like the predictors' real inputs:
+/// 6 features — half coarsely quantized (8 distinct values, heavy ties,
+/// like month counters and bucket ids) and half continuous (like sizes,
+/// entropies and read rates; nearly every value distinct, so the seed
+/// scorer's per-candidate re-scans are genuinely `O(n²)` per node) — with
+/// a nonlinear target.
+fn training_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<usize>) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut features = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..6)
+            .map(|f| {
+                if f % 2 == 0 {
+                    (next() * 8.0).floor()
+                } else {
+                    next() * 10.0
+                }
+            })
+            .collect();
+        let y = (x[0] * x[1]).sin() * 5.0 + x[2] + 0.3 * x[3] * x[4] + x[5];
+        features.push(x);
+        labels.push((y.abs() as usize) % 3);
+        targets.push(y);
+    }
+    (features, targets, labels)
+}
+
+/// One section's timings: the true seed path (two-pass split scoring — the
+/// pre-PR-5 hot loop; `None` where it is not benched), the scan-scored
+/// reference oracle, and the production fast path.
+struct Comparison {
+    seed_s: Option<f64>,
+    reference_s: f64,
+    fast_s: f64,
+}
+
+impl Comparison {
+    /// Headline speedup: vs the seed path where benched, else vs the
+    /// scan-scored reference.
+    fn speedup(&self) -> f64 {
+        self.seed_s.unwrap_or(self.reference_s) / self.fast_s
+    }
+}
+
+fn print_row(name: &str, c: &Comparison) {
+    match c.seed_s {
+        Some(seed_s) => {
+            println!(
+            "{name:<20} seed {:>9.4} s   reference {:>9.4} s   fast {:>9.4} s   speedup {:>7.1}x",
+            seed_s, c.reference_s, c.fast_s, c.speedup()
+        )
+        }
+        None => println!(
+            "{name:<20} {:<16} reference {:>9.4} s   fast {:>9.4} s   speedup {:>7.1}x",
+            "",
+            c.reference_s,
+            c.fast_s,
+            c.speedup()
+        ),
+    }
+}
+
+fn bench_tree(f: &[Vec<f64>], t: &[f64], reps: usize) -> Comparison {
+    let params = TreeParams::default();
+    let (seed_s, _) = time_min(1, || fit_tree_regressor_seed(f, t, params, 1).unwrap());
+    let (reference_s, reference) = time_min(reps, || {
+        fit_tree_regressor_reference(f, t, params, 1).unwrap()
+    });
+    let (fast_s, fast) = time_min(reps, || {
+        DecisionTreeRegressor::fit_seeded(f, t, params, 1).unwrap()
+    });
+    assert_eq!(fast, reference, "tree paths diverged");
+    Comparison {
+        seed_s: Some(seed_s),
+        reference_s,
+        fast_s,
+    }
+}
+
+/// Mean absolute difference between two prediction vectors (seed-vs-fast
+/// agreement check: the scoring formulas differ only by float
+/// reassociation, so the models must agree except at rounding-level split
+/// ties).
+fn mean_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+fn bench_forest_regressor(f: &[Vec<f64>], t: &[f64], reps: usize) -> (Comparison, Comparison) {
+    let params = ForestParams {
+        n_trees: 8,
+        seed: 3,
+        ..Default::default()
+    };
+    // The seed scorer re-scans `O(n)` targets per candidate split, and the
+    // continuous features make nearly every row boundary a candidate —
+    // quadratic per node. One tree is enough to time it; the per-tree cost
+    // is extrapolated to the ensemble (every tree does the same work).
+    let one_tree = ForestParams {
+        n_trees: 1,
+        ..params
+    };
+    let (seed_one_s, seed_forest) =
+        time_min(1, || fit_forest_regressor_seed(f, t, one_tree).unwrap());
+    let seed_s = seed_one_s * params.n_trees as f64;
+    let (reference_s, reference) = time_min(reps, || {
+        fit_forest_regressor_reference(f, t, params).unwrap()
+    });
+    let cols = ColumnMatrix::from_rows(f).expect("valid rows");
+    let (fast_s, fast) = time_min(reps, || {
+        RandomForestRegressor::fit_columns(&cols, t, params).unwrap()
+    });
+    assert_eq!(fast, reference, "forest regressor paths diverged");
+    // The seed scorer is float-reassociated, so whole-model equality is not
+    // guaranteed at split-score ties — but the fitted trees must agree. The
+    // fast forest's first tree trains on the identical bootstrap draw.
+    let fast_one = RandomForestRegressor::fit_columns(&cols, t, one_tree).unwrap();
+    let sample: Vec<Vec<f64>> = f.iter().step_by(23).cloned().collect();
+    let mad = mean_abs_diff(&seed_forest.predict(&sample), &fast_one.predict(&sample));
+    assert!(mad < 0.05, "seed and fast forests disagree: mad = {mad}");
+
+    // Prediction over the full training set: sequential row-major
+    // predict_one loop vs the batched column walk.
+    let (pred_ref_s, by_rows) = time_min(reps.max(2), || reference.predict(f));
+    let (pred_fast_s, by_cols) = time_min(reps.max(2), || fast.predict_columns(&cols));
+    assert_eq!(by_rows.len(), by_cols.len());
+    for (a, b) in by_rows.iter().zip(&by_cols) {
+        assert_eq!(a.to_bits(), b.to_bits(), "forest predictions diverged");
+    }
+    (
+        Comparison {
+            seed_s: Some(seed_s),
+            reference_s,
+            fast_s,
+        },
+        Comparison {
+            seed_s: None,
+            reference_s: pred_ref_s,
+            fast_s: pred_fast_s,
+        },
+    )
+}
+
+fn bench_forest_classifier(f: &[Vec<f64>], labels: &[usize], reps: usize) -> Comparison {
+    let params = ForestParams {
+        n_trees: 8,
+        seed: 5,
+        ..Default::default()
+    };
+    // The seed Gini scorer builds an ordered count map per candidate split
+    // — on continuous features that is minutes per tree at this scale, so
+    // it is timed on a small prefix and extrapolated linearly in rows (its
+    // per-node cost is O(rows · candidates) with candidates ≈ rows, but
+    // one level's candidates dominate, making rows² / prefix² the honest
+    // scale — reported conservatively with the linear factor).
+    let prefix = f.len().min(2_500);
+    let (seed_prefix_s, seed_forest) = time_min(1, || {
+        fit_forest_classifier_seed(&f[..prefix], &labels[..prefix], params).unwrap()
+    });
+    let seed_s = seed_prefix_s * (f.len() as f64 / prefix as f64);
+    let (reference_s, reference) = time_min(reps, || {
+        fit_forest_classifier_reference(f, labels, params).unwrap()
+    });
+    let cols = ColumnMatrix::from_rows(f).expect("valid rows");
+    let (fast_s, fast) = time_min(reps, || {
+        RandomForestClassifier::fit_columns(&cols, labels, params).unwrap()
+    });
+    assert_eq!(fast, reference, "forest classifier paths diverged");
+    // Seed-vs-fast agreement on the prefix instance the seed trained on.
+    let prefix_cols = ColumnMatrix::from_rows(&f[..prefix]).expect("valid rows");
+    let fast_prefix =
+        RandomForestClassifier::fit_columns(&prefix_cols, &labels[..prefix], params).unwrap();
+    let sample: Vec<Vec<f64>> = f[..prefix].iter().step_by(7).cloned().collect();
+    let seed_preds = Classifier::predict(&seed_forest, &sample);
+    let fast_preds = Classifier::predict(&fast_prefix, &sample);
+    let disagree = seed_preds
+        .iter()
+        .zip(&fast_preds)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert!(
+        disagree * 50 < sample.len(),
+        "seed and fast classifier forests disagree on {disagree}/{} rows",
+        sample.len()
+    );
+    Comparison {
+        seed_s: Some(seed_s),
+        reference_s,
+        fast_s,
+    }
+}
+
+fn bench_boosting(f: &[Vec<f64>], t: &[f64], reps: usize) -> Comparison {
+    let params = BoostingParams {
+        n_estimators: 30,
+        ..Default::default()
+    };
+    let (reference_s, reference) = time_min(reps, || fit_boosting_reference(f, t, params).unwrap());
+    let cols = ColumnMatrix::from_rows(f).expect("valid rows");
+    let (fast_s, fast) = time_min(reps, || {
+        GradientBoostingRegressor::fit_columns(&cols, t, params).unwrap()
+    });
+    assert_eq!(fast, reference, "boosting paths diverged");
+    Comparison {
+        seed_s: None,
+        reference_s,
+        fast_s,
+    }
+}
+
+fn bench_features(quick: bool, reps: usize) -> (Comparison, usize) {
+    // Real tabular data: TPC-H orders (9 columns across all four types);
+    // scale 40 ≈ 60k rows.
+    let gen = TpchGenerator::new(TpchOptions {
+        scale_factor: if quick { 4.0 } else { 40.0 },
+        ..Default::default()
+    })
+    .unwrap();
+    let orders = gen.generate(TpchTable::Orders);
+    let n = orders.n_rows();
+    let reps = reps.max(2);
+    let (reference_s, slow) = time_min(reps, || weighted_entropy_by_type_reference(&orders, 0, n));
+    let (fast_s, fast) = time_min(reps, || weighted_entropy_by_type(&orders, 0, n));
+    assert_eq!(fast.len(), slow.len());
+    for (k, v) in &slow {
+        assert_eq!(fast[k].to_bits(), v.to_bits(), "entropy diverged for {k:?}");
+    }
+    (
+        Comparison {
+            seed_s: None, // the String-per-cell reference *is* the seed path
+            reference_s,
+            fast_s,
+        },
+        n,
+    )
+}
+
+fn bench_ordered_dp(n: usize, reps: usize) -> (Comparison, usize) {
+    // A chain of overlapping interval partitions where every 10th carries
+    // real read frequency (a hot query family) and the rest are dormant —
+    // the time-series shape DATAPART targets. Dormant runs merge for free,
+    // hot windows price in quickly, so long merges fall over budget: the
+    // production DP prunes them after O(1) work per `from`, while the
+    // reference still pays a full window re-scan for every (i, k) pair.
+    let mut parts = Vec::with_capacity(n);
+    let mut end = 0.0f64;
+    let mut nonzero = 0usize;
+    for i in 0..n {
+        end += 1.0 + (i % 3) as f64;
+        let span = 4.0 + (i % 5) as f64 * 2.0;
+        let freq = if i % 10 == 0 {
+            nonzero += 1;
+            1.0 + ((i / 10) % 3) as f64
+        } else {
+            0.0
+        };
+        parts.push(OrderedPartition::new(end - span, end, freq));
+    }
+    let min_cost: f64 = parts.iter().map(|p| p.span() * p.frequency).sum();
+    // Coarse cost units keep the budget axis small so the window-statistics
+    // cost dominates the reference (the regime the fast path attacks). The
+    // all-separate covering pays at most one unit of ceil rounding per
+    // non-dormant partition, so a `nonzero`-unit cushion keeps it feasible.
+    let resolution = 100.0 / min_cost;
+    let budget_units = 110 + nonzero;
+    let budget = budget_units as f64 / resolution;
+    let (reference_s, slow) = time_min(reps, || {
+        solve_ordered_exact_reference(&parts, budget, resolution).unwrap()
+    });
+    let (fast_s, fast) = time_min(reps, || {
+        solve_ordered_exact(&parts, budget, resolution).unwrap()
+    });
+    assert_eq!(fast.merges, slow.merges, "DP plans diverged");
+    assert_eq!(fast.total_space.to_bits(), slow.total_space.to_bits());
+    assert_eq!(fast.total_cost.to_bits(), slow.total_cost.to_bits());
+    (
+        Comparison {
+            seed_s: None, // the per-merge window re-scan reference *is* the seed path
+            reference_s,
+            fast_s,
+        },
+        budget_units,
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!(
+        "train_bench: {} rows x 6 features, DP at {} partitions, min of {} rep(s){}",
+        cfg.rows,
+        cfg.dp_partitions,
+        cfg.reps,
+        if cfg.quick { " [quick]" } else { "" }
+    );
+    let (f, t, labels) = training_data(cfg.rows, 42);
+
+    let tree = bench_tree(&f, &t, cfg.reps);
+    print_row("tree train", &tree);
+    let (forest, forest_pred) = bench_forest_regressor(&f, &t, cfg.reps);
+    print_row("forest train", &forest);
+    print_row("forest predict", &forest_pred);
+    let forest_clf = bench_forest_classifier(&f, &labels, cfg.reps);
+    print_row("forest train (clf)", &forest_clf);
+    let boosting = bench_boosting(&f, &t, cfg.reps);
+    print_row("boosting train", &boosting);
+    let (features, feature_rows) = bench_features(cfg.quick, cfg.reps);
+    print_row("entropy features", &features);
+    let (dp, budget_units) = bench_ordered_dp(cfg.dp_partitions, cfg.reps);
+    print_row("ordered DP", &dp);
+
+    if cfg.json {
+        let section = |c: &Comparison| {
+            match c.seed_s {
+            Some(seed_s) => format!(
+                "{{ \"seed_s\": {:.6}, \"scan_reference_s\": {:.6}, \"fast_s\": {:.6}, \"speedup\": {:.2}, \"speedup_vs_scan_reference\": {:.2} }}",
+                seed_s,
+                c.reference_s,
+                c.fast_s,
+                c.speedup(),
+                c.reference_s / c.fast_s,
+            ),
+            None => format!(
+                "{{ \"reference_s\": {:.6}, \"fast_s\": {:.6}, \"speedup\": {:.2} }}",
+                c.reference_s,
+                c.fast_s,
+                c.speedup()
+            ),
+        }
+        };
+        let json = format!(
+            "{{\n  \"issue\": 5,\n  \"quick\": {},\n  \"config\": {{\n    \"rows\": {},\n    \"features\": 6,\n    \"forest_trees\": 8,\n    \"forest_seed_timed_on_trees\": 1,\n    \"clf_seed_timed_on_row_prefix\": 2500,\n    \"boosting_stages\": 30,\n    \"entropy_rows\": {},\n    \"dp_partitions\": {},\n    \"dp_budget_units\": {},\n    \"reps\": {}\n  }},\n  \"train\": {{\n    \"tree\": {},\n    \"forest\": {},\n    \"forest_classifier\": {},\n    \"boosting\": {}\n  }},\n  \"predict\": {{\n    \"forest_batch\": {}\n  }},\n  \"features\": {{\n    \"weighted_entropy\": {}\n  }},\n  \"datapart\": {{\n    \"ordered_dp\": {}\n  }},\n  \"note\": \"seed = the pre-PR-5 implementations verbatim (two-pass impurity per candidate split, per-node re-sorts, clone bootstraps, sequential training; the entropy and DP references are themselves the seed paths: String-per-cell rendering, O(n) merge stats per DP cell). scan_reference = the seed-shaped oracle with shared scan scoring, bit-for-bit equal to fast (asserted in-bin, with seed-vs-fast prediction agreement asserted statistically). fast = presort CART on column-major data, index bagging, deterministic parallel fan-out (single-core in this environment, so speedups are purely algorithmic), distinct-value entropy counting, O(1) incremental DP window stats. speedup = vs seed where benched, else vs the reference.\"\n}}\n",
+            cfg.quick,
+            cfg.rows,
+            feature_rows,
+            cfg.dp_partitions,
+            budget_units,
+            cfg.reps,
+            section(&tree),
+            section(&forest),
+            section(&forest_clf),
+            section(&boosting),
+            section(&forest_pred),
+            section(&features),
+            section(&dp),
+        );
+        std::fs::write(&cfg.out, &json).expect("write JSON results");
+        println!("wrote {}", cfg.out);
+    }
+}

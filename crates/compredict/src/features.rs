@@ -15,6 +15,36 @@
 
 use scope_table::{ColumnData, ColumnType, Table};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a: a tiny non-cryptographic hasher for the per-cell counting maps
+/// — the keys are in-memory column values, not attacker-controlled input,
+/// so the default SipHash's DoS resistance buys nothing here and its
+/// per-key cost is the hot-path tax.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf29ce484222325) // FNV offset basis
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
 
 /// Which feature set to extract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +169,16 @@ fn int_len(x: i64) -> usize {
 /// Weighted entropy per data type over the row range `[start, end)`:
 /// `H(P, d) = -Σ_s len(s) · pr(s) · log(pr(s))` where the sum runs over the
 /// distinct string values `s` of columns of type `d`.
+///
+/// This is the allocation-lean fast path: per cell it pays one numeric
+/// hash-map bump (or a borrowed-`&str` tree insert for text columns) —
+/// strings are rendered **once per distinct value**, not once per cell as
+/// the seed implementation did
+/// ([`weighted_entropy_by_type_reference`], preserved as the differential
+/// oracle and the `train_bench` baseline). Distinct values are then merged
+/// by their rendered string and the entropy sum runs in the same
+/// lexicographic order over the same `(string, count)` pairs, so the
+/// result is bit-for-bit identical.
 pub fn weighted_entropy_by_type(
     table: &Table,
     start: usize,
@@ -151,7 +191,85 @@ pub fn weighted_entropy_by_type(
     // feature per data type present in the partition).
     for t in ColumnType::all() {
         // BTreeMap: the entropy sum below must run in a stable value order
-        // so extracted features are bit-identical across runs.
+        // so extracted features are bit-identical across runs. Text keys
+        // borrow straight from the column; numeric values are counted by
+        // raw value first and rendered once per distinct value below.
+        let mut counts: std::collections::BTreeMap<std::borrow::Cow<'_, str>, usize> =
+            std::collections::BTreeMap::new();
+        let mut text: FnvMap<&str, usize> = FnvMap::default();
+        let mut numeric: FnvMap<i64, usize> = FnvMap::default();
+        let mut float_bits: FnvMap<u64, usize> = FnvMap::default();
+        let mut total = 0usize;
+        for c in 0..table.n_columns() {
+            let col = table.column(c);
+            if col.column_type() != t {
+                continue;
+            }
+            total += end - start;
+            match col {
+                ColumnData::Text(v) => {
+                    for s in &v[start..end] {
+                        *text.entry(s.as_str()).or_insert(0) += 1;
+                    }
+                }
+                ColumnData::Int(v) | ColumnData::Date(v) => {
+                    for &x in &v[start..end] {
+                        *numeric.entry(x).or_insert(0) += 1;
+                    }
+                }
+                ColumnData::Float(v) => {
+                    // Key by bit pattern: distinct bit patterns may render
+                    // to the same string (rounding), which the merge below
+                    // handles exactly as per-cell string counting would.
+                    for &x in &v[start..end] {
+                        *float_bits.entry(x.to_bits()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        // Merge the distinct values into one ordered map — text keys stay
+        // borrowed, numerics are rendered once per distinct value.
+        for (s, count) in text {
+            *counts.entry(std::borrow::Cow::Borrowed(s)).or_insert(0) += count;
+        }
+        for (x, count) in numeric {
+            let s = match t {
+                ColumnType::Date => scope_table::column::format_date(x),
+                _ => x.to_string(),
+            };
+            *counts.entry(std::borrow::Cow::Owned(s)).or_insert(0) += count;
+        }
+        for (bits, count) in float_bits {
+            let s = format!("{:.2}", f64::from_bits(bits));
+            *counts.entry(std::borrow::Cow::Owned(s)).or_insert(0) += count;
+        }
+        if total == 0 {
+            continue;
+        }
+        let mut h = 0.0;
+        for (s, count) in counts {
+            let pr = count as f64 / total as f64;
+            h -= s.len() as f64 * pr * pr.ln();
+        }
+        result.insert(t, h);
+    }
+    result
+}
+
+/// The seed implementation of [`weighted_entropy_by_type`]: one rendered
+/// `String` map key **per cell**. Preserved as the differential oracle
+/// (bit-for-bit equality is pinned in this module's tests and in
+/// `tests/differential_learn.rs`) and as the before/after baseline the
+/// `train_bench` bin measures feature extraction against.
+pub fn weighted_entropy_by_type_reference(
+    table: &Table,
+    start: usize,
+    end: usize,
+) -> HashMap<ColumnType, f64> {
+    let end = end.min(table.n_rows());
+    let start = start.min(end);
+    let mut result: HashMap<ColumnType, f64> = HashMap::new();
+    for t in ColumnType::all() {
         let mut counts: std::collections::BTreeMap<String, usize> =
             std::collections::BTreeMap::new();
         let mut total = 0usize;
@@ -253,6 +371,53 @@ mod tests {
                 .len(),
             2 + 4 * ENTROPY_BUCKETS
         );
+    }
+
+    #[test]
+    fn fast_entropy_matches_reference_bitwise() {
+        // All four column types, repeated and distinct values, partial row
+        // ranges: the distinct-value counting path must reproduce the
+        // per-cell-String reference exactly.
+        use scope_table::{ColumnDef, Schema, TpchGenerator, TpchOptions, TpchTable};
+        let schema = Schema::new(vec![
+            ColumnDef::new("id", ColumnType::Int),
+            ColumnDef::new("price", ColumnType::Float),
+            ColumnDef::new("status", ColumnType::Text),
+            ColumnDef::new("ship", ColumnType::Date),
+        ]);
+        let n = 200;
+        let t = Table::new(
+            "mixed",
+            schema,
+            vec![
+                ColumnData::Int((0..n).map(|i| (i % 17) - 4).collect()),
+                ColumnData::Float((0..n).map(|i| (i % 13) as f64 * 0.493).collect()),
+                ColumnData::Text((0..n).map(|i| format!("S{}", i % 7)).collect()),
+                ColumnData::Date((0..n).map(|i| (i % 40) * 11).collect()),
+            ],
+        )
+        .unwrap();
+        for (start, end) in [(0, 200), (0, 50), (37, 160), (200, 200)] {
+            let fast = weighted_entropy_by_type(&t, start, end);
+            let slow = weighted_entropy_by_type_reference(&t, start, end);
+            assert_eq!(fast.len(), slow.len(), "range {start}..{end}");
+            for (k, v) in &slow {
+                assert_eq!(fast[k].to_bits(), v.to_bits(), "{k:?} range {start}..{end}");
+            }
+        }
+        // And on real TPC-H data.
+        let gen = TpchGenerator::new(TpchOptions {
+            scale_factor: 0.05,
+            ..Default::default()
+        })
+        .unwrap();
+        let orders = gen.generate(TpchTable::Orders);
+        let fast = weighted_entropy_by_type(&orders, 0, orders.n_rows());
+        let slow = weighted_entropy_by_type_reference(&orders, 0, orders.n_rows());
+        assert_eq!(fast.len(), slow.len());
+        for (k, v) in &slow {
+            assert_eq!(fast[k].to_bits(), v.to_bits(), "{k:?}");
+        }
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::features::FeatureExtractor;
 use crate::CompredictError;
 use scope_compress::{measure, CompressionScheme};
 use scope_learn::{
-    mae, mape, r2_score, GradientBoostingRegressor, KnnRegressor, MeanRegressor, MlpRegressor,
-    RandomForestRegressor, Regressor, Standardizer,
+    mae, mape, r2_score, ColumnMatrix, GradientBoostingRegressor, KnnRegressor, MeanRegressor,
+    MlpRegressor, RandomForestRegressor, Regressor, Standardizer,
 };
 use scope_table::{format, DataLayout, Table};
 
@@ -182,20 +182,38 @@ impl CompressionPredictor {
         if examples.len() < 4 {
             return Err(CompredictError::NotEnoughSamples(examples.len()));
         }
-        let features: Vec<Vec<f64>> = examples.iter().map(|e| e.features.clone()).collect();
         let targets: Vec<f64> = examples.iter().map(|e| target_of(e, task)).collect();
+        // The tree-ensemble models train on the shared column-major view
+        // (no per-row feature clones); the row-major models still get
+        // borrowed rows, cloned only where their APIs require it.
+        let rows: Vec<&[f64]> = examples.iter().map(|e| e.features.as_slice()).collect();
         let model = match kind {
             ModelKind::Averaging => TrainedModel::Mean(MeanRegressor::fit(&targets)?),
-            ModelKind::RandomForest => TrainedModel::Forest(RandomForestRegressor::fit_default(
-                &features, &targets, seed,
-            )?),
+            ModelKind::RandomForest => {
+                let cols = ColumnMatrix::from_rows(&rows)?;
+                TrainedModel::Forest(RandomForestRegressor::fit_columns(
+                    &cols,
+                    &targets,
+                    scope_learn::forest::ForestParams {
+                        seed,
+                        ..Default::default()
+                    },
+                )?)
+            }
             ModelKind::GradientBoosting => {
-                TrainedModel::Gbt(GradientBoostingRegressor::fit_default(&features, &targets)?)
+                let cols = ColumnMatrix::from_rows(&rows)?;
+                TrainedModel::Gbt(GradientBoostingRegressor::fit_columns(
+                    &cols,
+                    &targets,
+                    scope_learn::boosting::BoostingParams::default(),
+                )?)
             }
             ModelKind::NeuralNetwork => {
+                let features: Vec<Vec<f64>> = rows.iter().map(|r| r.to_vec()).collect();
                 TrainedModel::Mlp(MlpRegressor::fit_default(&features, &targets)?)
             }
             ModelKind::Knn => {
+                let features: Vec<Vec<f64>> = rows.iter().map(|r| r.to_vec()).collect();
                 let standardizer = Standardizer::fit(&features)?;
                 let transformed = standardizer.transform(&features);
                 let k = (examples.len() / 10).clamp(3, 15);

@@ -340,10 +340,16 @@ pub fn run_policy(inputs: &PipelineInputs, policy: &Policy) -> Result<PolicyOutc
 }
 
 /// Run every policy of [`Policy::table_rows`] over the inputs, in order.
+///
+/// Policies are independent end-to-end pipeline runs, so they fan out over
+/// [`scope_cloudsim::parallel_map`] — results merge in policy order and
+/// each run is a pure function of its policy, so the table is bit-for-bit
+/// identical to the sequential loop (the first failing policy's error, in
+/// order, is returned exactly as before).
 pub fn run_all_policies(inputs: &PipelineInputs) -> Result<Vec<PolicyOutcome>, ScopeError> {
-    Policy::table_rows()
-        .iter()
-        .map(|p| run_policy(inputs, p))
+    let policies = Policy::table_rows();
+    scope_cloudsim::parallel_map(&policies, |_, p| run_policy(inputs, p))
+        .into_iter()
         .collect()
 }
 

@@ -31,6 +31,7 @@ pub use error::DataPartError;
 pub use gpart::{gpart_merge, MergeConfig};
 pub use metrics::{merge_all, no_merge, PartitioningMetrics};
 pub use ordered::{
-    solve_ordered_bicriteria, solve_ordered_exact, OrderedPartition, OrderedSolution,
+    solve_ordered_bicriteria, solve_ordered_exact, solve_ordered_exact_reference, OrderedPartition,
+    OrderedSolution,
 };
 pub use partition::{FileCatalog, Partition};

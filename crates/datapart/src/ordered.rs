@@ -101,6 +101,25 @@ fn merge_stats(partitions: &[OrderedPartition], from: usize, to: usize) -> (f64,
 ///
 /// Returns an error if even the cheapest covering (every partition kept
 /// separate, which has the minimum possible cost) exceeds the threshold.
+///
+/// # Complexity
+///
+/// With `N` partitions and a budget of `C` discretized cost units, the DP
+/// visits `O(N²)` candidate merges and relaxes `O(C)` budget cells for each
+/// — but each merge's span/frequency statistics are maintained
+/// **incrementally** while the window `[from, to]` grows rightward, so a
+/// merge costs `O(1)` beyond its budget loop: `O(N²·C)` total. The seed
+/// implementation re-scanned the window for every `(i, k)` pair
+/// (`O(window)` per merge, `O(N²·(N + C))` total — the ISSUE's
+/// `O(N²·C·n)` hot loop); it is preserved verbatim as
+/// [`solve_ordered_exact_reference`] and pinned bit-for-bit (identical
+/// plans, spaces and costs) against this path in
+/// `tests/differential_learn.rs` and the `train_bench` bin.
+///
+/// The incremental statistics fold in exactly the order
+/// [`merge_stats`]' left-to-right scans do (min/max/sum extended on the
+/// right), and ties between equally-good merge lengths resolve to the
+/// shortest merge in both paths, so the two are floating-point identical.
 pub fn solve_ordered_exact(
     partitions: &[OrderedPartition],
     cost_threshold: f64,
@@ -138,6 +157,123 @@ pub fn solve_ordered_exact(
     for cell in dp[0].iter_mut() {
         *cell = 0.0;
     }
+    // Sweep merge windows [from, to] by growing `to` rightward so the
+    // window statistics extend incrementally (same fold order as
+    // `merge_stats`, hence bit-identical spans and costs). dp[from] is
+    // final before the outer loop reaches it: every transition into row j
+    // comes from a window ending at j-1, i.e. an earlier outer iteration.
+    for from in 0..n {
+        let mut start = f64::INFINITY;
+        let mut end = f64::NEG_INFINITY;
+        let mut freq = 0.0f64;
+        for (to, part) in partitions.iter().enumerate().skip(from) {
+            start = start.min(part.start);
+            end = end.max(part.end);
+            freq += part.frequency;
+            let span = end - start;
+            let cost = span * freq;
+            let units = to_units(cost);
+            if units > budget {
+                // Spans and frequencies only grow with the window, so every
+                // longer merge from this `from` is over budget too.
+                break;
+            }
+            let i = to + 1;
+            let k = i - from;
+            for c in units..=budget {
+                let prev = dp[from][c - units];
+                if !prev.is_finite() {
+                    continue;
+                }
+                let cand = prev + span;
+                // `<=` so ties prefer the largest `from` (the shortest
+                // merge) — the seed loop scanned k = 1..=i with a strict
+                // `<`, which kept exactly that choice.
+                if cand <= dp[i][c] {
+                    dp[i][c] = cand;
+                    choice[i][c] = k;
+                }
+            }
+        }
+    }
+    if dp[n][budget].is_infinite() {
+        return Err(DataPartError::InfeasibleCostThreshold {
+            threshold: cost_threshold,
+            minimum: min_cost,
+        });
+    }
+
+    // Reconstruct the merges.
+    let mut merges = Vec::new();
+    let mut i = n;
+    let mut c = budget;
+    // Walk back through the choices; for the cost index we need the best c
+    // for each i, which is the same monotone budget (dp is monotone in c),
+    // so we track the remaining budget as we peel merges off.
+    while i > 0 {
+        // dp[i][c] might be achieved at a smaller c; find the choice made at
+        // the largest c' <= c with the same value to recover a valid k.
+        let k = choice[i][c];
+        debug_assert!(k != usize::MAX);
+        let from = i - k;
+        let to = i - 1;
+        merges.push((from, to));
+        let (_, cost) = merge_stats(partitions, from, to);
+        c -= to_units(cost);
+        i = from;
+    }
+    merges.reverse();
+    let total_space: f64 = merges
+        .iter()
+        .map(|&(f, t)| merge_stats(partitions, f, t).0)
+        .sum();
+    let total_cost: f64 = merges
+        .iter()
+        .map(|&(f, t)| merge_stats(partitions, f, t).1)
+        .sum();
+    Ok(OrderedSolution {
+        merges,
+        total_space,
+        total_cost,
+    })
+}
+
+/// The seed implementation of [`solve_ordered_exact`], preserved verbatim
+/// as a differential oracle and benchmark baseline: every `(i, k)` merge
+/// candidate recomputes its span/frequency statistics with a full
+/// [`merge_stats`] window scan (`O(N²·(N + C))` overall). The production
+/// path maintains the statistics incrementally and must return bit-for-bit
+/// identical plans; `tests/differential_learn.rs` pins that on random
+/// instances and the `train_bench` bin asserts it at benchmark scale.
+pub fn solve_ordered_exact_reference(
+    partitions: &[OrderedPartition],
+    cost_threshold: f64,
+    resolution: f64,
+) -> Result<OrderedSolution, DataPartError> {
+    validate(partitions)?;
+    if !(cost_threshold > 0.0) || !(resolution > 0.0) {
+        return Err(DataPartError::InvalidOption(
+            "cost_threshold and resolution must be positive".to_string(),
+        ));
+    }
+    let n = partitions.len();
+    let to_units = |c: f64| (c * resolution).ceil() as usize;
+    let budget = (cost_threshold * resolution).floor() as usize;
+
+    let min_cost: f64 = (0..n).map(|i| merge_stats(partitions, i, i).1).sum();
+    if to_units(min_cost) > budget {
+        return Err(DataPartError::InfeasibleCostThreshold {
+            threshold: cost_threshold,
+            minimum: min_cost,
+        });
+    }
+
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![vec![INF; budget + 1]; n + 1];
+    let mut choice = vec![vec![usize::MAX; budget + 1]; n + 1];
+    for cell in dp[0].iter_mut() {
+        *cell = 0.0;
+    }
     for i in 1..=n {
         // The merge covering partition i-1 (0-based) is [i-k, i-1] for k=1..=i.
         for k in 1..=i {
@@ -161,16 +297,10 @@ pub fn solve_ordered_exact(
         });
     }
 
-    // Reconstruct the merges.
     let mut merges = Vec::new();
     let mut i = n;
     let mut c = budget;
-    // Walk back through the choices; for the cost index we need the best c
-    // for each i, which is the same monotone budget (dp is monotone in c),
-    // so we track the remaining budget as we peel merges off.
     while i > 0 {
-        // dp[i][c] might be achieved at a smaller c; find the choice made at
-        // the largest c' <= c with the same value to recover a valid k.
         let k = choice[i][c];
         debug_assert!(k != usize::MAX);
         let from = i - k;
@@ -223,6 +353,7 @@ pub fn solve_ordered_bicriteria(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn chain(n: usize, span: f64, overlap: f64, freq: f64) -> Vec<OrderedPartition> {
         // n intervals of length `span`, each overlapping the previous by
@@ -326,6 +457,112 @@ mod tests {
         // conservative but never better than the true optimum.
         assert!(dp.total_space >= best - 1e-9);
         assert!(dp.total_space <= best * 1.1 + 1e-9);
+    }
+
+    #[test]
+    fn incremental_dp_matches_reference_bitwise() {
+        // Production (incremental window stats) vs seed (per-merge window
+        // re-scans): identical plans, spaces and costs, bit for bit —
+        // including on tie-heavy uniform chains where the shortest-merge
+        // tie-break decides the plan.
+        let mut cases: Vec<(Vec<OrderedPartition>, f64, f64)> = vec![
+            (chain(12, 10.0, 5.0, 1.0), 400.0, 1.0),
+            (chain(12, 10.0, 5.0, 1.0), 700.0, 3.0),
+            (chain(9, 7.0, 2.0, 0.0), 80.0, 1.0),
+        ];
+        // Irregular instances: varying spans, overlaps and frequencies.
+        let mut parts = Vec::new();
+        let mut end = 0.0;
+        for i in 0..15 {
+            let span = 3.0 + (i % 5) as f64 * 2.5;
+            end += 1.0 + (i % 3) as f64;
+            parts.push(OrderedPartition::new(end - span, end, (i % 4) as f64));
+        }
+        cases.push((parts.clone(), 900.0, 2.0));
+        cases.push((parts, 2500.0, 0.5));
+        for (parts, budget, resolution) in cases {
+            let fast = solve_ordered_exact(&parts, budget, resolution).unwrap();
+            let slow = solve_ordered_exact_reference(&parts, budget, resolution).unwrap();
+            assert_eq!(fast.merges, slow.merges);
+            assert_eq!(fast.total_space.to_bits(), slow.total_space.to_bits());
+            assert_eq!(fast.total_cost.to_bits(), slow.total_cost.to_bits());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Brute-force optimality at larger N than the fixed 6-partition
+        /// unit test: integer spans, steps and frequencies with resolution
+        /// 1.0 make the discretization exact, so the DP must match the
+        /// enumerated optimum *exactly* — and the incremental production
+        /// path must match the seed reference bit-for-bit.
+        #[test]
+        fn dp_is_optimal_against_brute_force_at_larger_n(
+            steps in proptest::collection::vec(1u32..6, 7..12),
+            spans in proptest::collection::vec(1u32..7, 12),
+            freqs in proptest::collection::vec(0u32..5, 12),
+            budget_extra in 1u32..60,
+        ) {
+            let n = steps.len();
+            let mut parts = Vec::with_capacity(n);
+            let mut end = 0i64;
+            for i in 0..n {
+                end += steps[i] as i64;
+                let span = spans[i] as i64;
+                parts.push(OrderedPartition::new(
+                    (end - span) as f64,
+                    end as f64,
+                    freqs[i] as f64,
+                ));
+            }
+            // All stats are integers, so ceil/floor discretization at
+            // resolution 1.0 is exact and f64 sums are exact.
+            let min_cost: i64 = parts.iter().map(|p| (p.span() * p.frequency) as i64).sum();
+            let budget_units = min_cost + budget_extra as i64;
+            let budget = budget_units as f64;
+
+            let fast = solve_ordered_exact(&parts, budget, 1.0).unwrap();
+            let slow = solve_ordered_exact_reference(&parts, budget, 1.0).unwrap();
+            prop_assert_eq!(&fast.merges, &slow.merges);
+            prop_assert_eq!(fast.total_space.to_bits(), slow.total_space.to_bits());
+            prop_assert_eq!(fast.total_cost.to_bits(), slow.total_cost.to_bits());
+
+            // Exhaustive enumeration of all 2^(n-1) contiguous coverings,
+            // in the DP's own integer cost units.
+            fn enumerate(
+                parts: &[OrderedPartition],
+                start: usize,
+                budget_units: i64,
+                space: i64,
+                best: &mut i64,
+            ) {
+                if start == parts.len() {
+                    *best = (*best).min(space);
+                    return;
+                }
+                for end in start..parts.len() {
+                    let lo = parts[start..=end]
+                        .iter()
+                        .map(|p| p.start)
+                        .fold(f64::INFINITY, f64::min) as i64;
+                    let hi = parts[start..=end]
+                        .iter()
+                        .map(|p| p.end)
+                        .fold(f64::NEG_INFINITY, f64::max) as i64;
+                    let freq: i64 = parts[start..=end].iter().map(|p| p.frequency as i64).sum();
+                    let span = hi - lo;
+                    let cost = span * freq;
+                    if cost <= budget_units {
+                        enumerate(parts, end + 1, budget_units - cost, space + span, best);
+                    }
+                }
+            }
+            let mut best = i64::MAX;
+            enumerate(&parts, 0, budget_units, 0, &mut best);
+            prop_assert!(best < i64::MAX, "separate covering always fits");
+            prop_assert_eq!(fast.total_space as i64, best);
+        }
     }
 
     #[test]

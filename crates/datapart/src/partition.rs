@@ -119,6 +119,59 @@ impl Partition {
         catalog.span_of(common)
     }
 
+    /// Overlap and union span in one pass: a sorted merge walk over the two
+    /// file sets, with no intermediate set or `Vec` materialized. Both sums
+    /// accumulate in ascending [`FileRef`] order — exactly the order
+    /// `span_of(intersection)` / `span_of(union)` iterate — so the result
+    /// is bit-identical to computing the two spans separately. This is the
+    /// hoisted scoring G-PART calls once per candidate edge.
+    pub fn overlap_stats(
+        &self,
+        other: &Partition,
+        catalog: &FileCatalog,
+    ) -> Result<(f64, f64), DataPartError> {
+        let mut overlap = 0.0;
+        let mut union_span = 0.0;
+        let size_of = |f: &FileRef| {
+            catalog
+                .size(f)
+                .ok_or_else(|| DataPartError::UnknownFile(format!("{}:{}", f.table, f.file_index)))
+        };
+        let mut a = self.files.iter().peekable();
+        let mut b = other.files.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&fa), Some(&fb)) => match fa.cmp(fb) {
+                    std::cmp::Ordering::Less => {
+                        union_span += size_of(fa)?;
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        union_span += size_of(fb)?;
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let s = size_of(fa)?;
+                        union_span += s;
+                        overlap += s;
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&fa), None) => {
+                    union_span += size_of(fa)?;
+                    a.next();
+                }
+                (None, Some(&fb)) => {
+                    union_span += size_of(fb)?;
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        Ok((overlap, union_span))
+    }
+
     /// Fractional overlap with another partition:
     /// `Ov(P_i, P_j) / Sp(P_i ∪ P_j)` (0 = disjoint, → 1 = nearly identical).
     pub fn fractional_overlap(
@@ -126,8 +179,7 @@ impl Partition {
         other: &Partition,
         catalog: &FileCatalog,
     ) -> Result<f64, DataPartError> {
-        let overlap = self.overlap(other, catalog)?;
-        let union_span = catalog.span_of(self.files.union(&other.files))?;
+        let (overlap, union_span) = self.overlap_stats(other, catalog)?;
         if union_span <= 0.0 {
             return Ok(0.0);
         }
@@ -191,6 +243,33 @@ mod tests {
         assert!(m.span(&c).unwrap() <= a.span(&c).unwrap() + b.span(&c).unwrap());
         // Read cost is span * frequency.
         assert_eq!(m.read_cost(&c).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn overlap_stats_matches_set_based_spans_bitwise() {
+        // The merge-walk must reproduce the historical two-pass computation
+        // (span of the intersection, span of the union) exactly.
+        let mut c = FileCatalog::new();
+        for i in 0..12 {
+            c.insert(FileRef::new("t", i), 1.0 + i as f64 * 0.37);
+        }
+        let cases = [
+            (vec![0, 1, 2, 5], vec![2, 3, 5, 7]),
+            (vec![0, 1], vec![4, 5]),
+            (vec![3, 4, 5], vec![3, 4, 5]),
+            (vec![0], vec![0, 1, 2, 3, 4, 5, 6]),
+        ];
+        for (fa, fb) in cases {
+            let a = partition(0, &fa, 1.0);
+            let b = partition(1, &fb, 1.0);
+            let (overlap, union_span) = a.overlap_stats(&b, &c).unwrap();
+            let common: Vec<&FileRef> = a.files.intersection(&b.files).collect();
+            let expect_overlap = c.span_of(common).unwrap();
+            let expect_union = c.span_of(a.files.union(&b.files)).unwrap();
+            assert_eq!(overlap.to_bits(), expect_overlap.to_bits());
+            assert_eq!(union_span.to_bits(), expect_union.to_bits());
+            assert_eq!(a.overlap(&b, &c).unwrap().to_bits(), overlap.to_bits());
+        }
     }
 
     #[test]

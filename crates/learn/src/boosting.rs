@@ -3,10 +3,21 @@
 //! Standard least-squares gradient boosting: each stage fits a shallow CART
 //! regression tree to the residuals of the current ensemble and is added
 //! with a learning-rate shrinkage factor.
+//!
+//! The stages themselves are inherently sequential (each fits the previous
+//! ensemble's residuals), but the fast path amortizes everything around
+//! them: the feature columns are presorted **once** and reused by every
+//! stage's tree build (only the targets change between stages, never the
+//! feature order), and the per-stage ensemble update fans its row
+//! predictions out over [`scope_cloudsim::parallel_map`] — merged in index
+//! order, so the fitted model is bit-for-bit identical for any thread count
+//! and to the sequential [`crate::reference`] oracle.
 
+use crate::data::ColumnMatrix;
 use crate::error::LearnError;
-use crate::tree::{DecisionTreeRegressor, TreeParams};
+use crate::tree::{presort_columns, DecisionTreeRegressor, TreeParams};
 use crate::Regressor;
+use scope_cloudsim::parallel::{default_threads, parallel_map_with_threads};
 
 /// Hyper-parameters for gradient boosting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +46,7 @@ impl Default for BoostingParams {
 }
 
 /// Gradient-boosted regression tree ensemble.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoostingRegressor {
     base_prediction: f64,
     learning_rate: f64,
@@ -49,6 +60,42 @@ impl GradientBoostingRegressor {
         targets: &[f64],
         params: BoostingParams,
     ) -> Result<Self, LearnError> {
+        Self::fit_with_threads(features, targets, params, default_threads())
+    }
+
+    /// [`GradientBoostingRegressor::fit`] with an explicit worker-thread
+    /// count for the per-stage prediction fan-out (1 = sequential); the
+    /// fitted model is thread-count independent.
+    pub fn fit_with_threads(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: BoostingParams,
+        threads: usize,
+    ) -> Result<Self, LearnError> {
+        if features.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        let cols = ColumnMatrix::from_rows(features)?;
+        Self::fit_columns_with_threads(&cols, targets, params, threads)
+    }
+
+    /// Fit on a shared column-major matrix.
+    pub fn fit_columns(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        params: BoostingParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_columns_with_threads(cols, targets, params, default_threads())
+    }
+
+    /// [`GradientBoostingRegressor::fit_columns`] with an explicit thread
+    /// count.
+    pub fn fit_columns_with_threads(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        params: BoostingParams,
+        threads: usize,
+    ) -> Result<Self, LearnError> {
         if params.n_estimators == 0 {
             return Err(LearnError::InvalidHyperParameter(
                 "n_estimators must be > 0",
@@ -59,32 +106,42 @@ impl GradientBoostingRegressor {
                 "learning_rate must be in (0, 1]",
             ));
         }
-        if features.is_empty() {
+        if cols.is_empty() {
             return Err(LearnError::EmptyTrainingSet);
         }
-        if features.len() != targets.len() {
+        if cols.n_rows() != targets.len() {
             return Err(LearnError::LengthMismatch {
-                features: features.len(),
+                features: cols.n_rows(),
                 targets: targets.len(),
             });
         }
         let base_prediction = targets.iter().sum::<f64>() / targets.len() as f64;
         let mut current: Vec<f64> = vec![base_prediction; targets.len()];
         let mut stages = Vec::with_capacity(params.n_estimators);
+        // One presort shared by every stage: the feature order never
+        // changes between stages, only the residual targets do.
+        let presorted = presort_columns(cols);
+        let rows: Vec<u32> = (0..cols.n_rows() as u32).collect();
         for stage_idx in 0..params.n_estimators {
             let residuals: Vec<f64> = targets.iter().zip(&current).map(|(t, c)| t - c).collect();
             // Stop early if the fit is already (numerically) perfect.
             if residuals.iter().all(|r| r.abs() < 1e-12) {
                 break;
             }
-            let tree = DecisionTreeRegressor::fit_seeded(
-                features,
+            let tree = DecisionTreeRegressor::fit_columns_presorted(
+                cols,
                 &residuals,
                 params.tree,
                 stage_idx as u64 + 1,
-            )?;
-            for (c, row) in current.iter_mut().zip(features) {
-                *c += params.learning_rate * tree.predict_one(row);
+                &presorted,
+            );
+            // Batched ensemble update: each row's contribution is computed
+            // exactly as the sequential loop would, merged in row order.
+            let deltas = parallel_map_with_threads(&rows, threads, |_, &r| {
+                params.learning_rate * tree.root().predict_by(&|f| cols.value(r as usize, f))
+            });
+            for (c, d) in current.iter_mut().zip(deltas) {
+                *c += d;
             }
             stages.push(tree);
         }
@@ -98,6 +155,19 @@ impl GradientBoostingRegressor {
     /// Fit with default parameters.
     pub fn fit_default(features: &[Vec<f64>], targets: &[f64]) -> Result<Self, LearnError> {
         Self::fit(features, targets, BoostingParams::default())
+    }
+
+    /// Assemble an ensemble from pre-built stages (reference builders).
+    pub(crate) fn from_parts(
+        base_prediction: f64,
+        learning_rate: f64,
+        stages: Vec<DecisionTreeRegressor>,
+    ) -> Self {
+        GradientBoostingRegressor {
+            base_prediction,
+            learning_rate,
+            stages,
+        }
     }
 
     /// Number of boosting stages actually fit (may be fewer than requested
@@ -178,6 +248,21 @@ mod tests {
         let p_short: Vec<f64> = f.iter().map(|x| short.predict_one(x)).collect();
         let p_long: Vec<f64> = f.iter().map(|x| long.predict_one(x)).collect();
         assert!(mae(&t, &p_long) < mae(&t, &p_short));
+    }
+
+    #[test]
+    fn boosting_is_thread_count_independent() {
+        let (f, t) = nonlinear(150, 9);
+        let params = BoostingParams {
+            n_estimators: 25,
+            ..Default::default()
+        };
+        let sequential = GradientBoostingRegressor::fit_with_threads(&f, &t, params, 1).unwrap();
+        for threads in [2, 5, 8] {
+            let parallel =
+                GradientBoostingRegressor::fit_with_threads(&f, &t, params, threads).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

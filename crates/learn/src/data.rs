@@ -103,6 +103,92 @@ impl Dataset {
     }
 }
 
+/// A column-major (feature-major) view of a feature matrix: one contiguous
+/// `f64` column per feature.
+///
+/// This is the layout the fast training paths operate on. The presort CART
+/// builder sorts and scans whole feature columns, so storing features
+/// feature-major keeps those passes sequential in memory, and a single
+/// `ColumnMatrix` can be shared by every model trained on the same rows
+/// (forest, boosting, the predictors upstream) without re-cloning row
+/// vectors. Rows are recovered on demand with [`ColumnMatrix::row_to`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Column-major values: feature `c` occupies `values[c*n_rows .. (c+1)*n_rows]`.
+    values: Vec<f64>,
+}
+
+impl ColumnMatrix {
+    /// Build from row-major feature vectors, validating that all rows have
+    /// the same width.
+    pub fn from_rows<S: AsRef<[f64]>>(rows: &[S]) -> Result<Self, LearnError> {
+        if rows.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        let n_rows = rows.len();
+        let n_cols = rows[0].as_ref().len();
+        for row in rows {
+            if row.as_ref().len() != n_cols {
+                return Err(LearnError::RaggedFeatures {
+                    expected: n_cols,
+                    found: row.as_ref().len(),
+                });
+            }
+        }
+        let mut values = vec![0.0; n_rows * n_cols];
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.as_ref().iter().enumerate() {
+                values[c * n_rows + r] = v;
+            }
+        }
+        Ok(ColumnMatrix {
+            n_rows,
+            n_cols,
+            values,
+        })
+    }
+
+    /// Number of rows (samples).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (features).
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// True when the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The contiguous values of feature column `c`.
+    pub fn col(&self, c: usize) -> &[f64] {
+        &self.values[c * self.n_rows..(c + 1) * self.n_rows]
+    }
+
+    /// Value of feature `c` for row `r`, with the same out-of-width
+    /// semantics as indexing a row slice via `get` (missing feature = 0.0).
+    pub fn value(&self, r: usize, c: usize) -> f64 {
+        if c < self.n_cols {
+            self.values[c * self.n_rows + r]
+        } else {
+            0.0
+        }
+    }
+
+    /// Materialize row `r` into `buf` (cleared first).
+    pub fn row_to(&self, r: usize, buf: &mut Vec<f64>) {
+        buf.clear();
+        for c in 0..self.n_cols {
+            buf.push(self.values[c * self.n_rows + r]);
+        }
+    }
+}
+
 fn validate_features(features: &[Vec<f64>]) -> Result<(), LearnError> {
     if features.is_empty() {
         return Err(LearnError::EmptyTrainingSet);
@@ -269,6 +355,24 @@ mod tests {
         let t = st.transform_one(&[5.0, 2.0]);
         assert_eq!(t[0], 0.0); // constant column maps to zero, no NaN
         assert!(t[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_matrix_round_trips_rows() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let m = ColumnMatrix::from_rows(&rows).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.col(1), &[2.0, 5.0]);
+        assert_eq!(m.value(1, 0), 4.0);
+        assert_eq!(m.value(0, 99), 0.0); // out-of-width reads as 0.0
+        let mut buf = Vec::new();
+        m.row_to(1, &mut buf);
+        assert_eq!(buf, rows[1]);
+        // Validation mirrors the row-major fit entry points.
+        assert!(ColumnMatrix::from_rows::<Vec<f64>>(&[]).is_err());
+        assert!(ColumnMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
     }
 
     #[test]

@@ -5,12 +5,23 @@
 //! (Table III, F1 > 0.96). The implementation here uses bootstrap sampling
 //! and per-split feature subsampling, with deterministic seeding so that
 //! experiment outputs are reproducible.
+//!
+//! Training is the fast path: bootstraps are drawn **by index** from a
+//! shared [`ColumnMatrix`] (no row clones), all bootstrap plans are drawn
+//! up-front from the single seeded RNG stream (so the sample of tree `i` is
+//! identical to the sequential seed implementation's), and the expensive
+//! tree builds fan out over
+//! [`scope_cloudsim::parallel_map`] — results merge in index order, so the
+//! fitted forest is bit-for-bit identical for any thread count and to the
+//! sequential [`crate::reference`] oracle.
 
+use crate::data::ColumnMatrix;
 use crate::error::LearnError;
 use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeParams};
 use crate::{Classifier, Regressor};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use scope_cloudsim::parallel::{default_threads, parallel_map, parallel_map_with_threads};
 
 /// Hyper-parameters for random forests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +46,7 @@ impl Default for ForestParams {
     }
 }
 
-fn default_max_features(width: usize, classification: bool) -> usize {
+pub(crate) fn default_max_features(width: usize, classification: bool) -> usize {
     if classification {
         ((width as f64).sqrt().round() as usize).max(1)
     } else {
@@ -43,8 +54,22 @@ fn default_max_features(width: usize, classification: bool) -> usize {
     }
 }
 
+/// Draw every tree's bootstrap rows and subsampling seed from the single
+/// sequential RNG stream (exactly the draws the seed implementation made),
+/// so the expensive builds can then fan out in any order.
+fn bootstrap_plans(n_trees: usize, n: usize, seed: u64) -> Vec<(Vec<u32>, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_trees)
+        .map(|_| {
+            let rows: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n) as u32).collect();
+            let tree_seed: u64 = rng.gen();
+            (rows, tree_seed)
+        })
+        .collect()
+}
+
 /// Random forest regressor (average of tree predictions).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForestRegressor {
     trees: Vec<DecisionTreeRegressor>,
 }
@@ -56,27 +81,67 @@ impl RandomForestRegressor {
         targets: &[f64],
         params: ForestParams,
     ) -> Result<Self, LearnError> {
-        if params.n_trees == 0 {
-            return Err(LearnError::InvalidHyperParameter("n_trees must be > 0"));
-        }
+        Self::fit_with_threads(features, targets, params, default_threads())
+    }
+
+    /// [`RandomForestRegressor::fit`] with an explicit worker-thread count
+    /// (1 = plain sequential loop). The thread count never changes the
+    /// fitted model, only wall-clock time.
+    pub fn fit_with_threads(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: ForestParams,
+        threads: usize,
+    ) -> Result<Self, LearnError> {
         if features.is_empty() {
             return Err(LearnError::EmptyTrainingSet);
         }
-        let width = features[0].len();
+        let cols = ColumnMatrix::from_rows(features)?;
+        Self::fit_columns_with_threads(&cols, targets, params, threads)
+    }
+
+    /// Fit on a shared column-major matrix.
+    pub fn fit_columns(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        params: ForestParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_columns_with_threads(cols, targets, params, default_threads())
+    }
+
+    /// [`RandomForestRegressor::fit_columns`] with an explicit thread count.
+    pub fn fit_columns_with_threads(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        params: ForestParams,
+        threads: usize,
+    ) -> Result<Self, LearnError> {
+        if params.n_trees == 0 {
+            return Err(LearnError::InvalidHyperParameter("n_trees must be > 0"));
+        }
+        if cols.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if cols.n_rows() != targets.len() {
+            return Err(LearnError::LengthMismatch {
+                features: cols.n_rows(),
+                targets: targets.len(),
+            });
+        }
         let mut tree_params = params.tree;
         if tree_params.max_features.is_none() {
-            tree_params.max_features = Some(default_max_features(width, false));
+            tree_params.max_features = Some(default_max_features(cols.n_cols(), false));
         }
-        let mut rng = SmallRng::seed_from_u64(params.seed);
-        let mut trees = Vec::with_capacity(params.n_trees);
-        for _ in 0..params.n_trees {
-            trees.push(DecisionTreeRegressor::fit_bootstrap(
-                features,
+        let plans = bootstrap_plans(params.n_trees, cols.n_rows(), params.seed);
+        let trees = parallel_map_with_threads(&plans, threads, |_, (rows, tree_seed)| {
+            DecisionTreeRegressor::fit_bootstrap_indices(
+                cols,
                 targets,
+                rows,
                 tree_params,
-                &mut rng,
-            )?);
-        }
+                *tree_seed,
+            )
+        });
         Ok(RandomForestRegressor { trees })
     }
 
@@ -96,6 +161,11 @@ impl RandomForestRegressor {
         )
     }
 
+    /// Assemble a forest from pre-built trees (reference builders).
+    pub(crate) fn from_trees(trees: Vec<DecisionTreeRegressor>) -> Self {
+        RandomForestRegressor { trees }
+    }
+
     /// Number of trees in the ensemble.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
@@ -107,10 +177,30 @@ impl Regressor for RandomForestRegressor {
         let sum: f64 = self.trees.iter().map(|t| t.predict_one(features)).sum();
         sum / self.trees.len() as f64
     }
+
+    fn predict_columns(&self, features: &ColumnMatrix) -> Vec<f64> {
+        if default_threads() == 1 {
+            // No parallelism available: a reused row buffer beats per-node
+            // strided column reads.
+            let mut buf = Vec::with_capacity(features.n_cols());
+            return (0..features.n_rows())
+                .map(|r| {
+                    features.row_to(r, &mut buf);
+                    self.predict_one(&buf)
+                })
+                .collect();
+        }
+        let rows: Vec<u32> = (0..features.n_rows() as u32).collect();
+        parallel_map(&rows, |_, &r| {
+            let get = |f: usize| features.value(r as usize, f);
+            let sum: f64 = self.trees.iter().map(|t| t.root().predict_by(&get)).sum();
+            sum / self.trees.len() as f64
+        })
+    }
 }
 
 /// Random forest classifier (majority vote).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForestClassifier {
     trees: Vec<DecisionTreeClassifier>,
     n_classes: usize,
@@ -123,34 +213,68 @@ impl RandomForestClassifier {
         labels: &[usize],
         params: ForestParams,
     ) -> Result<Self, LearnError> {
-        if params.n_trees == 0 {
-            return Err(LearnError::InvalidHyperParameter("n_trees must be > 0"));
-        }
+        Self::fit_with_threads(features, labels, params, default_threads())
+    }
+
+    /// [`RandomForestClassifier::fit`] with an explicit worker-thread count
+    /// (1 = plain sequential loop); the model is thread-count independent.
+    pub fn fit_with_threads(
+        features: &[Vec<f64>],
+        labels: &[usize],
+        params: ForestParams,
+        threads: usize,
+    ) -> Result<Self, LearnError> {
         if features.is_empty() {
             return Err(LearnError::EmptyTrainingSet);
         }
-        if features.len() != labels.len() {
+        let cols = ColumnMatrix::from_rows(features)?;
+        Self::fit_columns_with_threads(&cols, labels, params, threads)
+    }
+
+    /// Fit on a shared column-major matrix.
+    pub fn fit_columns(
+        cols: &ColumnMatrix,
+        labels: &[usize],
+        params: ForestParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_columns_with_threads(cols, labels, params, default_threads())
+    }
+
+    /// [`RandomForestClassifier::fit_columns`] with an explicit thread count.
+    pub fn fit_columns_with_threads(
+        cols: &ColumnMatrix,
+        labels: &[usize],
+        params: ForestParams,
+        threads: usize,
+    ) -> Result<Self, LearnError> {
+        if params.n_trees == 0 {
+            return Err(LearnError::InvalidHyperParameter("n_trees must be > 0"));
+        }
+        if cols.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if cols.n_rows() != labels.len() {
             return Err(LearnError::LengthMismatch {
-                features: features.len(),
+                features: cols.n_rows(),
                 targets: labels.len(),
             });
         }
-        let width = features[0].len();
         let mut tree_params = params.tree;
         if tree_params.max_features.is_none() {
-            tree_params.max_features = Some(default_max_features(width, true));
+            tree_params.max_features = Some(default_max_features(cols.n_cols(), true));
         }
         let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
-        let mut rng = SmallRng::seed_from_u64(params.seed);
-        let mut trees = Vec::with_capacity(params.n_trees);
-        for _ in 0..params.n_trees {
-            trees.push(DecisionTreeClassifier::fit_bootstrap(
-                features,
-                labels,
+        let targets: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        let plans = bootstrap_plans(params.n_trees, cols.n_rows(), params.seed);
+        let trees = parallel_map_with_threads(&plans, threads, |_, (rows, tree_seed)| {
+            DecisionTreeClassifier::fit_bootstrap_indices(
+                cols,
+                &targets,
+                rows,
                 tree_params,
-                &mut rng,
-            )?);
-        }
+                *tree_seed,
+            )
+        });
         Ok(RandomForestClassifier { trees, n_classes })
     }
 
@@ -170,17 +294,21 @@ impl RandomForestClassifier {
         )
     }
 
+    /// Assemble a forest from pre-built trees (reference builders).
+    pub(crate) fn from_parts(trees: Vec<DecisionTreeClassifier>, n_classes: usize) -> Self {
+        RandomForestClassifier { trees, n_classes }
+    }
+
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
     }
 
-    /// Per-class vote fractions for one feature vector (a calibrated-ish
-    /// probability estimate used when a score is needed instead of a label).
-    pub fn predict_proba_one(&self, features: &[f64]) -> Vec<f64> {
+    /// Per-class vote fractions via a feature getter.
+    fn proba_by(&self, get: &impl Fn(usize) -> f64) -> Vec<f64> {
         let mut votes = vec![0usize; self.n_classes];
         for t in &self.trees {
-            let c = Classifier::predict_one(t, features).min(self.n_classes - 1);
+            let c = (t.root().predict_by(get).round().max(0.0) as usize).min(self.n_classes - 1);
             votes[c] += 1;
         }
         votes
@@ -188,17 +316,46 @@ impl RandomForestClassifier {
             .map(|v| v as f64 / self.trees.len() as f64)
             .collect()
     }
+
+    /// Per-class vote fractions for one feature vector (a calibrated-ish
+    /// probability estimate used when a score is needed instead of a label).
+    pub fn predict_proba_one(&self, features: &[f64]) -> Vec<f64> {
+        self.proba_by(&|f| features.get(f).copied().unwrap_or(0.0))
+    }
+}
+
+/// Majority vote from vote fractions: the class with the highest fraction,
+/// ties resolved towards the last maximal index (the historical
+/// `max_by(partial_cmp)` behaviour, kept so batched prediction matches
+/// [`Classifier::predict_one`] bit-for-bit).
+fn vote_argmax(proba: &[f64]) -> usize {
+    proba
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 impl Classifier for RandomForestClassifier {
     fn predict_one(&self, features: &[f64]) -> usize {
-        let proba = self.predict_proba_one(features);
-        proba
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        vote_argmax(&self.predict_proba_one(features))
+    }
+
+    fn predict_columns(&self, features: &ColumnMatrix) -> Vec<usize> {
+        if default_threads() == 1 {
+            let mut buf = Vec::with_capacity(features.n_cols());
+            return (0..features.n_rows())
+                .map(|r| {
+                    features.row_to(r, &mut buf);
+                    self.predict_one(&buf)
+                })
+                .collect();
+        }
+        let rows: Vec<u32> = (0..features.n_rows() as u32).collect();
+        parallel_map(&rows, |_, &r| {
+            vote_argmax(&self.proba_by(&|f| features.value(r as usize, f)))
+        })
     }
 }
 
@@ -252,6 +409,47 @@ mod tests {
         let b = RandomForestRegressor::fit_default(&f, &t, 9).unwrap();
         let xs = vec![0.3, 0.4, 0.5, 0.6];
         assert_eq!(a.predict_one(&xs), b.predict_one(&xs));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forest_is_thread_count_independent() {
+        // The fan-out must never change the fitted model: 1 worker (the
+        // sequential loop) and many workers produce identical trees.
+        let (f, t) = friedman_like(120, 8);
+        let sequential =
+            RandomForestRegressor::fit_with_threads(&f, &t, ForestParams::default(), 1).unwrap();
+        for threads in [2, 3, 5, 8] {
+            let parallel =
+                RandomForestRegressor::fit_with_threads(&f, &t, ForestParams::default(), threads)
+                    .unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+        let labels: Vec<usize> = t.iter().map(|&y| usize::from(y > 14.0)).collect();
+        let c_seq =
+            RandomForestClassifier::fit_with_threads(&f, &labels, ForestParams::default(), 1)
+                .unwrap();
+        let c_par =
+            RandomForestClassifier::fit_with_threads(&f, &labels, ForestParams::default(), 7)
+                .unwrap();
+        assert_eq!(c_seq, c_par);
+    }
+
+    #[test]
+    fn batched_prediction_equals_scalar_prediction() {
+        let (f, t) = friedman_like(150, 21);
+        let forest = RandomForestRegressor::fit_default(&f, &t, 4).unwrap();
+        let cols = crate::data::ColumnMatrix::from_rows(&f).unwrap();
+        let batched = forest.predict_columns(&cols);
+        for (row, &b) in f.iter().zip(&batched) {
+            assert_eq!(forest.predict_one(row).to_bits(), b.to_bits());
+        }
+        let labels: Vec<usize> = t.iter().map(|&y| usize::from(y > 14.0)).collect();
+        let clf = RandomForestClassifier::fit_default(&f, &labels, 4).unwrap();
+        let batched = clf.predict_columns(&cols);
+        for (row, &b) in f.iter().zip(&batched) {
+            assert_eq!(Classifier::predict_one(&clf, row), b);
+        }
     }
 
     #[test]

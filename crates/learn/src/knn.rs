@@ -6,9 +6,19 @@
 //! genuinely different model families. Distances are Euclidean over
 //! standardized features (the caller is responsible for standardization,
 //! see [`crate::data::Standardizer`]).
+//!
+//! Queries use a **bounded selection**: a max-heap of the k best
+//! `(distance², index)` pairs, `O(n log k)` instead of the full
+//! `O(n log n)` sort the seed implementation paid (preserved as
+//! [`crate::reference::knn_predict_reference`] and regression-tested
+//! bit-for-bit in `tests/differential_learn.rs`). The selected set — ties at
+//! the boundary resolved by ascending training index — and the accumulation
+//! order over it are identical to the sorted path's.
 
 use crate::error::LearnError;
 use crate::Regressor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Distance weighting applied to neighbour targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,31 +79,86 @@ impl KnnRegressor {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// The memorised training rows (reference oracle access).
+    pub(crate) fn training_features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The memorised training targets (reference oracle access).
+    pub(crate) fn training_targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// The configured weighting (reference oracle access).
+    pub(crate) fn weighting(&self) -> KnnWeighting {
+        self.weighting
+    }
 }
 
-fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A candidate neighbour ordered by `(distance², training index)` — the
+/// same total order a stable sort by distance induces, so the heap selects
+/// exactly the prefix the sorted reference truncates to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Neighbour {
+    d2: f64,
+    pos: usize,
+    target: f64,
+}
+
+impl Eq for Neighbour {}
+
+impl Ord for Neighbour {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d2
+            .partial_cmp(&other.d2)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.pos.cmp(&other.pos))
+    }
+}
+
+impl PartialOrd for Neighbour {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl Regressor for KnnRegressor {
     fn predict_one(&self, features: &[f64]) -> f64 {
-        // Collect (distance², target) and take the k smallest.
-        let mut dist: Vec<(f64, f64)> = self
-            .features
-            .iter()
-            .zip(&self.targets)
-            .map(|(row, &t)| (squared_distance(row, features), t))
-            .collect();
-        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        dist.truncate(self.k);
+        // Bounded selection: max-heap of the k best (distance², index).
+        let mut heap: BinaryHeap<Neighbour> = BinaryHeap::with_capacity(self.k + 1);
+        for (pos, (row, &target)) in self.features.iter().zip(&self.targets).enumerate() {
+            let cand = Neighbour {
+                d2: squared_distance(row, features),
+                pos,
+                target,
+            };
+            if heap.len() < self.k {
+                heap.push(cand);
+            } else if let Some(worst) = heap.peek() {
+                if cand < *worst {
+                    heap.pop();
+                    heap.push(cand);
+                }
+            }
+        }
+        // Accumulate in ascending (distance², index) order — the exact
+        // order the sorted reference iterates its truncated prefix in.
+        let selected = heap.into_sorted_vec();
         match self.weighting {
-            KnnWeighting::Uniform => dist.iter().map(|(_, t)| t).sum::<f64>() / dist.len() as f64,
+            KnnWeighting::Uniform => {
+                selected.iter().map(|n| n.target).sum::<f64>() / selected.len() as f64
+            }
             KnnWeighting::InverseDistance => {
                 let mut num = 0.0;
                 let mut den = 0.0;
-                for (d2, t) in dist {
-                    let w = 1.0 / (d2.sqrt() + 1e-9);
-                    num += w * t;
+                for n in selected {
+                    let w = 1.0 / (n.d2.sqrt() + 1e-9);
+                    num += w * n.target;
                     den += w;
                 }
                 num / den
@@ -106,6 +171,7 @@ impl Regressor for KnnRegressor {
 mod tests {
     use super::*;
     use crate::metrics::r2_score;
+    use crate::reference::knn_predict_reference;
 
     #[test]
     fn exact_neighbour_dominates_with_inverse_distance() {
@@ -123,6 +189,26 @@ mod tests {
         let knn = KnnRegressor::fit(&f, &t, 2, KnnWeighting::Uniform).unwrap();
         // Nearest two neighbours of 0.4 are 0.0 and 1.0 -> (0 + 10) / 2.
         assert!((knn.predict_one(&[0.4]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_selection_matches_sorted_reference_on_ties() {
+        // An integer grid produces many exactly-tied distances; the heap
+        // must select and order the same neighbours the stable sort did.
+        let f: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let t: Vec<f64> = (0..40).map(|i| i as f64 * 1.7 - 3.0).collect();
+        for weighting in [KnnWeighting::Uniform, KnnWeighting::InverseDistance] {
+            for k in [1, 3, 7, 40, 100] {
+                let knn = KnnRegressor::fit(&f, &t, k, weighting).unwrap();
+                for q in [[0.0, 0.0], [2.0, 3.0], [2.5, 1.5], [10.0, 10.0]] {
+                    let fast = knn.predict_one(&q);
+                    let slow = knn_predict_reference(&knn, &q);
+                    assert_eq!(fast.to_bits(), slow.to_bits(), "k={k} q={q:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,38 @@
 //!
 //! All models implement the [`Regressor`] or [`Classifier`] trait so that the
 //! experiment drivers can sweep model families uniformly.
+//!
+//! # The learning fast path (PR 5)
+//!
+//! Training runs on a **column-major dataset view**:
+//! [`data::ColumnMatrix`] stores features feature-major (one contiguous
+//! `f64` column per feature), built once and shared by every model trained
+//! on the same rows. On top of it:
+//!
+//! * **Presort CART** — [`tree`] sorts each feature once per tree and
+//!   stably partitions the per-feature position arrays down the recursion;
+//!   split scores come from running prefix statistics (`O(1)` per
+//!   candidate for variance, `O(classes)` for Gini) instead of per-node
+//!   re-sorts and per-split re-scans.
+//! * **Bagging by index** — forests draw bootstrap *row indices* and gather
+//!   flat column buffers; no per-row `Vec` clones.
+//! * **Deterministic parallel fan-out** — forest trees (and boosting's
+//!   per-stage ensemble updates) run through
+//!   `scope_cloudsim::parallel_map`: chunked by index, merged in index
+//!   order, bit-for-bit identical for any thread count.
+//! * **Bounded k-NN selection** — queries keep a max-heap of the k best
+//!   neighbours instead of fully sorting all training distances.
+//!
+//! # The reference-oracle pattern
+//!
+//! The seed-shaped implementations (per-node sorts, clone-based bootstraps,
+//! sequential loops, full k-NN sorts) are preserved in [`reference`]. Both
+//! families score splits through the *same* code in [`tree`], so the fast
+//! path is bit-for-bit equal to the reference by construction — tree
+//! structures, forest votes, boosting predictions and k-NN regressions are
+//! pinned against the oracles on randomized instances in
+//! `tests/differential_learn.rs`, and the `train_bench` bin measures the
+//! speedup against exactly the reference cost (equality asserted in-bin).
 
 #![warn(missing_docs)]
 
@@ -32,10 +64,11 @@ pub mod knn;
 pub mod linear;
 pub mod metrics;
 pub mod mlp;
+pub mod reference;
 pub mod tree;
 
 pub use boosting::GradientBoostingRegressor;
-pub use data::{train_test_split, Dataset, Standardizer};
+pub use data::{train_test_split, ColumnMatrix, Dataset, Standardizer};
 pub use error::LearnError;
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use knn::KnnRegressor;
@@ -55,6 +88,19 @@ pub trait Regressor {
     fn predict(&self, features: &[Vec<f64>]) -> Vec<f64> {
         features.iter().map(|f| self.predict_one(f)).collect()
     }
+
+    /// Predict targets for a batch stored column-major. Always equal to
+    /// mapping [`Regressor::predict_one`] over the rows; models override it
+    /// with allocation-free (and, for forests, parallel) walks.
+    fn predict_columns(&self, features: &ColumnMatrix) -> Vec<f64> {
+        let mut buf = Vec::with_capacity(features.n_cols());
+        (0..features.n_rows())
+            .map(|r| {
+                features.row_to(r, &mut buf);
+                self.predict_one(&buf)
+            })
+            .collect()
+    }
 }
 
 /// A trained classifier mapping a feature vector to a class label.
@@ -65,6 +111,19 @@ pub trait Classifier {
     /// Predict labels for a batch of feature vectors.
     fn predict(&self, features: &[Vec<f64>]) -> Vec<usize> {
         features.iter().map(|f| self.predict_one(f)).collect()
+    }
+
+    /// Predict labels for a batch stored column-major. Always equal to
+    /// mapping [`Classifier::predict_one`] over the rows; models override
+    /// it with allocation-free (and, for forests, parallel) walks.
+    fn predict_columns(&self, features: &ColumnMatrix) -> Vec<usize> {
+        let mut buf = Vec::with_capacity(features.n_cols());
+        (0..features.n_rows())
+            .map(|r| {
+                features.row_to(r, &mut buf);
+                self.predict_one(&buf)
+            })
+            .collect()
     }
 }
 

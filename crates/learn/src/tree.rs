@@ -6,10 +6,28 @@
 //! Candidate thresholds are the midpoints between consecutive distinct
 //! sorted feature values, which is exact for the small-to-medium feature
 //! spaces used by COMPREDICT and the tier predictor.
+//!
+//! # Fast path vs reference
+//!
+//! The production builder here is the **presort** fast path: every feature
+//! column is sorted once per tree, and the per-feature sorted position
+//! arrays are stably partitioned down the recursion, so a node costs
+//! `O(features · samples)` instead of the per-node re-sorts the seed
+//! implementation paid. Split scores are evaluated by a single left-to-right
+//! scan with running prefix statistics ([`SplitScan`]): `O(1)` per candidate
+//! threshold for regression, `O(classes)` for Gini.
+//!
+//! The seed-shaped builder (per-node `sort_by`, clone-based bootstrap,
+//! sequential everything) is preserved in [`crate::reference`] as a
+//! differential oracle. Both builders call the *same* scoring code in this
+//! module — [`SplitScan`] and [`best_split_scan`] — so every floating-point
+//! operation that decides a split is defined exactly once and the two paths
+//! are bit-for-bit identical by construction (and pinned by
+//! `tests/differential_learn.rs`).
 
+use crate::data::ColumnMatrix;
 use crate::error::LearnError;
 use crate::{Classifier, Regressor};
-use rand::Rng;
 
 /// Hyper-parameters shared by regression and classification trees.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,8 +54,8 @@ impl Default for TreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Node {
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -50,22 +68,31 @@ enum Node {
 }
 
 impl Node {
-    fn predict(&self, features: &[f64]) -> f64 {
-        match self {
-            Node::Leaf { value } => *value,
-            Node::Split {
-                feature,
-                threshold,
-                left,
-                right,
-            } => {
-                if features.get(*feature).copied().unwrap_or(0.0) <= *threshold {
-                    left.predict(features)
-                } else {
-                    right.predict(features)
+    /// Walk the tree reading feature `f` through `get` (out-of-width
+    /// features read as 0.0, matching slice-`get` semantics).
+    pub(crate) fn predict_by(&self, get: &impl Fn(usize) -> f64) -> f64 {
+        let mut node = self;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if get(*feature) <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        self.predict_by(&|f| features.get(f).copied().unwrap_or(0.0))
     }
 
     fn depth(&self) -> usize {
@@ -85,170 +112,242 @@ impl Node {
 
 /// Criterion used to score candidate splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Criterion {
+pub(crate) enum Criterion {
     /// Sum of squared deviations from the mean (regression).
     Variance,
     /// Gini impurity (classification); targets are class labels cast to f64.
     Gini,
 }
 
-fn leaf_value(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
-    match criterion {
-        Criterion::Variance => idx.iter().map(|&i| targets[i]).sum::<f64>() / idx.len() as f64,
-        Criterion::Gini => {
-            // Majority vote over integer labels.
-            let mut counts: std::collections::HashMap<i64, usize> =
-                std::collections::HashMap::new();
-            for &i in idx {
-                *counts.entry(targets[i] as i64).or_insert(0) += 1;
-            }
-            counts
-                .into_iter()
-                // Ties on the count are broken towards the smaller label so
-                // the vote does not depend on hash-map iteration order.
-                .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
-                .map(|(label, _)| label as f64)
-                .unwrap_or(0.0)
-        }
-    }
-}
-
-fn impurity(targets: &[f64], idx: &[usize], criterion: Criterion) -> f64 {
-    match criterion {
-        Criterion::Variance => {
-            let n = idx.len() as f64;
-            let mean = idx.iter().map(|&i| targets[i]).sum::<f64>() / n;
-            idx.iter()
-                .map(|&i| (targets[i] - mean).powi(2))
-                .sum::<f64>()
-        }
-        Criterion::Gini => {
-            let n = idx.len() as f64;
-            let mut counts: std::collections::HashMap<i64, usize> =
-                std::collections::HashMap::new();
-            for &i in idx {
-                *counts.entry(targets[i] as i64).or_insert(0) += 1;
-            }
-            let gini = 1.0
-                - counts
-                    .values()
-                    .map(|&c| {
-                        let p = c as f64 / n;
-                        p * p
-                    })
-                    .sum::<f64>();
-            gini * n
-        }
-    }
-}
-
-struct Builder<'a> {
-    features: &'a [Vec<f64>],
-    targets: &'a [f64],
-    params: TreeParams,
+/// Shared split-scoring state: node totals plus running left-side prefix
+/// statistics.
+///
+/// Every floating-point operation that decides a split lives here (and in
+/// [`best_split_scan`]), used by both the fast presort builder and the
+/// [`crate::reference`] oracle, which is what makes the two bit-for-bit
+/// identical. Node totals are accumulated in ascending sample order (the
+/// node's `idx` order); left statistics are accumulated in feature-sorted
+/// order during the scan.
+pub(crate) struct SplitScan {
     criterion: Criterion,
-    rng_state: u64,
+    // Node totals.
+    n: usize,
+    sum: f64,
+    sumsq: f64,
+    counts: Vec<usize>,
+    // Running left-side statistics.
+    ln: usize,
+    lsum: f64,
+    lsumsq: f64,
+    lcounts: Vec<usize>,
 }
 
-impl<'a> Builder<'a> {
+impl SplitScan {
+    pub(crate) fn new(criterion: Criterion, n_classes: usize) -> Self {
+        SplitScan {
+            criterion,
+            n: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            counts: vec![0; n_classes],
+            ln: 0,
+            lsum: 0.0,
+            lsumsq: 0.0,
+            lcounts: vec![0; n_classes],
+        }
+    }
+
+    /// Clear the node totals (starting a new node).
+    pub(crate) fn reset_node(&mut self) {
+        self.n = 0;
+        self.sum = 0.0;
+        self.sumsq = 0.0;
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Accumulate one node sample (call in ascending sample order).
+    pub(crate) fn add_node_sample(&mut self, target: f64) {
+        self.n += 1;
+        match self.criterion {
+            Criterion::Variance => {
+                self.sum += target;
+                self.sumsq += target * target;
+            }
+            Criterion::Gini => self.counts[target as usize] += 1,
+        }
+    }
+
+    /// Impurity of the whole node: `Σt² − (Σt)²/n` for variance (equal to
+    /// the sum of squared deviations up to rounding), `gini · n` for Gini.
+    pub(crate) fn node_impurity(&self) -> f64 {
+        match self.criterion {
+            Criterion::Variance => self.sumsq - self.sum * self.sum / self.n as f64,
+            Criterion::Gini => gini_times_n(&self.counts, self.n),
+        }
+    }
+
+    /// Value this node predicts as a leaf: the target mean for variance,
+    /// the majority label (ties to the smaller label) for Gini.
+    pub(crate) fn leaf_value(&self) -> f64 {
+        match self.criterion {
+            Criterion::Variance => self.sum / self.n as f64,
+            Criterion::Gini => {
+                let mut best: Option<(usize, usize)> = None; // (count, label)
+                for (label, &count) in self.counts.iter().enumerate() {
+                    if count > 0 && best.map(|(c, _)| count > c).unwrap_or(true) {
+                        best = Some((count, label));
+                    }
+                }
+                best.map(|(_, label)| label as f64).unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Clear the running left statistics (starting a new feature scan).
+    pub(crate) fn reset_left(&mut self) {
+        self.ln = 0;
+        self.lsum = 0.0;
+        self.lsumsq = 0.0;
+        self.lcounts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Move one sample (in feature-sorted order) to the left side.
+    pub(crate) fn push_left(&mut self, target: f64) {
+        self.ln += 1;
+        match self.criterion {
+            Criterion::Variance => {
+                self.lsum += target;
+                self.lsumsq += target * target;
+            }
+            Criterion::Gini => self.lcounts[target as usize] += 1,
+        }
+    }
+
+    /// Score of splitting at the current scan position:
+    /// `impurity(left) + impurity(right)`.
+    pub(crate) fn split_score(&self) -> f64 {
+        let rn = self.n - self.ln;
+        match self.criterion {
+            Criterion::Variance => {
+                let left = self.lsumsq - self.lsum * self.lsum / self.ln as f64;
+                let rsum = self.sum - self.lsum;
+                let rsumsq = self.sumsq - self.lsumsq;
+                let right = rsumsq - rsum * rsum / rn as f64;
+                left + right
+            }
+            Criterion::Gini => {
+                let left = gini_times_n(&self.lcounts, self.ln);
+                let rnf = rn as f64;
+                let mut acc = 0.0;
+                for (&c, &lc) in self.counts.iter().zip(&self.lcounts) {
+                    let rc = c - lc;
+                    if rc > 0 {
+                        let p = rc as f64 / rnf;
+                        acc += p * p;
+                    }
+                }
+                left + (1.0 - acc) * rnf
+            }
+        }
+    }
+}
+
+/// `(1 − Σ p²) · n`, summed over labels in ascending order, zero-count
+/// labels skipped (so the term sequence matches a count map that only
+/// contains present labels).
+fn gini_times_n(counts: &[usize], n: usize) -> f64 {
+    let nf = n as f64;
+    let mut acc = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / nf;
+            acc += p * p;
+        }
+    }
+    (1.0 - acc) * nf
+}
+
+/// Scan one feature's samples in sorted order and return the best
+/// `(threshold, score)`, or `None` when no valid candidate exists.
+///
+/// `ordered` yields `(feature value, target)` pairs in ascending feature
+/// order (ties in ascending sample order). Candidates are the positions
+/// `pos ∈ [max(min_samples_leaf, 1), len − min_samples_leaf]` whose adjacent
+/// values differ by more than `f64::EPSILON`; ties on the score keep the
+/// earliest position. This is the one scan both tree builders share.
+pub(crate) fn best_split_scan<I>(
+    scan: &mut SplitScan,
+    len: usize,
+    min_samples_leaf: usize,
+    ordered: I,
+) -> Option<(f64, f64)>
+where
+    I: Iterator<Item = (f64, f64)>,
+{
+    scan.reset_left();
+    let lo_bound = min_samples_leaf.max(1);
+    let hi_bound = len.saturating_sub(min_samples_leaf);
+    let mut best: Option<(f64, f64)> = None;
+    let mut prev = 0.0f64;
+    for (pos, (value, target)) in ordered.enumerate() {
+        if pos >= lo_bound && pos <= hi_bound && (value - prev).abs() > f64::EPSILON {
+            let threshold = 0.5 * (prev + value);
+            let score = scan.split_score();
+            if best.map(|(_, s)| score < s).unwrap_or(true) {
+                best = Some((threshold, score));
+            }
+        }
+        scan.push_left(target);
+        prev = value;
+    }
+    best
+}
+
+/// The xorshift64* stream used for per-split feature subsampling —
+/// deterministic, dependency-free, shared by the fast and reference
+/// builders so they consume identical draws in identical order.
+pub(crate) struct SubsampleRng {
+    state: u64,
+}
+
+impl SubsampleRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        SubsampleRng { state: seed | 1 }
+    }
+
     fn next_rand(&mut self) -> u64 {
-        // xorshift64* — deterministic, dependency-free feature subsampling.
-        let mut x = self.rng_state;
+        let mut x = self.state;
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
-        self.rng_state = x;
+        self.state = x;
         x.wrapping_mul(0x2545F4914F6CDD1D)
     }
 
-    fn candidate_features(&mut self, width: usize) -> Vec<usize> {
-        match self.params.max_features {
-            None => (0..width).collect(),
-            Some(k) if k >= width => (0..width).collect(),
-            Some(k) => {
-                // Sample k distinct features (Fisher-Yates over indices).
-                let mut all: Vec<usize> = (0..width).collect();
+    /// Fill `out` with the candidate feature ids for one node. Draws from
+    /// the stream only when a strict subset is sampled (Fisher–Yates over
+    /// indices), exactly as the seed implementation did.
+    pub(crate) fn candidate_features(
+        &mut self,
+        width: usize,
+        max_features: Option<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.extend(0..width);
+        if let Some(k) = max_features {
+            if k < width {
                 for i in 0..k {
                     let j = i + (self.next_rand() as usize) % (width - i);
-                    all.swap(i, j);
+                    out.swap(i, j);
                 }
-                all.truncate(k);
-                all
+                out.truncate(k);
             }
-        }
-    }
-
-    fn build(&mut self, idx: &[usize], depth: usize) -> Node {
-        let targets = self.targets;
-        let criterion = self.criterion;
-        let make_leaf = || Node::Leaf {
-            value: leaf_value(targets, idx, criterion),
-        };
-        if depth >= self.params.max_depth
-            || idx.len() < self.params.min_samples_split
-            || idx.len() < 2 * self.params.min_samples_leaf
-        {
-            return make_leaf();
-        }
-        let parent_impurity = impurity(self.targets, idx, self.criterion);
-        if parent_impurity <= 1e-12 {
-            return make_leaf();
-        }
-        let width = self.features[0].len();
-        let candidates = self.candidate_features(width);
-
-        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
-        let mut sorted_idx = idx.to_vec();
-        for &feat in &candidates {
-            sorted_idx.sort_by(|&a, &b| {
-                self.features[a][feat]
-                    .partial_cmp(&self.features[b][feat])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            // Scan split positions between distinct values.
-            for pos in
-                self.params.min_samples_leaf..=(sorted_idx.len() - self.params.min_samples_leaf)
-            {
-                if pos == 0 || pos == sorted_idx.len() {
-                    continue;
-                }
-                let lo = self.features[sorted_idx[pos - 1]][feat];
-                let hi = self.features[sorted_idx[pos]][feat];
-                if (hi - lo).abs() <= f64::EPSILON {
-                    continue;
-                }
-                let threshold = 0.5 * (lo + hi);
-                let (left, right) = sorted_idx.split_at(pos);
-                let score = impurity(self.targets, left, self.criterion)
-                    + impurity(self.targets, right, self.criterion);
-                if best.map(|(_, _, s)| score < s).unwrap_or(true) {
-                    best = Some((feat, threshold, score));
-                }
-            }
-        }
-
-        let Some((feature, threshold, score)) = best else {
-            return make_leaf();
-        };
-        if score >= parent_impurity - 1e-12 {
-            return make_leaf();
-        }
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-            .iter()
-            .partition(|&&i| self.features[i][feature] <= threshold);
-        if left_idx.is_empty() || right_idx.is_empty() {
-            return make_leaf();
-        }
-        Node::Split {
-            feature,
-            threshold,
-            left: Box::new(self.build(&left_idx, depth + 1)),
-            right: Box::new(self.build(&right_idx, depth + 1)),
         }
     }
 }
 
-fn validate(features: &[Vec<f64>], targets: &[f64]) -> Result<(), LearnError> {
+pub(crate) fn validate(features: &[Vec<f64>], targets: &[f64]) -> Result<(), LearnError> {
     if features.is_empty() {
         return Err(LearnError::EmptyTrainingSet);
     }
@@ -270,8 +369,250 @@ fn validate(features: &[Vec<f64>], targets: &[f64]) -> Result<(), LearnError> {
     Ok(())
 }
 
+/// Per-position feature columns for one tree fit: either the shared
+/// [`ColumnMatrix`] (positions are dataset rows) or a bootstrap gather
+/// (one flat column-major buffer — no per-row clones).
+enum FeatCols<'a> {
+    Shared(&'a ColumnMatrix),
+    Gathered { n: usize, flat: Vec<f64> },
+}
+
+impl FeatCols<'_> {
+    fn width(&self) -> usize {
+        match self {
+            FeatCols::Shared(c) => c.n_cols(),
+            FeatCols::Gathered { n, flat } => {
+                if *n == 0 {
+                    0
+                } else {
+                    flat.len() / n
+                }
+            }
+        }
+    }
+
+    fn col(&self, c: usize) -> &[f64] {
+        match self {
+            FeatCols::Shared(m) => m.col(c),
+            FeatCols::Gathered { n, flat } => &flat[c * n..(c + 1) * n],
+        }
+    }
+}
+
+/// Sort positions `0..n` by each feature column: the per-tree presort the
+/// fast builder partitions down the recursion. Ties order by position,
+/// which is exactly what a stable per-node sort by value produces.
+fn presort(cols: &FeatCols<'_>, n: usize) -> Vec<Vec<u32>> {
+    (0..cols.width())
+        .map(|f| {
+            let col = cols.col(f);
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                col[a as usize]
+                    .partial_cmp(&col[b as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            order
+        })
+        .collect()
+}
+
+/// Presorted position arrays for a shared column matrix, reusable across
+/// many tree fits on the same features (gradient-boosting stages).
+pub(crate) fn presort_columns(cols: &ColumnMatrix) -> Vec<Vec<u32>> {
+    presort(&FeatCols::Shared(cols), cols.n_rows())
+}
+
+/// The fast presort CART builder.
+struct FastBuilder<'a> {
+    cols: &'a FeatCols<'a>,
+    targets: &'a [f64],
+    params: TreeParams,
+    scan: SplitScan,
+    rng: SubsampleRng,
+    /// Per-feature position arrays; the segment `[lo, hi)` of every array
+    /// holds the current node's positions in feature-sorted order.
+    sorted: Vec<Vec<u32>>,
+    /// The current node's positions in ascending order (the reference's
+    /// `idx` order), partitioned alongside `sorted`.
+    order: Vec<u32>,
+    goes_left: Vec<bool>,
+    scratch: Vec<u32>,
+    cand: Vec<usize>,
+}
+
+impl FastBuilder<'_> {
+    fn build(&mut self, lo: usize, hi: usize, depth: usize) -> Node {
+        let len = hi - lo;
+        self.scan.reset_node();
+        for i in lo..hi {
+            let p = self.order[i] as usize;
+            self.scan.add_node_sample(self.targets[p]);
+        }
+        if depth >= self.params.max_depth
+            || len < self.params.min_samples_split
+            || len < 2 * self.params.min_samples_leaf
+        {
+            return Node::Leaf {
+                value: self.scan.leaf_value(),
+            };
+        }
+        let parent_impurity = self.scan.node_impurity();
+        if parent_impurity <= 1e-12 {
+            return Node::Leaf {
+                value: self.scan.leaf_value(),
+            };
+        }
+        let width = self.cols.width();
+        self.rng
+            .candidate_features(width, self.params.max_features, &mut self.cand);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        for ci in 0..self.cand.len() {
+            let feat = self.cand[ci];
+            let col = self.cols.col(feat);
+            let targets = self.targets;
+            let seg = &self.sorted[feat][lo..hi];
+            if let Some((threshold, score)) = best_split_scan(
+                &mut self.scan,
+                len,
+                self.params.min_samples_leaf,
+                seg.iter().map(|&p| (col[p as usize], targets[p as usize])),
+            ) {
+                if best.map(|(_, _, s)| score < s).unwrap_or(true) {
+                    best = Some((feat, threshold, score));
+                }
+            }
+        }
+
+        let Some((feature, threshold, score)) = best else {
+            return Node::Leaf {
+                value: self.scan.leaf_value(),
+            };
+        };
+        if score >= parent_impurity - 1e-12 {
+            return Node::Leaf {
+                value: self.scan.leaf_value(),
+            };
+        }
+        // Mark left membership and count it; bail to a leaf if the split
+        // degenerates (midpoint rounding can park every sample on one side).
+        let col = self.cols.col(feature);
+        let mut nl = 0usize;
+        for i in lo..hi {
+            let p = self.order[i] as usize;
+            let left = col[p] <= threshold;
+            self.goes_left[p] = left;
+            nl += usize::from(left);
+        }
+        if nl == 0 || nl == len {
+            return Node::Leaf {
+                value: self.scan.leaf_value(),
+            };
+        }
+        // Stable-partition every per-feature array (and the idx-order
+        // array) so each child's segment stays feature-sorted.
+        for f in 0..width {
+            partition_segment(
+                &mut self.sorted[f],
+                lo,
+                hi,
+                &self.goes_left,
+                &mut self.scratch,
+            );
+        }
+        partition_segment(&mut self.order, lo, hi, &self.goes_left, &mut self.scratch);
+        let left = self.build(lo, lo + nl, depth + 1);
+        let right = self.build(lo + nl, hi, depth + 1);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+/// Stably partition `arr[lo..hi]` so positions with `goes_left` come first,
+/// both halves preserving their relative order.
+fn partition_segment(
+    arr: &mut [u32],
+    lo: usize,
+    hi: usize,
+    goes_left: &[bool],
+    scratch: &mut Vec<u32>,
+) {
+    scratch.clear();
+    let mut w = lo;
+    for i in lo..hi {
+        let p = arr[i];
+        if goes_left[p as usize] {
+            arr[w] = p;
+            w += 1;
+        } else {
+            scratch.push(p);
+        }
+    }
+    arr[w..hi].copy_from_slice(scratch);
+}
+
+/// Fit one tree with the fast presort builder. `targets` are per-position
+/// values (labels cast to f64 for Gini); `presorted` lets callers reuse a
+/// master presort across fits on the same columns.
+fn fit_fast(
+    cols: &FeatCols<'_>,
+    targets: &[f64],
+    params: TreeParams,
+    criterion: Criterion,
+    n_classes: usize,
+    seed: u64,
+    presorted: Option<&[Vec<u32>]>,
+) -> Node {
+    let n = targets.len();
+    let sorted = match presorted {
+        Some(master) => master.to_vec(),
+        None => presort(cols, n),
+    };
+    let mut builder = FastBuilder {
+        cols,
+        targets,
+        params,
+        scan: SplitScan::new(criterion, n_classes),
+        rng: SubsampleRng::new(seed),
+        sorted,
+        order: (0..n as u32).collect(),
+        goes_left: vec![false; n],
+        scratch: Vec::with_capacity(n),
+        cand: Vec::new(),
+    };
+    builder.build(0, n, 0)
+}
+
+/// Gather the bootstrap view of `cols`/`targets` selected by `rows`:
+/// per-position targets plus one flat column-major value buffer (no
+/// per-row `Vec` clones).
+fn gather_bootstrap(
+    cols: &ColumnMatrix,
+    targets: &[f64],
+    rows: &[u32],
+) -> (FeatCols<'static>, Vec<f64>) {
+    let n = rows.len();
+    let width = cols.n_cols();
+    let mut flat = vec![0.0; width * n];
+    for f in 0..width {
+        let src = cols.col(f);
+        let dst = &mut flat[f * n..(f + 1) * n];
+        for (d, &r) in dst.iter_mut().zip(rows) {
+            *d = src[r as usize];
+        }
+    }
+    let boot_targets: Vec<f64> = rows.iter().map(|&r| targets[r as usize]).collect();
+    (FeatCols::Gathered { n, flat }, boot_targets)
+}
+
 /// A CART regression tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTreeRegressor {
     root: Node,
     params: TreeParams,
@@ -295,32 +636,99 @@ impl DecisionTreeRegressor {
         seed: u64,
     ) -> Result<Self, LearnError> {
         validate(features, targets)?;
-        let mut builder = Builder {
-            features,
+        let cols = ColumnMatrix::from_rows(features)?;
+        Self::fit_columns_seeded(&cols, targets, params, seed)
+    }
+
+    /// Fit on a shared column-major matrix.
+    pub fn fit_columns(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        params: TreeParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_columns_seeded(cols, targets, params, 0x5EED)
+    }
+
+    /// [`DecisionTreeRegressor::fit_columns`] with an explicit seed.
+    pub fn fit_columns_seeded(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        params: TreeParams,
+        seed: u64,
+    ) -> Result<Self, LearnError> {
+        if cols.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if cols.n_rows() != targets.len() {
+            return Err(LearnError::LengthMismatch {
+                features: cols.n_rows(),
+                targets: targets.len(),
+            });
+        }
+        let root = fit_fast(
+            &FeatCols::Shared(cols),
             targets,
             params,
-            criterion: Criterion::Variance,
-            rng_state: seed | 1,
-        };
-        let idx: Vec<usize> = (0..features.len()).collect();
-        let root = builder.build(&idx, 0);
+            Criterion::Variance,
+            0,
+            seed,
+            None,
+        );
         Ok(DecisionTreeRegressor { root, params })
     }
 
-    /// Fit on a bootstrap sample drawn with the provided RNG (used by
-    /// random forests).
-    pub(crate) fn fit_bootstrap<R: Rng>(
-        features: &[Vec<f64>],
+    /// Fit reusing a master presort of `cols` (gradient-boosting stages fit
+    /// many trees on the same feature columns).
+    pub(crate) fn fit_columns_presorted(
+        cols: &ColumnMatrix,
         targets: &[f64],
         params: TreeParams,
-        rng: &mut R,
-    ) -> Result<Self, LearnError> {
-        validate(features, targets)?;
-        let n = features.len();
-        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-        let boot_features: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
-        let boot_targets: Vec<f64> = idx.iter().map(|&i| targets[i]).collect();
-        Self::fit_seeded(&boot_features, &boot_targets, params, rng.gen())
+        seed: u64,
+        presorted: &[Vec<u32>],
+    ) -> Self {
+        let root = fit_fast(
+            &FeatCols::Shared(cols),
+            targets,
+            params,
+            Criterion::Variance,
+            0,
+            seed,
+            Some(presorted),
+        );
+        DecisionTreeRegressor { root, params }
+    }
+
+    /// Fit on the bootstrap sample `rows` of a shared column matrix
+    /// (bagging by index — no row clones). Inputs are pre-validated by the
+    /// forest.
+    pub(crate) fn fit_bootstrap_indices(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        rows: &[u32],
+        params: TreeParams,
+        seed: u64,
+    ) -> Self {
+        let (boot_cols, boot_targets) = gather_bootstrap(cols, targets, rows);
+        let root = fit_fast(
+            &boot_cols,
+            &boot_targets,
+            params,
+            Criterion::Variance,
+            0,
+            seed,
+            None,
+        );
+        DecisionTreeRegressor { root, params }
+    }
+
+    /// Assemble a tree from a pre-built root (reference builders).
+    pub(crate) fn from_parts(root: Node, params: TreeParams) -> Self {
+        DecisionTreeRegressor { root, params }
+    }
+
+    /// The fitted tree's root (prediction walks for the ensembles).
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
     }
 
     /// Depth of the fitted tree.
@@ -346,7 +754,7 @@ impl Regressor for DecisionTreeRegressor {
 }
 
 /// A CART classification tree (Gini impurity).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTreeClassifier {
     root: Node,
     n_classes: usize,
@@ -371,34 +779,92 @@ impl DecisionTreeClassifier {
     ) -> Result<Self, LearnError> {
         let targets: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
         validate(features, &targets)?;
+        let cols = ColumnMatrix::from_rows(features)?;
+        Self::fit_classifier_columns(&cols, &targets, labels, params, seed)
+    }
+
+    /// Fit on a shared column-major matrix.
+    pub fn fit_columns(
+        cols: &ColumnMatrix,
+        labels: &[usize],
+        params: TreeParams,
+    ) -> Result<Self, LearnError> {
+        Self::fit_columns_seeded(cols, labels, params, 0x5EED)
+    }
+
+    /// [`DecisionTreeClassifier::fit_columns`] with an explicit seed.
+    pub fn fit_columns_seeded(
+        cols: &ColumnMatrix,
+        labels: &[usize],
+        params: TreeParams,
+        seed: u64,
+    ) -> Result<Self, LearnError> {
+        if cols.is_empty() {
+            return Err(LearnError::EmptyTrainingSet);
+        }
+        if cols.n_rows() != labels.len() {
+            return Err(LearnError::LengthMismatch {
+                features: cols.n_rows(),
+                targets: labels.len(),
+            });
+        }
+        let targets: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        Self::fit_classifier_columns(cols, &targets, labels, params, seed)
+    }
+
+    fn fit_classifier_columns(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        labels: &[usize],
+        params: TreeParams,
+        seed: u64,
+    ) -> Result<Self, LearnError> {
         let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
-        let mut builder = Builder {
-            features,
-            targets: &targets,
+        let root = fit_fast(
+            &FeatCols::Shared(cols),
+            targets,
             params,
-            criterion: Criterion::Gini,
-            rng_state: seed | 1,
-        };
-        let idx: Vec<usize> = (0..features.len()).collect();
-        let root = builder.build(&idx, 0);
+            Criterion::Gini,
+            n_classes,
+            seed,
+            None,
+        );
         Ok(DecisionTreeClassifier { root, n_classes })
     }
 
-    /// Fit on a bootstrap sample drawn with the provided RNG.
-    pub(crate) fn fit_bootstrap<R: Rng>(
-        features: &[Vec<f64>],
-        labels: &[usize],
+    /// Fit on the bootstrap sample `rows` of a shared column matrix
+    /// (bagging by index). `targets` are the full labels cast to f64.
+    pub(crate) fn fit_bootstrap_indices(
+        cols: &ColumnMatrix,
+        targets: &[f64],
+        rows: &[u32],
         params: TreeParams,
-        rng: &mut R,
-    ) -> Result<Self, LearnError> {
-        if features.is_empty() {
-            return Err(LearnError::EmptyTrainingSet);
-        }
-        let n = features.len();
-        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-        let boot_features: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
-        let boot_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
-        Self::fit_seeded(&boot_features, &boot_labels, params, rng.gen())
+        seed: u64,
+    ) -> Self {
+        let (boot_cols, boot_targets) = gather_bootstrap(cols, targets, rows);
+        // The per-tree class count mirrors the reference, which derives it
+        // from the bootstrap sample's own labels.
+        let n_classes = boot_targets.iter().map(|&t| t as usize).max().unwrap_or(0) + 1;
+        let root = fit_fast(
+            &boot_cols,
+            &boot_targets,
+            params,
+            Criterion::Gini,
+            n_classes,
+            seed,
+            None,
+        );
+        DecisionTreeClassifier { root, n_classes }
+    }
+
+    /// Assemble a tree from pre-built parts (reference builders).
+    pub(crate) fn from_parts(root: Node, n_classes: usize) -> Self {
+        DecisionTreeClassifier { root, n_classes }
+    }
+
+    /// The fitted tree's root (prediction walks for the ensembles).
+    pub(crate) fn root(&self) -> &Node {
+        &self.root
     }
 
     /// Number of classes seen during training.
@@ -519,10 +985,40 @@ mod tests {
         // on tied counts (hash-map iteration order), making classification
         // predictions differ from run to run. Ties must go to the smaller
         // label.
-        let targets = vec![1.0, 0.0, 1.0, 0.0];
-        let idx = vec![0, 1, 2, 3];
-        for _ in 0..32 {
-            assert_eq!(leaf_value(&targets, &idx, Criterion::Gini), 0.0);
+        let mut scan = SplitScan::new(Criterion::Gini, 2);
+        for &t in &[1.0, 0.0, 1.0, 0.0] {
+            scan.add_node_sample(t);
         }
+        for _ in 0..32 {
+            assert_eq!(scan.leaf_value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn column_fit_equals_row_fit() {
+        let (f, t) = step_data();
+        let cols = ColumnMatrix::from_rows(&f).unwrap();
+        let by_rows = DecisionTreeRegressor::fit_seeded(&f, &t, TreeParams::default(), 7).unwrap();
+        let by_cols =
+            DecisionTreeRegressor::fit_columns_seeded(&cols, &t, TreeParams::default(), 7).unwrap();
+        assert_eq!(by_rows, by_cols);
+        let labels: Vec<usize> = t.iter().map(|&y| usize::from(y > 15.0)).collect();
+        let c_rows =
+            DecisionTreeClassifier::fit_seeded(&f, &labels, TreeParams::default(), 7).unwrap();
+        let c_cols =
+            DecisionTreeClassifier::fit_columns_seeded(&cols, &labels, TreeParams::default(), 7)
+                .unwrap();
+        assert_eq!(c_rows, c_cols);
+    }
+
+    #[test]
+    fn duplicate_feature_values_split_cleanly() {
+        // Heavily tied feature values stress the stable partitioning of the
+        // presorted arrays: ties must stay in ascending sample order.
+        let features: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 4) as f64]).collect();
+        let targets: Vec<f64> = (0..60).map(|i| if i % 4 < 2 { 1.0 } else { 5.0 }).collect();
+        let tree = DecisionTreeRegressor::fit(&features, &targets, TreeParams::default()).unwrap();
+        assert_eq!(tree.predict_one(&[0.0]), 1.0);
+        assert_eq!(tree.predict_one(&[3.0]), 5.0);
     }
 }

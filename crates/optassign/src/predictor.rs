@@ -14,7 +14,9 @@ use crate::problem::{OptAssignProblem, PartitionSpec};
 use crate::OptAssignError;
 use scope_cloudsim::{ProviderCatalog, ProviderTopology, TierCatalog, TierId};
 use scope_learn::forest::ForestParams;
-use scope_learn::{confusion_matrix, Classifier, ConfusionMatrix, RandomForestClassifier};
+use scope_learn::{
+    confusion_matrix, Classifier, ColumnMatrix, ConfusionMatrix, RandomForestClassifier,
+};
 use scope_workload::{AccessSeries, DatasetCatalog, DatasetMeta};
 
 /// Feature-extraction configuration for the tier predictor.
@@ -261,8 +263,13 @@ impl TierPredictor {
                 "no training examples could be generated".to_string(),
             ));
         }
-        let model = RandomForestClassifier::fit(
-            &xs,
+        // Train on the shared column-major view: one build of the feature
+        // matrix, index-based bagging and the deterministic parallel tree
+        // fan-out underneath (bit-identical to the sequential path).
+        let cols = ColumnMatrix::from_rows(&xs)
+            .map_err(|e| OptAssignError::InvalidProblem(format!("training failed: {e}")))?;
+        let model = RandomForestClassifier::fit_columns(
+            &cols,
             &ys,
             ForestParams {
                 n_trees: 60,
@@ -286,15 +293,28 @@ impl TierPredictor {
     }
 
     /// Predict tiers for every dataset in a catalog.
+    ///
+    /// Batched: extracts one column-major feature matrix and walks the
+    /// forest through [`Classifier::predict_columns`] (parallel over rows,
+    /// merged in order) — identical labels to calling
+    /// [`TierPredictor::predict`] per dataset.
     pub fn predict_all(
         &self,
         datasets: &DatasetCatalog,
         series: &AccessSeries,
         at_month: u32,
     ) -> Vec<TierId> {
-        datasets
+        let xs: Vec<Vec<f64>> = datasets
             .iter()
-            .map(|d| self.predict(d, series, at_month))
+            .map(|d| self.features.extract(d, series, at_month))
+            .collect();
+        let Ok(cols) = ColumnMatrix::from_rows(&xs) else {
+            return Vec::new(); // no datasets
+        };
+        self.model
+            .predict_columns(&cols)
+            .into_iter()
+            .map(|c| TierId(c.min(self.n_tiers - 1)))
             .collect()
     }
 
@@ -568,6 +588,31 @@ mod tests {
         // Predictions live in the merged id space.
         let preds = predictor.predict_all(&w.catalog, &w.series, 10);
         assert!(preds.iter().all(|t| t.index() < merged.len()));
+    }
+
+    #[test]
+    fn batched_predict_all_equals_per_dataset_predict() {
+        let w = workload();
+        let catalog = TierCatalog::azure_hot_cool();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let predictor = TierPredictor::train(
+            &catalog,
+            &w.catalog,
+            &w.series,
+            7,
+            2,
+            hot,
+            PredictorFeatures::default(),
+            42,
+        )
+        .unwrap();
+        let batched = predictor.predict_all(&w.catalog, &w.series, 10);
+        let scalar: Vec<TierId> = w
+            .catalog
+            .iter()
+            .map(|d| predictor.predict(d, &w.series, 10))
+            .collect();
+        assert_eq!(batched, scalar);
     }
 
     #[test]
