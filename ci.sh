@@ -26,12 +26,21 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+# Invariant lint: determinism (no hash-order iteration, no wall-clock or
+# raw threads in logic), oracle discipline, panic-surface ratchet, shim
+# surface, bench-artifact schema and the test-count floor below are all
+# machine-checked by the in-tree analyzer. --deny fails on any unwaived
+# finding; waivers are inline comments, counted and capped.
+echo "==> scope-analyze --deny --json (workspace invariant lint)"
+cargo run -q -p scope-analyze -- --deny --json
+
 # Release-mode test pass: the optimizer DP oracles and proptests are an
 # order of magnitude slower in debug, and release occasionally surfaces
-# optimization-dependent float bugs debug hides. The total-count floor is
-# the PR-5 suite size — if the suite ever shrinks below it, tests were
-# lost, not just reorganised.
-min_tests=447
+# optimization-dependent float bugs debug hides. The floor must equal the
+# static recount of #[test] cases (scope-analyze rule ci-floor-consistency
+# keeps it honest) — if the suite ever shrinks below it, tests were lost,
+# not just reorganised.
+min_tests=489
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {

@@ -1,0 +1,145 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! scope-analyze [--root <dir>] [--rule <name>]… [--json] [--deny]
+//! ```
+//!
+//! `--deny` exits non-zero when any finding survives waiver filtering —
+//! that is the mode `ci.sh` runs. `--json` emits a machine-readable report
+//! on stdout; the human format prints `file:line: [rule] message` lines.
+
+use scope_analyze::{analyze_rules, json, Report, RULE_NAMES};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut emit_json = false;
+    let mut deny = false;
+    let mut rules: BTreeSet<&str> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--rule" => match args.next().as_deref().map(resolve_rule) {
+                Some(Some(name)) => {
+                    rules.insert(name);
+                }
+                Some(None) => return usage("unknown rule (see --help for the list)"),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--json" => emit_json = true,
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                print!("{}", help_text());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if rules.is_empty() {
+        rules = RULE_NAMES.iter().copied().collect();
+    }
+
+    let report = match analyze_rules(&root, &rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "scope-analyze: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if emit_json {
+        print!("{}", render_json(&report));
+    } else {
+        render_human(&report);
+    }
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Map a user-supplied rule name onto the canonical static str.
+fn resolve_rule(name: &str) -> Option<&'static str> {
+    RULE_NAMES.iter().copied().find(|r| *r == name)
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("scope-analyze: {problem}");
+    eprint!("{}", help_text());
+    ExitCode::from(2)
+}
+
+fn help_text() -> String {
+    let mut out = String::from(
+        "usage: scope-analyze [--root <dir>] [--rule <name>]... [--json] [--deny]\n\
+         \n\
+         Checks the workspace invariants; --deny exits 1 on any finding.\n\
+         Waive a finding in place with:\n\
+         // scope-analyze: allow(<rule>) — <reason>\n\
+         \n\
+         rules:\n",
+    );
+    for rule in RULE_NAMES {
+        out.push_str("  ");
+        out.push_str(rule);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_human(report: &Report) {
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    println!(
+        "scope-analyze: {} finding(s) across {} files ({} of {} waivers used)",
+        report.findings.len(),
+        report.files_scanned,
+        report.waivers_used,
+        report.waivers_total
+    );
+}
+
+fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json::escape(f.rule),
+            json::escape(&f.file),
+            f.line,
+            json::escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"waivers_used\": {},\n", report.waivers_used));
+    out.push_str(&format!("  \"waivers_total\": {},\n", report.waivers_total));
+    out.push_str("  \"panic_counts\": {");
+    for (i, (name, count)) in report.panic_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": {}", json::escape(name), count));
+    }
+    if !report.panic_counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}

@@ -1,0 +1,26 @@
+//! Fixture: three statically countable test cases (the proptest case
+//! carries its `#[test]` meta through the shim's macro, counted once).
+
+pub fn id(x: u32) -> u32 {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a() {
+        assert_eq!(super::id(1), 1);
+    }
+
+    #[test]
+    fn b() {
+        assert_eq!(super::id(2), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn p(x in 0u32..9) {
+            assert_eq!(super::id(x), x);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+set -euo pipefail
+min_tests=3
+echo "fixture ci"

@@ -1,0 +1,20 @@
+//! Fixture: one pinned oracle, one forgotten oracle.
+
+pub mod reference;
+
+pub fn used_reference(x: f64) -> f64 {
+    x * 2.0
+}
+
+pub fn unused_reference(x: f64) -> f64 {
+    x * 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pins_the_used_oracle() {
+        assert_eq!(super::used_reference(2.0), 4.0);
+        assert_eq!(crate::reference::pinned_helper(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture reference module: public fns here are oracles.
+
+pub fn pinned_helper() -> u32 {
+    1
+}
+
+pub fn forgotten_helper() -> u32 {
+    2
+}
+
+fn internal_detail() -> u32 {
+    3
+}

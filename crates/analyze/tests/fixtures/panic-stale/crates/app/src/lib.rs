@@ -1,0 +1,24 @@
+//! Fixture: two live panic sites, one waived site, one test-only site.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(v: Result<u32, String>) -> u32 {
+    v.unwrap()
+}
+
+pub fn third(v: Option<u32>) -> u32 {
+    // scope-analyze: allow(panic-surface) — fixture: boot-time invariant
+    v.expect("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::first(Some(1)), 1);
+        let x: Option<u32> = Some(2);
+        x.unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+//! Negative fixture: every import names real shim surface.
+
+use mockdep::sub::DEPTH;
+use mockdep::{mock, seeded, Sampler};
+
+pub fn use_all() -> u64 {
+    mock!();
+    let s = Sampler {
+        state: DEPTH as u64,
+    };
+    seeded(s.state)
+}

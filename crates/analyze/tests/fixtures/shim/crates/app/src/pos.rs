@@ -1,0 +1,8 @@
+//! Positive fixture: imports naming surface the shim never exported.
+
+use mockdep::Missing;
+use mockdep::{AlsoMissing, Sampler};
+
+pub fn broken(_a: Missing, _b: AlsoMissing) -> Sampler {
+    Sampler { state: 0 }
+}

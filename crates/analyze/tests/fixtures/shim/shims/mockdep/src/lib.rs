@@ -1,0 +1,18 @@
+//! Fixture shim: the surface `use mockdep::…` may legally touch.
+
+pub struct Sampler {
+    pub state: u64,
+}
+
+pub fn seeded(n: u64) -> u64 {
+    n ^ 0x9E37_79B9_7F4A_7C15
+}
+
+pub mod sub {
+    pub const DEPTH: u32 = 1;
+}
+
+#[macro_export]
+macro_rules! mock {
+    () => {};
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: threads inside test code are tolerated.
+
+pub fn logic(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_fine() {
+        let h = std::thread::spawn(|| super::logic(2));
+        assert_eq!(h.join().unwrap(), 4);
+    }
+}

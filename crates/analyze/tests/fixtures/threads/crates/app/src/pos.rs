@@ -1,0 +1,6 @@
+//! Positive fixture: a raw thread spawn in library logic.
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

@@ -1,0 +1,7 @@
+//! Waived fixture: an acknowledged raw spawn.
+
+pub fn watchdog() {
+    // scope-analyze: allow(no-raw-threads) — fixture: watchdog never touches results
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}

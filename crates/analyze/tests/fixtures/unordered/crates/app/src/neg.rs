@@ -1,0 +1,15 @@
+//! Negative fixture: ordered iteration and pure lookups are fine.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn ordered_totals(m: &BTreeMap<String, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_k, v) in m {
+        sum += v;
+    }
+    sum
+}
+
+pub fn lookup(m: &HashMap<String, f64>, key: &str) -> f64 {
+    m.get(key).copied().unwrap_or(0.0)
+}

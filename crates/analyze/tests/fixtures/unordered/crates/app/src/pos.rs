@@ -1,0 +1,15 @@
+//! Positive fixture: hash-ordered iteration in result-producing code.
+
+use std::collections::HashMap;
+
+pub fn totals(m: &HashMap<String, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_k, v) in m {
+        sum += v;
+    }
+    sum
+}
+
+pub fn key_list(m: &HashMap<String, f64>) -> Vec<String> {
+    m.keys().cloned().collect()
+}

@@ -1,0 +1,12 @@
+//! Waived fixture: an order-independent reduction with an inline waiver.
+
+use std::collections::HashMap;
+
+pub fn merge_counts(m: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    // scope-analyze: allow(no-unordered-iteration) — integer sum, order-independent
+    for (_k, v) in m {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,18 @@
+//! Fixture: the three ways a waiver can rot.
+
+use std::collections::HashMap;
+
+// scope-analyze: allow(not-a-rule) — the rule name is wrong
+pub fn a() {}
+
+pub fn b(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration)
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+// scope-analyze: allow(no-unordered-iteration) — nothing on the next line iterates
+pub fn c() {}

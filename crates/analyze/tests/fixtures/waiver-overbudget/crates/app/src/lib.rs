@@ -1,0 +1,102 @@
+//! Fixture: eleven legitimate waivers, one over the budget of ten.
+
+use std::collections::HashMap;
+
+pub fn s0(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 0
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s1(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 1
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s2(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 2
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s3(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 3
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s4(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 4
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s5(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 5
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s6(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 6
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s7(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 7
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s8(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 8
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s9(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 9
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}
+
+pub fn s10(m: &HashMap<u32, u32>) -> u32 {
+    let mut t = 0;
+    // scope-analyze: allow(no-unordered-iteration) — fixture site 10
+    for (_k, v) in m {
+        t += v;
+    }
+    t
+}

@@ -1,0 +1,6 @@
+//! Bench targets are measurement harnesses: wall-clock allowed.
+
+pub fn measure() -> std::time::Duration {
+    let t = std::time::Instant::now();
+    t.elapsed()
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: test code may time things.
+
+pub fn logic(x: u64) -> u64 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(super::logic(1) == 2);
+        let _ = t.elapsed();
+    }
+}

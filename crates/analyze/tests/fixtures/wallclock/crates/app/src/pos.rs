@@ -1,0 +1,7 @@
+//! Positive fixture: wall-clock reads in library logic.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

@@ -1,0 +1,8 @@
+//! Waived fixture: an acknowledged wall-clock read.
+
+pub fn boot_stamp() -> u64 {
+    // scope-analyze: allow(no-wallclock-in-logic) — fixture: startup banner only
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}

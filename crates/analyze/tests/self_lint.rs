@@ -1,0 +1,31 @@
+//! The analyzer eats its own dog food: the real workspace must be clean
+//! under every rule, inside the waiver budget. This is the same check
+//! `ci.sh` runs via `scope-analyze --deny`, kept as a test so `cargo test`
+//! alone catches a drifted invariant.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_clean_under_all_rules() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scope_analyze::analyze(&root).expect("workspace loads");
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        report.findings.is_empty(),
+        "the workspace has {} unwaived finding(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+    assert!(
+        report.waivers_total <= scope_analyze::MAX_WAIVERS,
+        "{} waivers exceed the budget of {}",
+        report.waivers_total,
+        scope_analyze::MAX_WAIVERS
+    );
+    // Sanity: the walker really saw the workspace, not an empty dir.
+    assert!(report.files_scanned > 100, "{} files", report.files_scanned);
+}

@@ -34,6 +34,7 @@ use scope_optassign::{
     OptAssignProblem, PartitionSpec,
 };
 use std::collections::HashMap;
+use std::error::Error;
 use std::time::Instant;
 
 struct Config {
@@ -47,7 +48,7 @@ struct Config {
 }
 
 impl Config {
-    fn from_args() -> Config {
+    fn from_args() -> Result<Config, String> {
         let mut quick = false;
         let mut json = false;
         let mut out = "BENCH_4.json".to_string();
@@ -56,11 +57,18 @@ impl Config {
             match a.as_str() {
                 "--quick" => quick = true,
                 "--json" => json = true,
-                "--out" => out = args.next().expect("--out requires a path"),
-                other => panic!("unknown argument {other} (expected --json / --quick / --out)"),
+                "--out" => match args.next() {
+                    Some(path) => out = path,
+                    None => return Err("--out requires a path".to_string()),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown argument {other} (expected --json / --quick / --out)"
+                    ))
+                }
             }
         }
-        Config {
+        Ok(Config {
             quick,
             json,
             out,
@@ -68,30 +76,44 @@ impl Config {
             reps: if quick { 1 } else { 3 },
             billing_objects: 1000,
             billing_events: if quick { 20_000 } else { 200_000 },
-        }
+        })
     }
 }
 
 /// Min-of-reps wall clock (seconds) of `f`, returning the last result.
+/// Runs at least once even for `reps == 0`.
 fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps {
+    let t = Instant::now();
+    let mut out = f();
+    let mut best = t.elapsed().as_secs_f64();
+    for _ in 1..reps {
         let t = Instant::now();
-        let r = f();
+        out = f();
         best = best.min(t.elapsed().as_secs_f64());
-        out = Some(r);
     }
-    (best, out.expect("reps >= 1"))
+    (best, out)
+}
+
+/// [`time_min`] for fallible work: the first error aborts the bench.
+fn time_min_try<R, E>(reps: usize, mut f: impl FnMut() -> Result<R, E>) -> Result<(f64, R), E> {
+    let t = Instant::now();
+    let mut out = f()?;
+    let mut best = t.elapsed().as_secs_f64();
+    for _ in 1..reps {
+        let t = Instant::now();
+        out = f()?;
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    Ok((best, out))
 }
 
 /// The greedy / branch-and-bound instance: `n` partitions with mixed sizes,
 /// access rates, compression options, SLAs and residencies over the merged
 /// 3-provider catalog (unbounded capacities — the paper's canonical case,
 /// where solve time is pure cost evaluation).
-fn merged_problem(n: usize) -> OptAssignProblem {
+fn merged_problem(n: usize) -> Result<OptAssignProblem, Box<dyn Error>> {
     let providers = ProviderCatalog::azure_s3_gcs();
-    let azure_hot = providers.merged_tier_id("azure", "Hot").unwrap();
+    let azure_hot = providers.merged_tier_id("azure", "Hot")?;
     let parts: Vec<PartitionSpec> = (0..n)
         .map(|i| {
             let mut p =
@@ -106,7 +128,7 @@ fn merged_problem(n: usize) -> OptAssignProblem {
             p
         })
         .collect();
-    OptAssignProblem::multi_provider(&providers, parts, 6.0)
+    Ok(OptAssignProblem::multi_provider(&providers, parts, 6.0))
 }
 
 /// The matching instance: `n` equal-size no-compression partitions with
@@ -117,7 +139,7 @@ fn merged_problem(n: usize) -> OptAssignProblem {
 /// `n·m` per-cell model evaluations *and* the dense Hungarian's
 /// zero-cost-cycle prefix walks; the table path pays `n·L` lookups and the
 /// collapsed-copy emulation.
-fn matching_problem(n: usize) -> OptAssignProblem {
+fn matching_problem(n: usize) -> Result<OptAssignProblem, Box<dyn Error>> {
     let size = 10.0;
     let providers = ProviderCatalog::azure_s3_gcs();
     let parts: Vec<PartitionSpec> = (0..n)
@@ -133,10 +155,9 @@ fn matching_problem(n: usize) -> OptAssignProblem {
     for name in names {
         problem
             .catalog
-            .set_capacity(&name, size * copies_per_tier as f64)
-            .unwrap();
+            .set_capacity(&name, size * copies_per_tier as f64)?;
     }
-    problem
+    Ok(problem)
 }
 
 struct Comparison {
@@ -150,35 +171,32 @@ impl Comparison {
     }
 }
 
-fn bench_greedy(cfg: &Config) -> Comparison {
-    let problem = merged_problem(cfg.partitions);
-    let (model_s, reference) = time_min(cfg.reps, || solve_greedy_reference(&problem).unwrap());
-    let (table_s, table) = time_min(cfg.reps, || solve_greedy(&problem).unwrap());
+fn bench_greedy(cfg: &Config) -> Result<Comparison, Box<dyn Error>> {
+    let problem = merged_problem(cfg.partitions)?;
+    let (model_s, reference) = time_min_try(cfg.reps, || solve_greedy_reference(&problem))?;
+    let (table_s, table) = time_min_try(cfg.reps, || solve_greedy(&problem))?;
     assert_eq!(table, reference, "greedy paths diverged");
-    Comparison { model_s, table_s }
+    Ok(Comparison { model_s, table_s })
 }
 
-fn bench_branch_and_bound(cfg: &Config) -> Comparison {
-    let problem = merged_problem(cfg.partitions);
+fn bench_branch_and_bound(cfg: &Config) -> Result<Comparison, Box<dyn Error>> {
+    let problem = merged_problem(cfg.partitions)?;
     let budget = 1_000_000;
-    let (model_s, reference) = time_min(cfg.reps, || {
-        solve_branch_and_bound_reference(&problem, budget).unwrap()
-    });
-    let (table_s, table) = time_min(cfg.reps, || {
-        solve_branch_and_bound(&problem, budget).unwrap()
-    });
+    let (model_s, reference) = time_min_try(cfg.reps, || {
+        solve_branch_and_bound_reference(&problem, budget)
+    })?;
+    let (table_s, table) = time_min_try(cfg.reps, || solve_branch_and_bound(&problem, budget))?;
     assert_eq!(table, reference, "branch-and-bound paths diverged");
-    Comparison { model_s, table_s }
+    Ok(Comparison { model_s, table_s })
 }
 
-fn bench_matching(cfg: &Config) -> Comparison {
-    let problem = matching_problem(cfg.partitions);
-    let (model_s, reference) = time_min(cfg.reps, || {
-        solve_equal_size_matching_reference(&problem).unwrap()
-    });
-    let (table_s, table) = time_min(cfg.reps, || solve_equal_size_matching(&problem).unwrap());
+fn bench_matching(cfg: &Config) -> Result<Comparison, Box<dyn Error>> {
+    let problem = matching_problem(cfg.partitions)?;
+    let (model_s, reference) =
+        time_min_try(cfg.reps, || solve_equal_size_matching_reference(&problem))?;
+    let (table_s, table) = time_min_try(cfg.reps, || solve_equal_size_matching(&problem))?;
     assert_eq!(table, reference, "matching paths diverged");
-    Comparison { model_s, table_s }
+    Ok(Comparison { model_s, table_s })
 }
 
 struct BillingNumbers {
@@ -188,11 +206,9 @@ struct BillingNumbers {
     accounting_after_s: f64,
 }
 
-fn bench_billing(cfg: &Config) -> BillingNumbers {
+fn bench_billing(cfg: &Config) -> Result<BillingNumbers, Box<dyn Error>> {
     let (sim, events) = billing_fixture(cfg.billing_objects, cfg.billing_events);
-    let (run_days_s, report) = time_min(cfg.reps, || {
-        sim.run_days(HORIZON_DAYS, &events).expect("engine runs")
-    });
+    let (run_days_s, report) = time_min_try(cfg.reps, || sim.run_days(HORIZON_DAYS, &events))?;
     assert!(report.total() > 0.0);
 
     // Before/after microbench of the per-event accounting alone. "Before"
@@ -228,16 +244,16 @@ fn bench_billing(cfg: &Config) -> BillingNumbers {
     let after_sum: f64 = totals.iter().sum();
     assert!((before_sum - after_sum).abs() < 1e-6 * before_sum.abs().max(1.0));
 
-    BillingNumbers {
+    Ok(BillingNumbers {
         run_days_s,
         events_per_s: events.len() as f64 / run_days_s,
         accounting_before_s,
         accounting_after_s,
-    }
+    })
 }
 
-fn main() {
-    let cfg = Config::from_args();
+fn main() -> Result<(), Box<dyn Error>> {
+    let cfg = Config::from_args()?;
     println!(
         "solver_bench: {} partitions, merged 3-provider catalog (12 tiers), min of {} rep(s){}",
         cfg.partitions,
@@ -245,21 +261,21 @@ fn main() {
         if cfg.quick { " [quick]" } else { "" }
     );
 
-    let greedy = bench_greedy(&cfg);
+    let greedy = bench_greedy(&cfg)?;
     println!(
         "greedy            model-driven {:>9.4} s   table-driven {:>9.4} s   speedup {:>6.1}x",
         greedy.model_s,
         greedy.table_s,
         greedy.speedup()
     );
-    let bnb = bench_branch_and_bound(&cfg);
+    let bnb = bench_branch_and_bound(&cfg)?;
     println!(
         "branch-and-bound  model-driven {:>9.4} s   table-driven {:>9.4} s   speedup {:>6.1}x",
         bnb.model_s,
         bnb.table_s,
         bnb.speedup()
     );
-    let matching = bench_matching(&cfg);
+    let matching = bench_matching(&cfg)?;
     println!(
         "matching          model-driven {:>9.4} s   table-driven {:>9.4} s   speedup {:>6.1}x",
         matching.model_s,
@@ -267,7 +283,7 @@ fn main() {
         matching.speedup()
     );
 
-    let billing = bench_billing(&cfg);
+    let billing = bench_billing(&cfg)?;
     println!(
         "billing run_days  {:>9.4} s for {} events ({:.2} M events/s, {} objects)",
         billing.run_days_s,
@@ -305,7 +321,8 @@ fn main() {
             billing.accounting_after_s,
             billing.accounting_before_s / billing.accounting_after_s,
         );
-        std::fs::write(&cfg.out, &json).expect("write JSON results");
+        std::fs::write(&cfg.out, &json)?;
         println!("wrote {}", cfg.out);
     }
+    Ok(())
 }

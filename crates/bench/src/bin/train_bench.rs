@@ -22,6 +22,7 @@
 //! training at 50 000 rows and the ordered DP at 2 000 partitions.
 
 use scope_compredict::features::{weighted_entropy_by_type, weighted_entropy_by_type_reference};
+use scope_datapart::DataPartError;
 use scope_datapart::{solve_ordered_exact, solve_ordered_exact_reference, OrderedPartition};
 use scope_learn::boosting::BoostingParams;
 use scope_learn::forest::ForestParams;
@@ -31,11 +32,13 @@ use scope_learn::reference::{
     fit_tree_regressor_seed,
 };
 use scope_learn::tree::TreeParams;
+use scope_learn::LearnError;
 use scope_learn::{
     Classifier, ColumnMatrix, DecisionTreeRegressor, GradientBoostingRegressor,
     RandomForestClassifier, RandomForestRegressor, Regressor,
 };
-use scope_table::{TpchGenerator, TpchOptions, TpchTable};
+use scope_table::{TableError, TpchGenerator, TpchOptions, TpchTable};
+use std::error::Error;
 use std::time::Instant;
 
 struct Config {
@@ -48,7 +51,7 @@ struct Config {
 }
 
 impl Config {
-    fn from_args() -> Config {
+    fn from_args() -> Result<Config, String> {
         let mut quick = false;
         let mut json = false;
         let mut out = "BENCH_5.json".to_string();
@@ -57,32 +60,53 @@ impl Config {
             match a.as_str() {
                 "--quick" => quick = true,
                 "--json" => json = true,
-                "--out" => out = args.next().expect("--out requires a path"),
-                other => panic!("unknown argument {other} (expected --json / --quick / --out)"),
+                "--out" => match args.next() {
+                    Some(path) => out = path,
+                    None => return Err("--out requires a path".to_string()),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown argument {other} (expected --json / --quick / --out)"
+                    ))
+                }
             }
         }
-        Config {
+        Ok(Config {
             quick,
             json,
             out,
             rows: if quick { 5_000 } else { 50_000 },
             reps: if quick { 1 } else { 2 },
             dp_partitions: if quick { 400 } else { 2_000 },
-        }
+        })
     }
 }
 
 /// Min-of-reps wall clock (seconds) of `f`, returning the last result.
+/// Runs at least once even for `reps == 0`.
 fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps {
+    let t = Instant::now();
+    let mut out = f();
+    let mut best = t.elapsed().as_secs_f64();
+    for _ in 1..reps {
         let t = Instant::now();
-        let r = f();
+        out = f();
         best = best.min(t.elapsed().as_secs_f64());
-        out = Some(r);
     }
-    (best, out.expect("reps >= 1"))
+    (best, out)
+}
+
+/// [`time_min`] for fallible work: the first error aborts the bench.
+fn time_min_try<R, E>(reps: usize, mut f: impl FnMut() -> Result<R, E>) -> Result<(f64, R), E> {
+    let t = Instant::now();
+    let mut out = f()?;
+    let mut best = t.elapsed().as_secs_f64();
+    for _ in 1..reps {
+        let t = Instant::now();
+        out = f()?;
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    Ok((best, out))
 }
 
 /// Synthetic training set shaped like the predictors' real inputs:
@@ -155,21 +179,18 @@ fn print_row(name: &str, c: &Comparison) {
     }
 }
 
-fn bench_tree(f: &[Vec<f64>], t: &[f64], reps: usize) -> Comparison {
+fn bench_tree(f: &[Vec<f64>], t: &[f64], reps: usize) -> Result<Comparison, LearnError> {
     let params = TreeParams::default();
-    let (seed_s, _) = time_min(1, || fit_tree_regressor_seed(f, t, params, 1).unwrap());
-    let (reference_s, reference) = time_min(reps, || {
-        fit_tree_regressor_reference(f, t, params, 1).unwrap()
-    });
-    let (fast_s, fast) = time_min(reps, || {
-        DecisionTreeRegressor::fit_seeded(f, t, params, 1).unwrap()
-    });
+    let (seed_s, _) = time_min_try(1, || fit_tree_regressor_seed(f, t, params, 1))?;
+    let (reference_s, reference) =
+        time_min_try(reps, || fit_tree_regressor_reference(f, t, params, 1))?;
+    let (fast_s, fast) = time_min_try(reps, || DecisionTreeRegressor::fit_seeded(f, t, params, 1))?;
     assert_eq!(fast, reference, "tree paths diverged");
-    Comparison {
+    Ok(Comparison {
         seed_s: Some(seed_s),
         reference_s,
         fast_s,
-    }
+    })
 }
 
 /// Mean absolute difference between two prediction vectors (seed-vs-fast
@@ -180,7 +201,11 @@ fn mean_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
 }
 
-fn bench_forest_regressor(f: &[Vec<f64>], t: &[f64], reps: usize) -> (Comparison, Comparison) {
+fn bench_forest_regressor(
+    f: &[Vec<f64>],
+    t: &[f64],
+    reps: usize,
+) -> Result<(Comparison, Comparison), LearnError> {
     let params = ForestParams {
         n_trees: 8,
         seed: 3,
@@ -194,21 +219,19 @@ fn bench_forest_regressor(f: &[Vec<f64>], t: &[f64], reps: usize) -> (Comparison
         n_trees: 1,
         ..params
     };
-    let (seed_one_s, seed_forest) =
-        time_min(1, || fit_forest_regressor_seed(f, t, one_tree).unwrap());
+    let (seed_one_s, seed_forest) = time_min_try(1, || fit_forest_regressor_seed(f, t, one_tree))?;
     let seed_s = seed_one_s * params.n_trees as f64;
-    let (reference_s, reference) = time_min(reps, || {
-        fit_forest_regressor_reference(f, t, params).unwrap()
-    });
-    let cols = ColumnMatrix::from_rows(f).expect("valid rows");
-    let (fast_s, fast) = time_min(reps, || {
-        RandomForestRegressor::fit_columns(&cols, t, params).unwrap()
-    });
+    let (reference_s, reference) =
+        time_min_try(reps, || fit_forest_regressor_reference(f, t, params))?;
+    let cols = ColumnMatrix::from_rows(f)?;
+    let (fast_s, fast) = time_min_try(reps, || {
+        RandomForestRegressor::fit_columns(&cols, t, params)
+    })?;
     assert_eq!(fast, reference, "forest regressor paths diverged");
     // The seed scorer is float-reassociated, so whole-model equality is not
     // guaranteed at split-score ties — but the fitted trees must agree. The
     // fast forest's first tree trains on the identical bootstrap draw.
-    let fast_one = RandomForestRegressor::fit_columns(&cols, t, one_tree).unwrap();
+    let fast_one = RandomForestRegressor::fit_columns(&cols, t, one_tree)?;
     let sample: Vec<Vec<f64>> = f.iter().step_by(23).cloned().collect();
     let mad = mean_abs_diff(&seed_forest.predict(&sample), &fast_one.predict(&sample));
     assert!(mad < 0.05, "seed and fast forests disagree: mad = {mad}");
@@ -221,7 +244,7 @@ fn bench_forest_regressor(f: &[Vec<f64>], t: &[f64], reps: usize) -> (Comparison
     for (a, b) in by_rows.iter().zip(&by_cols) {
         assert_eq!(a.to_bits(), b.to_bits(), "forest predictions diverged");
     }
-    (
+    Ok((
         Comparison {
             seed_s: Some(seed_s),
             reference_s,
@@ -232,10 +255,14 @@ fn bench_forest_regressor(f: &[Vec<f64>], t: &[f64], reps: usize) -> (Comparison
             reference_s: pred_ref_s,
             fast_s: pred_fast_s,
         },
-    )
+    ))
 }
 
-fn bench_forest_classifier(f: &[Vec<f64>], labels: &[usize], reps: usize) -> Comparison {
+fn bench_forest_classifier(
+    f: &[Vec<f64>],
+    labels: &[usize],
+    reps: usize,
+) -> Result<Comparison, LearnError> {
     let params = ForestParams {
         n_trees: 8,
         seed: 5,
@@ -248,22 +275,20 @@ fn bench_forest_classifier(f: &[Vec<f64>], labels: &[usize], reps: usize) -> Com
     // one level's candidates dominate, making rows² / prefix² the honest
     // scale — reported conservatively with the linear factor).
     let prefix = f.len().min(2_500);
-    let (seed_prefix_s, seed_forest) = time_min(1, || {
-        fit_forest_classifier_seed(&f[..prefix], &labels[..prefix], params).unwrap()
-    });
+    let (seed_prefix_s, seed_forest) = time_min_try(1, || {
+        fit_forest_classifier_seed(&f[..prefix], &labels[..prefix], params)
+    })?;
     let seed_s = seed_prefix_s * (f.len() as f64 / prefix as f64);
-    let (reference_s, reference) = time_min(reps, || {
-        fit_forest_classifier_reference(f, labels, params).unwrap()
-    });
-    let cols = ColumnMatrix::from_rows(f).expect("valid rows");
-    let (fast_s, fast) = time_min(reps, || {
-        RandomForestClassifier::fit_columns(&cols, labels, params).unwrap()
-    });
+    let (reference_s, reference) =
+        time_min_try(reps, || fit_forest_classifier_reference(f, labels, params))?;
+    let cols = ColumnMatrix::from_rows(f)?;
+    let (fast_s, fast) = time_min_try(reps, || {
+        RandomForestClassifier::fit_columns(&cols, labels, params)
+    })?;
     assert_eq!(fast, reference, "forest classifier paths diverged");
     // Seed-vs-fast agreement on the prefix instance the seed trained on.
-    let prefix_cols = ColumnMatrix::from_rows(&f[..prefix]).expect("valid rows");
-    let fast_prefix =
-        RandomForestClassifier::fit_columns(&prefix_cols, &labels[..prefix], params).unwrap();
+    let prefix_cols = ColumnMatrix::from_rows(&f[..prefix])?;
+    let fast_prefix = RandomForestClassifier::fit_columns(&prefix_cols, &labels[..prefix], params)?;
     let sample: Vec<Vec<f64>> = f[..prefix].iter().step_by(7).cloned().collect();
     let seed_preds = Classifier::predict(&seed_forest, &sample);
     let fast_preds = Classifier::predict(&fast_prefix, &sample);
@@ -277,39 +302,38 @@ fn bench_forest_classifier(f: &[Vec<f64>], labels: &[usize], reps: usize) -> Com
         "seed and fast classifier forests disagree on {disagree}/{} rows",
         sample.len()
     );
-    Comparison {
+    Ok(Comparison {
         seed_s: Some(seed_s),
         reference_s,
         fast_s,
-    }
+    })
 }
 
-fn bench_boosting(f: &[Vec<f64>], t: &[f64], reps: usize) -> Comparison {
+fn bench_boosting(f: &[Vec<f64>], t: &[f64], reps: usize) -> Result<Comparison, LearnError> {
     let params = BoostingParams {
         n_estimators: 30,
         ..Default::default()
     };
-    let (reference_s, reference) = time_min(reps, || fit_boosting_reference(f, t, params).unwrap());
-    let cols = ColumnMatrix::from_rows(f).expect("valid rows");
-    let (fast_s, fast) = time_min(reps, || {
-        GradientBoostingRegressor::fit_columns(&cols, t, params).unwrap()
-    });
+    let (reference_s, reference) = time_min_try(reps, || fit_boosting_reference(f, t, params))?;
+    let cols = ColumnMatrix::from_rows(f)?;
+    let (fast_s, fast) = time_min_try(reps, || {
+        GradientBoostingRegressor::fit_columns(&cols, t, params)
+    })?;
     assert_eq!(fast, reference, "boosting paths diverged");
-    Comparison {
+    Ok(Comparison {
         seed_s: None,
         reference_s,
         fast_s,
-    }
+    })
 }
 
-fn bench_features(quick: bool, reps: usize) -> (Comparison, usize) {
+fn bench_features(quick: bool, reps: usize) -> Result<(Comparison, usize), TableError> {
     // Real tabular data: TPC-H orders (9 columns across all four types);
     // scale 40 ≈ 60k rows.
     let gen = TpchGenerator::new(TpchOptions {
         scale_factor: if quick { 4.0 } else { 40.0 },
         ..Default::default()
-    })
-    .unwrap();
+    })?;
     let orders = gen.generate(TpchTable::Orders);
     let n = orders.n_rows();
     let reps = reps.max(2);
@@ -319,17 +343,17 @@ fn bench_features(quick: bool, reps: usize) -> (Comparison, usize) {
     for (k, v) in &slow {
         assert_eq!(fast[k].to_bits(), v.to_bits(), "entropy diverged for {k:?}");
     }
-    (
+    Ok((
         Comparison {
             seed_s: None, // the String-per-cell reference *is* the seed path
             reference_s,
             fast_s,
         },
         n,
-    )
+    ))
 }
 
-fn bench_ordered_dp(n: usize, reps: usize) -> (Comparison, usize) {
+fn bench_ordered_dp(n: usize, reps: usize) -> Result<(Comparison, usize), DataPartError> {
     // A chain of overlapping interval partitions where every 10th carries
     // real read frequency (a hot query family) and the rest are dormant —
     // the time-series shape DATAPART targets. Dormant runs merge for free,
@@ -358,27 +382,25 @@ fn bench_ordered_dp(n: usize, reps: usize) -> (Comparison, usize) {
     let resolution = 100.0 / min_cost;
     let budget_units = 110 + nonzero;
     let budget = budget_units as f64 / resolution;
-    let (reference_s, slow) = time_min(reps, || {
-        solve_ordered_exact_reference(&parts, budget, resolution).unwrap()
-    });
-    let (fast_s, fast) = time_min(reps, || {
-        solve_ordered_exact(&parts, budget, resolution).unwrap()
-    });
+    let (reference_s, slow) = time_min_try(reps, || {
+        solve_ordered_exact_reference(&parts, budget, resolution)
+    })?;
+    let (fast_s, fast) = time_min_try(reps, || solve_ordered_exact(&parts, budget, resolution))?;
     assert_eq!(fast.merges, slow.merges, "DP plans diverged");
     assert_eq!(fast.total_space.to_bits(), slow.total_space.to_bits());
     assert_eq!(fast.total_cost.to_bits(), slow.total_cost.to_bits());
-    (
+    Ok((
         Comparison {
             seed_s: None, // the per-merge window re-scan reference *is* the seed path
             reference_s,
             fast_s,
         },
         budget_units,
-    )
+    ))
 }
 
-fn main() {
-    let cfg = Config::from_args();
+fn main() -> Result<(), Box<dyn Error>> {
+    let cfg = Config::from_args()?;
     println!(
         "train_bench: {} rows x 6 features, DP at {} partitions, min of {} rep(s){}",
         cfg.rows,
@@ -388,18 +410,18 @@ fn main() {
     );
     let (f, t, labels) = training_data(cfg.rows, 42);
 
-    let tree = bench_tree(&f, &t, cfg.reps);
+    let tree = bench_tree(&f, &t, cfg.reps)?;
     print_row("tree train", &tree);
-    let (forest, forest_pred) = bench_forest_regressor(&f, &t, cfg.reps);
+    let (forest, forest_pred) = bench_forest_regressor(&f, &t, cfg.reps)?;
     print_row("forest train", &forest);
     print_row("forest predict", &forest_pred);
-    let forest_clf = bench_forest_classifier(&f, &labels, cfg.reps);
+    let forest_clf = bench_forest_classifier(&f, &labels, cfg.reps)?;
     print_row("forest train (clf)", &forest_clf);
-    let boosting = bench_boosting(&f, &t, cfg.reps);
+    let boosting = bench_boosting(&f, &t, cfg.reps)?;
     print_row("boosting train", &boosting);
-    let (features, feature_rows) = bench_features(cfg.quick, cfg.reps);
+    let (features, feature_rows) = bench_features(cfg.quick, cfg.reps)?;
     print_row("entropy features", &features);
-    let (dp, budget_units) = bench_ordered_dp(cfg.dp_partitions, cfg.reps);
+    let (dp, budget_units) = bench_ordered_dp(cfg.dp_partitions, cfg.reps)?;
     print_row("ordered DP", &dp);
 
     if cfg.json {
@@ -437,7 +459,8 @@ fn main() {
             section(&features),
             section(&dp),
         );
-        std::fs::write(&cfg.out, &json).expect("write JSON results");
+        std::fs::write(&cfg.out, &json)?;
         println!("wrote {}", cfg.out);
     }
+    Ok(())
 }

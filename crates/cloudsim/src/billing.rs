@@ -95,8 +95,9 @@ pub struct BillingReport {
     /// [`DAYS_PER_MONTH`]-day "month"; the last period of a day-granular
     /// run may be partial).
     pub months: Vec<MonthlyCost>,
-    /// Per-object totals in cents.
-    pub per_object: HashMap<String, f64>,
+    /// Per-object totals in cents. A `BTreeMap` so consumers that iterate
+    /// or fold the totals see a hash-seed-independent order.
+    pub per_object: std::collections::BTreeMap<String, f64>,
     /// Number of access events that fell at or beyond the billed horizon
     /// and were therefore not charged. A non-zero value signals a
     /// trace/horizon mismatch.

@@ -229,9 +229,11 @@ pub fn weighted_entropy_by_type(
         }
         // Merge the distinct values into one ordered map — text keys stay
         // borrowed, numerics are rendered once per distinct value.
+        // scope-analyze: allow(no-unordered-iteration) — integer-count merge into an ordered BTreeMap; order-independent by construction
         for (s, count) in text {
             *counts.entry(std::borrow::Cow::Borrowed(s)).or_insert(0) += count;
         }
+        // scope-analyze: allow(no-unordered-iteration) — integer-count merge into an ordered BTreeMap; order-independent by construction
         for (x, count) in numeric {
             let s = match t {
                 ColumnType::Date => scope_table::column::format_date(x),
@@ -239,6 +241,7 @@ pub fn weighted_entropy_by_type(
             };
             *counts.entry(std::borrow::Cow::Owned(s)).or_insert(0) += count;
         }
+        // scope-analyze: allow(no-unordered-iteration) — integer-count merge into an ordered BTreeMap; order-independent by construction
         for (bits, count) in float_bits {
             let s = format!("{:.2}", f64::from_bits(bits));
             *counts.entry(std::borrow::Cow::Owned(s)).or_insert(0) += count;

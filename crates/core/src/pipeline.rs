@@ -175,7 +175,11 @@ fn build_specs(
     let mut accesses = vec![0.0f64; partitions.len()];
     let mut read_volume = vec![0.0f64; partitions.len()];
     for family in &inputs.families {
-        let mut gb_per_partition: HashMap<usize, f64> = HashMap::new();
+        // BTreeMap: the loop below folds `frequency * volume` into f64
+        // accumulators, and float addition order must not depend on hash
+        // seeds.
+        let mut gb_per_partition: std::collections::BTreeMap<usize, f64> =
+            std::collections::BTreeMap::new();
         for f in &family.files {
             if let Some(&idx) = owner.get(f) {
                 let gb = file_catalog.size(f).unwrap_or(0.0);

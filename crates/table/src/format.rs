@@ -126,13 +126,14 @@ fn write_column(out: &mut BytesMut, col: &ColumnData, options: &ColumnarWriteOpt
             }
         }
         ColumnData::Text(v) => {
-            let distinct: std::collections::HashSet<&String> = v.iter().collect();
+            // BTreeSet: dictionary order must not depend on hash seeds.
+            let distinct: std::collections::BTreeSet<&String> = v.iter().collect();
             if options.dictionary_encode_text && !v.is_empty() && distinct.len() * 2 < v.len() {
                 out.put_u8(1);
                 out.put_u64_le(v.len() as u64);
-                // Build a deterministic dictionary (sorted for stability).
-                let mut dict: Vec<&String> = distinct.into_iter().collect();
-                dict.sort();
+                // The set iterates in sorted order, so the dictionary is
+                // deterministic by construction.
+                let dict: Vec<&String> = distinct.into_iter().collect();
                 let index: std::collections::HashMap<&String, u32> = dict
                     .iter()
                     .enumerate()

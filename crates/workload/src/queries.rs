@@ -279,8 +279,9 @@ impl QueryWorkload {
         };
 
         // footprint (sorted set of files) -> (frequency, template)
-        let mut grouped: std::collections::HashMap<Vec<FileRef>, (f64, usize)> =
-            std::collections::HashMap::new();
+        // BTreeMap: family construction order must not depend on hash seeds.
+        let mut grouped: std::collections::BTreeMap<Vec<FileRef>, (f64, usize)> =
+            std::collections::BTreeMap::new();
         for q in 0..total_queries {
             let template_idx = match &zipf {
                 Some(z) => z.sample(&mut rng),
@@ -368,8 +369,9 @@ impl QueryWorkload {
         let mut rng = SmallRng::seed_from_u64(seed);
         let table_zipf = Zipf::new(n_tables, zipf_exponent);
         let start_zipf = Zipf::new(files_per_table, zipf_exponent);
-        let mut grouped: std::collections::HashMap<Vec<FileRef>, f64> =
-            std::collections::HashMap::new();
+        // BTreeMap: family construction order must not depend on hash seeds.
+        let mut grouped: std::collections::BTreeMap<Vec<FileRef>, f64> =
+            std::collections::BTreeMap::new();
         for _ in 0..n_queries {
             let table = table_zipf.sample(&mut rng);
             let start = start_zipf.sample(&mut rng);

@@ -8,7 +8,6 @@ use scope_cloudsim::{
     CostBreakdown, CostModel, MonthlyCost, ObjectSpec, PlacementSchedule, TierCatalog, TierId,
     DAYS_PER_MONTH,
 };
-use std::collections::HashMap;
 
 /// A generated object + placement-schedule fixture, decoded from flat
 /// proptest primitives.
@@ -91,7 +90,7 @@ fn reference_monthly_replay(
             ..Default::default()
         })
         .collect();
-    let mut per_object: HashMap<String, f64> = HashMap::new();
+    let mut per_object: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
     for (obj, placement) in objects {
         let stored_gb = obj.size_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
         let mut obj_total = 0.0;
