@@ -40,7 +40,7 @@ cargo run -q -p scope-analyze -- --deny --json
 # static recount of #[test] cases (scope-analyze rule ci-floor-consistency
 # keeps it honest) — if the suite ever shrinks below it, tests were lost,
 # not just reorganised.
-min_tests=489
+min_tests=509
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {
@@ -69,6 +69,14 @@ if [[ $quick -eq 0 ]]; then
     echo "==> train_bench --json --quick (BENCH_5 smoke)"
     cargo run --release -q -p scope-bench --bin train_bench -- \
         --json --quick --out target/BENCH_5.quick.json
+
+    # PR-7 throughput suite: word-level codec kernels vs the byte-at-a-time
+    # compress::reference pipelines (byte-identical streams asserted in the
+    # bin) and the sharded column billing engine vs the sequential reference
+    # (bit-identical reports for threads 1/2/7 asserted before timing).
+    echo "==> throughput_bench --json --quick (BENCH_7 smoke)"
+    cargo run --release -q -p scope-bench --bin throughput_bench -- \
+        --json --quick --out target/BENCH_7.quick.json
 fi
 
 echo "==> cargo bench --no-run (criterion benches must compile)"

@@ -19,11 +19,16 @@
 
 use crate::cost::{CostBreakdown, CostModel, ObjectSpec};
 use crate::error::CloudSimError;
+use crate::parallel;
 use crate::providers::ProviderCatalog;
 use crate::tiers::{TierCatalog, TierId};
-use crate::timeline::{events_from_monthly, BillingEvent, PlacementSchedule, DAYS_PER_MONTH};
+use crate::timeline::{
+    events_from_monthly, BillingEvent, EventColumns, PlacementSchedule, DAYS_PER_MONTH,
+    UNKNOWN_OBJECT,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The kind of an access event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,8 +101,11 @@ pub struct BillingReport {
     /// run may be partial).
     pub months: Vec<MonthlyCost>,
     /// Per-object totals in cents. A `BTreeMap` so consumers that iterate
-    /// or fold the totals see a hash-seed-independent order.
-    pub per_object: std::collections::BTreeMap<String, f64>,
+    /// or fold the totals see a hash-seed-independent order. Keys are the
+    /// simulator's interned `Arc<str>` names: building a report bumps one
+    /// refcount per distinct object instead of allocating a `String` per
+    /// row (`&str` lookups still work via `Borrow<str>`).
+    pub per_object: std::collections::BTreeMap<Arc<str>, f64>,
     /// Number of access events that fell at or beyond the billed horizon
     /// and were therefore not charged. A non-zero value signals a
     /// trace/horizon mismatch.
@@ -164,17 +172,19 @@ impl Placement {
 /// at the end.
 #[derive(Debug, Clone)]
 pub struct BillingSimulator {
-    model: CostModel,
-    objects: Vec<ObjectSpec>,
+    pub(crate) model: CostModel,
+    pub(crate) objects: Vec<ObjectSpec>,
     /// Interned name id of each placed object (parallel to `objects`).
-    object_ids: Vec<u32>,
-    /// Distinct object names; index = interned id.
-    names: Vec<String>,
+    pub(crate) object_ids: Vec<u32>,
+    /// Distinct object names; index = interned id. `Arc<str>` so reports
+    /// can rematerialize string keys with a refcount bump per object
+    /// instead of an allocation per row.
+    pub(crate) names: Vec<Arc<str>>,
     /// Name → interned id lookup.
-    name_ids: HashMap<String, u32>,
+    pub(crate) name_ids: HashMap<Arc<str>, u32>,
     /// Schedule per interned name id (re-placing a name replaces its
     /// schedule, matching the historical `HashMap::insert` semantics).
-    schedules: Vec<PlacementSchedule>,
+    pub(crate) schedules: Vec<PlacementSchedule>,
 }
 
 impl BillingSimulator {
@@ -235,8 +245,9 @@ impl BillingSimulator {
             }
             None => {
                 let id = self.names.len() as u32;
-                self.name_ids.insert(obj.name.clone(), id);
-                self.names.push(obj.name.clone());
+                let name: Arc<str> = Arc::from(obj.name.as_str());
+                self.name_ids.insert(name.clone(), id);
+                self.names.push(name);
                 self.schedules.push(schedule);
                 id
             }
@@ -299,10 +310,79 @@ impl BillingSimulator {
     /// Events at or beyond `horizon_days` are not charged but counted in
     /// [`BillingReport::dropped_events`]; events naming unknown objects are
     /// ignored, as before.
+    ///
+    /// Internally this builds [`EventColumns`] from the trace and runs the
+    /// sharded column engine ([`BillingSimulator::run_columns`]) with the
+    /// default thread count; totals are bit-for-bit identical for any
+    /// thread count, and to the preserved sequential engine
+    /// [`crate::reference::run_days_reference`].
     pub fn run_days(
         &self,
         horizon_days: u32,
         events: &[BillingEvent],
+    ) -> Result<BillingReport, CloudSimError> {
+        self.run_days_with_threads(horizon_days, events, parallel::default_threads())
+    }
+
+    /// [`BillingSimulator::run_days`] with an explicit worker thread count
+    /// (1 = plain sequential replay). The thread count only affects
+    /// wall-clock time, never the report.
+    pub fn run_days_with_threads(
+        &self,
+        horizon_days: u32,
+        events: &[BillingEvent],
+        threads: usize,
+    ) -> Result<BillingReport, CloudSimError> {
+        let columns = self.build_columns(events);
+        self.run_columns_with_threads(horizon_days, &columns, threads)
+    }
+
+    /// Resolve a day-stamped trace into struct-of-arrays [`EventColumns`]
+    /// against this simulator's intern table: one name-hash and one
+    /// day-to-period division per event, paid **once**. The columns can be
+    /// replayed any number of times with
+    /// [`BillingSimulator::run_columns`] without touching a `String` again.
+    pub fn build_columns(&self, events: &[BillingEvent]) -> EventColumns {
+        EventColumns::from_events(events, |name| self.name_ids.get(name).copied())
+    }
+
+    /// Replay prebuilt [`EventColumns`] with the default thread count. See
+    /// [`BillingSimulator::run_columns_with_threads`].
+    pub fn run_columns(
+        &self,
+        horizon_days: u32,
+        columns: &EventColumns,
+    ) -> Result<BillingReport, CloudSimError> {
+        self.run_columns_with_threads(horizon_days, columns, parallel::default_threads())
+    }
+
+    /// The sharded day-granular engine.
+    ///
+    /// **Phase 1 — timeline costs, sharded by object.** Each placed object
+    /// is an independent worker under [`parallel_map_with_threads`]: it
+    /// streams its schedule segments exactly as the sequential engine does
+    /// and emits an ordered ledger of (period, component, amount) postings
+    /// plus its own running total. The merge applies ledgers in placement
+    /// order, so every `f64` lands on the monthly accumulators in the exact
+    /// sequence the sequential loop would produce — bit-for-bit identical
+    /// totals for any thread count.
+    ///
+    /// **Phase 2 — access costs, sharded over the trace.** Each event's
+    /// cost is a pure function of its columns row (placement in force on
+    /// its day, compression-adjusted volume), so workers compute per-event
+    /// outcomes over contiguous index ranges and the merge accumulates them
+    /// in trace order. Dropped-event counting, unknown-object skipping and
+    /// the first-invalid-volume error all key off the merge's trace-order
+    /// walk, preserving the sequential engine's exact semantics (an invalid
+    /// volume *after* an earlier invalid one is never reported, just as the
+    /// sequential loop would have stopped at the first).
+    ///
+    /// [`parallel_map_with_threads`]: crate::parallel::parallel_map_with_threads
+    pub fn run_columns_with_threads(
+        &self,
+        horizon_days: u32,
+        columns: &EventColumns,
+        threads: usize,
     ) -> Result<BillingReport, CloudSimError> {
         if horizon_days == 0 {
             return Err(CloudSimError::InvalidParameter {
@@ -318,157 +398,115 @@ impl BillingSimulator {
             })
             .collect();
         // Per-object totals are accumulated in a flat vector indexed by the
-        // interned name ids — the String-keyed map is only rematerialized
+        // interned name ids — the Arc<str>-keyed map is only rematerialized
         // once, in the final report.
         let mut totals: Vec<f64> = vec![0.0; self.names.len()];
 
-        // Storage + transition + residency-penalty costs, per object, by
-        // streaming over its constant-placement segments.
-        for (obj, &id) in self.objects.iter().zip(&self.object_ids) {
-            let schedule = &self.schedules[id as usize];
-            let mut obj_total = 0.0;
-            // Where the object is coming from and how long it has been
-            // there: seeds the early-deletion accounting of the first (and
-            // every later) transition.
-            let mut prev_tier = obj.current_tier;
-            let mut prev_days_served = obj.residency_days;
-            let mut prev_stored_gb = obj.size_gb;
-            for seg in schedule.segments(horizon_days) {
-                let stored_gb =
-                    obj.size_gb / seg.placement.compression_ratio.max(f64::MIN_POSITIVE);
-
-                // Pro-rated storage in every billing period the segment
-                // overlaps.
-                for p in seg.start_day / DAYS_PER_MONTH..=(seg.end_day - 1) / DAYS_PER_MONTH {
-                    let period_start = p * DAYS_PER_MONTH;
-                    let days = seg.end_day.min(period_start + DAYS_PER_MONTH)
-                        - seg.start_day.max(period_start);
-                    let c = self.model.storage_cost(
-                        seg.placement.tier,
-                        stored_gb,
-                        days as f64 / DAYS_PER_MONTH as f64,
-                    );
-                    months[p as usize].breakdown.storage += c;
-                    obj_total += c;
+        // Phase 1: per-object ledgers, computed in parallel, merged in
+        // placement order.
+        let ledgers = parallel::parallel_map_with_threads(&self.objects, threads, |i, obj| {
+            self.object_ledger(obj, self.object_ids[i], horizon_days)
+        });
+        for ledger in ledgers {
+            let ledger = ledger?;
+            for &(period, component, amount) in &ledger.postings {
+                let m = &mut months[period as usize];
+                match component {
+                    Component::Storage => m.breakdown.storage += amount,
+                    Component::Change => m.breakdown.write += amount,
+                    Component::Egress => m.breakdown.egress += amount,
+                    Component::Penalty => m.early_deletion_penalty += amount,
                 }
-
-                // The move onto this segment's placement, charged in the
-                // period the transition day falls in. A same-tier
-                // recompression is still a physical rewrite: it pays a read
-                // of the old bytes plus a write of the new ones. (The
-                // initial segment on the object's current tier charges
-                // nothing, as before: the pre-horizon compression state is
-                // unknown.)
-                let period = (seg.start_day / DAYS_PER_MONTH) as usize;
-                let (change, egress) = if prev_tier != Some(seg.placement.tier) {
-                    if let (true, Some(from)) = (seg.start_day > 0, prev_tier) {
-                        // Mid-horizon move: the read off the old tier (and
-                        // the egress, billed by the source provider) cover
-                        // the bytes actually resident there, which a
-                        // simultaneous recompression can make different
-                        // from the new stored size.
-                        (
-                            self.model.read_cost(from, prev_stored_gb, 1.0)
-                                + self.model.write_cost(seg.placement.tier, stored_gb),
-                            self.model
-                                .egress_cost(prev_tier, seg.placement.tier, prev_stored_gb),
-                        )
-                    } else {
-                        // Initial move at day 0: the pre-horizon
-                        // compression state is unknown, so the legacy
-                        // convention prices the read+write on the
-                        // destination's stored size — but egress (new in
-                        // the provider layer, no legacy constraint)
-                        // covers the bytes leaving the source, same as
-                        // the mid-horizon rule above.
-                        (
-                            self.model
-                                .read_write_cost(prev_tier, seg.placement.tier, stored_gb),
-                            self.model
-                                .egress_cost(prev_tier, seg.placement.tier, prev_stored_gb),
-                        )
-                    }
-                } else if seg.start_day > 0 && stored_gb != prev_stored_gb {
-                    (
-                        self.model
-                            .read_cost(seg.placement.tier, prev_stored_gb, 1.0)
-                            + self.model.write_cost(seg.placement.tier, stored_gb),
-                        0.0,
-                    )
-                } else {
-                    (0.0, 0.0)
-                };
-                months[period].breakdown.write += change;
-                months[period].breakdown.egress += egress;
-                obj_total += change + egress;
-
-                // Early-deletion penalty, pro-rated by the days already
-                // served on the tier being left.
-                if let Some(from) = prev_tier {
-                    if from != seg.placement.tier {
-                        let penalty = self.model.early_deletion_penalty(
-                            from,
-                            prev_stored_gb,
-                            prev_days_served,
-                        )?;
-                        months[period].early_deletion_penalty += penalty;
-                        obj_total += penalty;
-                    }
-                }
-
-                // Residency accumulates across consecutive segments on the
-                // same tier (e.g. a recompression that stays put).
-                if prev_tier == Some(seg.placement.tier) {
-                    prev_days_served += seg.days();
-                } else {
-                    prev_days_served = seg.days();
-                }
-                prev_tier = Some(seg.placement.tier);
-                prev_stored_gb = stored_gb;
             }
             // Assignment (not +=) matches the historical insert-overwrite
             // semantics when several objects share a name.
-            totals[id as usize] = obj_total;
+            totals[ledger.id as usize] = ledger.total;
         }
 
-        // Access costs, streamed in trace order against the placement in
-        // force on each event's day. The interned-id lookup makes this loop
-        // clone-free and allocation-free per event.
+        // Phase 2: pure per-event outcomes, merged in trace order. The
+        // per-object schedules are first flattened into one contiguous
+        // segment-rate table (with a per-object offset index) so the
+        // per-event work is one binary search over a flat slice plus a
+        // couple of multiplies — no catalog lookup, no per-object pointer
+        // chase. The stored values are the *exact* f64 expressions the
+        // cost model evaluates, so flattening cannot perturb a bit.
+        let rates = self.flat_rates(horizon_days);
         let mut dropped_events: u64 = 0;
-        for ev in events {
-            if ev.day >= horizon_days {
-                dropped_events += 1; // outside the billed horizon
-                continue;
+        if threads <= 1 {
+            // Sequential fast path: compute and merge fused, skipping the
+            // outcome buffer entirely (the accumulation order is the same
+            // statement sequence either way), with all five columns
+            // streamed through one zipped iterator (no per-column bounds
+            // checks).
+            // Hand-fused copy of `outcome_of` + `apply_outcome` (the
+            // parallel branch below composes the same two functions; the
+            // differential suites pin both branches against the sequential
+            // reference bit for bit). `day / DAYS_PER_MONTH` equals
+            // `columns.periods[i]` — it was precomputed from the same
+            // expression, and the constant division is cheaper than
+            // streaming the column.
+            let rows = columns
+                .days
+                .iter()
+                .zip(&columns.object_ids)
+                .zip(&columns.kinds)
+                .zip(&columns.volumes);
+            for (((&day, &id), &kind), &volume_gb) in rows {
+                if day >= horizon_days {
+                    dropped_events += 1; // outside the billed horizon
+                    continue;
+                }
+                if id == UNKNOWN_OBJECT {
+                    continue; // accesses to unknown objects are ignored
+                }
+                if !volume_gb.is_finite() || volume_gb < 0.0 {
+                    return Err(CloudSimError::InvalidParameter {
+                        name: "volume_gb",
+                        value: volume_gb,
+                    });
+                }
+                let (lo, hi) = rates.spans[id as usize];
+                let table = &rates.entries[lo as usize..hi as usize];
+                let n = table.partition_point(|s| s.start_day <= day);
+                let seg = &table[n - 1];
+                let effective_gb = volume_gb / seg.ratio_max;
+                let m = &mut months[(day / DAYS_PER_MONTH) as usize];
+                match kind {
+                    AccessKind::Read => {
+                        let read = seg.read_rate * effective_gb * 1.0;
+                        m.breakdown.read += read;
+                        m.breakdown.decompression += seg.decomp_cost;
+                        totals[id as usize] += read + seg.decomp_cost;
+                    }
+                    AccessKind::Write => {
+                        let write = rates.write_rates[lo as usize + n - 1] * effective_gb;
+                        m.breakdown.write += write;
+                        totals[id as usize] += write;
+                    }
+                }
             }
-            let Some(&id) = self.name_ids.get(ev.object.as_str()) else {
-                continue; // accesses to unknown objects are ignored
-            };
-            if !ev.volume_gb.is_finite() || ev.volume_gb < 0.0 {
-                return Err(CloudSimError::InvalidParameter {
-                    name: "volume_gb",
-                    value: ev.volume_gb,
+        } else {
+            let outcomes =
+                parallel::parallel_map_with_threads(&columns.days, threads, |i, &day| {
+                    outcome_of(
+                        day,
+                        columns.object_ids[i],
+                        columns.kinds[i],
+                        columns.volumes[i],
+                        horizon_days,
+                        &rates,
+                    )
                 });
+            for (i, &outcome) in outcomes.iter().enumerate() {
+                apply_outcome(
+                    columns.periods[i],
+                    columns.object_ids[i],
+                    outcome,
+                    &mut months,
+                    &mut totals,
+                    &mut dropped_events,
+                )?;
             }
-            let placement = self.schedules[id as usize].placement_at(ev.day);
-            let effective_gb = ev.volume_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
-            let m = &mut months[(ev.day / DAYS_PER_MONTH) as usize];
-            let cost = match ev.kind {
-                AccessKind::Read => {
-                    let read = self.model.read_cost(placement.tier, effective_gb, 1.0);
-                    let decomp = self
-                        .model
-                        .decompression_cost(placement.decompression_seconds, 1.0);
-                    m.breakdown.read += read;
-                    m.breakdown.decompression += decomp;
-                    read + decomp
-                }
-                AccessKind::Write => {
-                    let w = self.model.write_cost(placement.tier, effective_gb);
-                    m.breakdown.write += w;
-                    w
-                }
-            };
-            totals[id as usize] += cost;
         }
 
         Ok(BillingReport {
@@ -477,6 +515,311 @@ impl BillingSimulator {
             dropped_events,
         })
     }
+
+    /// Phase-1 worker: the timeline costs of one object, as an ordered
+    /// posting ledger. The arithmetic and its order are copied verbatim
+    /// from the sequential engine (preserved as
+    /// [`crate::reference::run_days_reference`]); only the destination of
+    /// each `+=` changed from the shared accumulators to the ledger.
+    fn object_ledger(
+        &self,
+        obj: &ObjectSpec,
+        id: u32,
+        horizon_days: u32,
+    ) -> Result<ObjectLedger, CloudSimError> {
+        let schedule = &self.schedules[id as usize];
+        let mut ledger = ObjectLedger {
+            id,
+            postings: Vec::new(),
+            total: 0.0,
+        };
+        // Where the object is coming from and how long it has been there:
+        // seeds the early-deletion accounting of the first (and every
+        // later) transition.
+        let mut prev_tier = obj.current_tier;
+        let mut prev_days_served = obj.residency_days;
+        let mut prev_stored_gb = obj.size_gb;
+        for seg in schedule.segments(horizon_days) {
+            let stored_gb = obj.size_gb / seg.placement.compression_ratio.max(f64::MIN_POSITIVE);
+
+            // Pro-rated storage in every billing period the segment
+            // overlaps.
+            for p in seg.start_day / DAYS_PER_MONTH..=(seg.end_day - 1) / DAYS_PER_MONTH {
+                let period_start = p * DAYS_PER_MONTH;
+                let days = seg.end_day.min(period_start + DAYS_PER_MONTH)
+                    - seg.start_day.max(period_start);
+                let c = self.model.storage_cost(
+                    seg.placement.tier,
+                    stored_gb,
+                    days as f64 / DAYS_PER_MONTH as f64,
+                );
+                ledger.postings.push((p, Component::Storage, c));
+                ledger.total += c;
+            }
+
+            // The move onto this segment's placement, charged in the
+            // period the transition day falls in. A same-tier
+            // recompression is still a physical rewrite: it pays a read
+            // of the old bytes plus a write of the new ones. (The
+            // initial segment on the object's current tier charges
+            // nothing, as before: the pre-horizon compression state is
+            // unknown.)
+            let period = seg.start_day / DAYS_PER_MONTH;
+            let (change, egress) = if prev_tier != Some(seg.placement.tier) {
+                if let (true, Some(from)) = (seg.start_day > 0, prev_tier) {
+                    // Mid-horizon move: the read off the old tier (and
+                    // the egress, billed by the source provider) cover
+                    // the bytes actually resident there, which a
+                    // simultaneous recompression can make different
+                    // from the new stored size.
+                    (
+                        self.model.read_cost(from, prev_stored_gb, 1.0)
+                            + self.model.write_cost(seg.placement.tier, stored_gb),
+                        self.model
+                            .egress_cost(prev_tier, seg.placement.tier, prev_stored_gb),
+                    )
+                } else {
+                    // Initial move at day 0: the pre-horizon
+                    // compression state is unknown, so the legacy
+                    // convention prices the read+write on the
+                    // destination's stored size — but egress (new in
+                    // the provider layer, no legacy constraint)
+                    // covers the bytes leaving the source, same as
+                    // the mid-horizon rule above.
+                    (
+                        self.model
+                            .read_write_cost(prev_tier, seg.placement.tier, stored_gb),
+                        self.model
+                            .egress_cost(prev_tier, seg.placement.tier, prev_stored_gb),
+                    )
+                }
+            } else if seg.start_day > 0 && stored_gb != prev_stored_gb {
+                (
+                    self.model
+                        .read_cost(seg.placement.tier, prev_stored_gb, 1.0)
+                        + self.model.write_cost(seg.placement.tier, stored_gb),
+                    0.0,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            // Posted unconditionally (even when 0.0), mirroring the
+            // sequential engine's unconditional `+=`.
+            ledger.postings.push((period, Component::Change, change));
+            ledger.postings.push((period, Component::Egress, egress));
+            ledger.total += change + egress;
+
+            // Early-deletion penalty, pro-rated by the days already
+            // served on the tier being left.
+            if let Some(from) = prev_tier {
+                if from != seg.placement.tier {
+                    let penalty = self.model.early_deletion_penalty(
+                        from,
+                        prev_stored_gb,
+                        prev_days_served,
+                    )?;
+                    ledger.postings.push((period, Component::Penalty, penalty));
+                    ledger.total += penalty;
+                }
+            }
+
+            // Residency accumulates across consecutive segments on the
+            // same tier (e.g. a recompression that stays put).
+            if prev_tier == Some(seg.placement.tier) {
+                prev_days_served += seg.days();
+            } else {
+                prev_days_served = seg.days();
+            }
+            prev_tier = Some(seg.placement.tier);
+            prev_stored_gb = stored_gb;
+        }
+        Ok(ledger)
+    }
+
+    /// Flatten every schedule over `[0, horizon_days)` into one contiguous
+    /// segment-rate table for the phase-2 hot loop, with `spans[id]`
+    /// delimiting object `id`'s entries. Every stored f64
+    /// is computed by the same cost-model expression the per-event path
+    /// used to evaluate, so replaying from the table is bit-identical:
+    ///
+    /// * `ratio_max` is `compression_ratio.max(f64::MIN_POSITIVE)` — the
+    ///   event path still divides by it.
+    /// * `read_rate` / `write_rate` are the tier's per-GB cents rates,
+    ///   extracted by evaluating the model at 1.0 GB (multiplying a rate
+    ///   by 1.0 is a bitwise identity, so these are the exact tier
+    ///   constants); the event path multiplies exactly as
+    ///   [`CostModel::read_cost`] / [`CostModel::write_cost`] do.
+    /// * `decomp_cost` is the full per-access
+    ///   [`CostModel::decompression_cost`] (volume-independent, so it can
+    ///   be taken whole).
+    fn flat_rates(&self, horizon_days: u32) -> FlatRates {
+        let mut spans = Vec::with_capacity(self.schedules.len());
+        let mut entries = Vec::with_capacity(self.schedules.len() * 2);
+        let mut write_rates = Vec::with_capacity(self.schedules.len() * 2);
+        for schedule in &self.schedules {
+            let lo = entries.len() as u32;
+            for seg in schedule.segments(horizon_days) {
+                entries.push(SegmentRates {
+                    start_day: seg.start_day,
+                    ratio_max: seg.placement.compression_ratio.max(f64::MIN_POSITIVE),
+                    read_rate: self.model.read_cost(seg.placement.tier, 1.0, 1.0),
+                    decomp_cost: self
+                        .model
+                        .decompression_cost(seg.placement.decompression_seconds, 1.0),
+                });
+                write_rates.push(self.model.write_cost(seg.placement.tier, 1.0));
+            }
+            spans.push((lo, entries.len() as u32));
+        }
+        FlatRates {
+            spans,
+            entries,
+            write_rates,
+        }
+    }
+}
+
+/// Phase-2 worker: the billing outcome of one event — a pure function of
+/// its columns row and the flattened rate tables, safe to compute on any
+/// shard.
+#[inline]
+fn outcome_of(
+    day: u32,
+    id: u32,
+    kind: AccessKind,
+    volume_gb: f64,
+    horizon_days: u32,
+    rates: &FlatRates,
+) -> EventOutcome {
+    if day >= horizon_days {
+        return EventOutcome::Dropped;
+    }
+    if id == UNKNOWN_OBJECT {
+        return EventOutcome::Unknown;
+    }
+    if !volume_gb.is_finite() || volume_gb < 0.0 {
+        return EventOutcome::Invalid(volume_gb);
+    }
+    // The segment in force on `day`: the last entry starting at or before
+    // it. Segments tile [0, horizon) and day < horizon, so the search
+    // always lands on one.
+    let (lo, hi) = rates.spans[id as usize];
+    let (lo, hi) = (lo as usize, hi as usize);
+    let table = &rates.entries[lo..hi];
+    let n = table.partition_point(|s| s.start_day <= day);
+    let seg = &table[n - 1];
+    let effective_gb = volume_gb / seg.ratio_max;
+    match kind {
+        AccessKind::Read => EventOutcome::Read {
+            read: seg.read_rate * effective_gb * 1.0,
+            decomp: seg.decomp_cost,
+        },
+        AccessKind::Write => EventOutcome::Write {
+            write: rates.write_rates[lo + n - 1] * effective_gb,
+        },
+    }
+}
+
+/// Merge one phase-2 outcome onto the shared accumulators, in trace order
+/// — the exact statement sequence of the sequential engine's event loop.
+#[inline]
+fn apply_outcome(
+    period: u32,
+    id: u32,
+    outcome: EventOutcome,
+    months: &mut [MonthlyCost],
+    totals: &mut [f64],
+    dropped_events: &mut u64,
+) -> Result<(), CloudSimError> {
+    match outcome {
+        EventOutcome::Dropped => *dropped_events += 1, // outside the billed horizon
+        EventOutcome::Unknown => {}                    // accesses to unknown objects are ignored
+        EventOutcome::Invalid(value) => {
+            return Err(CloudSimError::InvalidParameter {
+                name: "volume_gb",
+                value,
+            });
+        }
+        EventOutcome::Read { read, decomp } => {
+            let m = &mut months[period as usize];
+            m.breakdown.read += read;
+            m.breakdown.decompression += decomp;
+            totals[id as usize] += read + decomp;
+        }
+        EventOutcome::Write { write } => {
+            let m = &mut months[period as usize];
+            m.breakdown.write += write;
+            totals[id as usize] += write;
+        }
+    }
+    Ok(())
+}
+
+/// One flattened schedule segment for the phase-2 hot loop: the placement's
+/// compression divisor plus the read-path rates. Exactly 32 bytes, so the
+/// read-dominated hot loop touches a single cache line per lookup; the
+/// write rate (needed for ~1 event in 10) lives in a parallel array.
+#[derive(Debug, Clone, Copy)]
+struct SegmentRates {
+    start_day: u32,
+    ratio_max: f64,
+    read_rate: f64,
+    decomp_cost: f64,
+}
+
+/// All objects' [`SegmentRates`] in one contiguous allocation, delimited by
+/// per-object `(lo, hi)` spans (one 8-byte load per lookup), with the cold
+/// write rates in a parallel array sharing the same entry indices.
+#[derive(Debug)]
+struct FlatRates {
+    spans: Vec<(u32, u32)>,
+    entries: Vec<SegmentRates>,
+    write_rates: Vec<f64>,
+}
+
+/// Which monthly accumulator a phase-1 posting lands on.
+#[derive(Debug, Clone, Copy)]
+enum Component {
+    /// Pro-rated segment storage → [`CostBreakdown::storage`].
+    Storage,
+    /// Tier-change / recompression transfer → [`CostBreakdown::write`].
+    Change,
+    /// Cross-provider move → [`CostBreakdown::egress`].
+    Egress,
+    /// Unmet-residency charge → [`MonthlyCost::early_deletion_penalty`].
+    Penalty,
+}
+
+/// Phase-1 worker output: one object's ordered postings and total.
+#[derive(Debug)]
+struct ObjectLedger {
+    id: u32,
+    postings: Vec<(u32, Component, f64)>,
+    total: f64,
+}
+
+/// Phase-2 worker output: the billing outcome of one event.
+#[derive(Debug, Clone, Copy)]
+enum EventOutcome {
+    /// At or beyond the horizon: counted, not charged.
+    Dropped,
+    /// Names no placed object: ignored.
+    Unknown,
+    /// Non-finite or negative volume: the replay fails at the first such
+    /// event in trace order, carrying the offending value.
+    Invalid(f64),
+    /// A read: access cost plus decompression compute.
+    Read {
+        /// Read transfer cost, cents.
+        read: f64,
+        /// Decompression compute cost, cents.
+        decomp: f64,
+    },
+    /// A write: transfer cost only.
+    Write {
+        /// Write transfer cost, cents.
+        write: f64,
+    },
 }
 
 #[cfg(test)]
@@ -1029,5 +1372,102 @@ mod tests {
             .unwrap();
         assert_eq!(via_months, via_days);
         assert_eq!(via_months.months.len(), 4);
+    }
+
+    /// A simulator exercising every phase-1 branch (mid-horizon moves,
+    /// day-0 moves, same-tier recompression, penalties, cross-provider
+    /// egress) plus a trace hitting every phase-2 branch (reads, writes,
+    /// dropped events, unknown objects).
+    fn differential_fixture() -> (BillingSimulator, Vec<BillingEvent>, u32) {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let hot = catalog.tier_id("Hot").unwrap();
+        let cool = catalog.tier_id("Cool").unwrap();
+        let archive = catalog.tier_id("Archive").unwrap();
+        let mut s = BillingSimulator::new(catalog);
+        for i in 0..23u32 {
+            let name = format!("obj-{i}");
+            let spec = ObjectSpec::new(&name, 1.0 + i as f64 * 3.5).on_tier(hot);
+            let schedule = match i % 4 {
+                0 => PlacementSchedule::constant(Placement::uncompressed(hot)),
+                1 => PlacementSchedule::constant(Placement::uncompressed(hot))
+                    .with_transition(17 + i, Placement::uncompressed(cool)),
+                2 => PlacementSchedule::constant(Placement::uncompressed(cool))
+                    .with_transition(
+                        40,
+                        Placement {
+                            tier: cool,
+                            compression_ratio: 2.5,
+                            decompression_seconds: 0.5,
+                        },
+                    )
+                    .with_transition(80 + i, Placement::uncompressed(archive)),
+                _ => PlacementSchedule::constant(Placement::uncompressed(archive)),
+            };
+            s.place_scheduled(spec, schedule).unwrap();
+        }
+        let horizon = 4 * DAYS_PER_MONTH;
+        let mut events = Vec::new();
+        for k in 0..400u32 {
+            let day = (k * 7919) % (horizon + 10); // some past the horizon
+            let name = if k % 13 == 0 {
+                "nobody".to_string() // unknown object
+            } else {
+                format!("obj-{}", k % 23)
+            };
+            let volume = 0.25 + (k % 17) as f64 * 0.6;
+            let ev = if k % 5 == 0 {
+                BillingEvent::write(name, day, volume)
+            } else {
+                BillingEvent::read(name, day, volume)
+            };
+            events.push(ev);
+        }
+        (s, events, horizon)
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_reference_for_any_thread_count() {
+        let (s, events, horizon) = differential_fixture();
+        let expected = crate::reference::run_days_reference(&s, horizon, &events).unwrap();
+        assert!(expected.dropped_events > 0, "fixture must drop events");
+        for threads in [1, 2, 7] {
+            let got = s.run_days_with_threads(horizon, &events, threads).unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn prebuilt_columns_replay_matches_event_replay() {
+        let (s, events, horizon) = differential_fixture();
+        let columns = s.build_columns(&events);
+        assert_eq!(columns.len(), events.len());
+        let via_events = s.run_days(horizon, &events).unwrap();
+        for threads in [1, 2, 7] {
+            let via_columns = s
+                .run_columns_with_threads(horizon, &columns, threads)
+                .unwrap();
+            assert_eq!(via_columns, via_events, "threads={threads}");
+        }
+        assert_eq!(s.run_columns(horizon, &columns).unwrap(), via_events);
+    }
+
+    #[test]
+    fn sharded_engine_reports_first_invalid_volume_in_trace_order() {
+        let (s, mut events, horizon) = differential_fixture();
+        // Two invalid volumes: the error must carry the first in trace
+        // order, regardless of the shard that computed it.
+        events[7] = BillingEvent::read("obj-1", 3, f64::NAN);
+        events[300] = BillingEvent::read("obj-2", 3, -4.0);
+        let expected = crate::reference::run_days_reference(&s, horizon, &events);
+        for threads in [1, 2, 7] {
+            let got = s.run_days_with_threads(horizon, &events, threads);
+            // NaN payloads break PartialEq; compare the rendered error.
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{expected:?}"),
+                "threads={threads}"
+            );
+            assert!(format!("{got:?}").contains("NaN"), "threads={threads}");
+        }
     }
 }

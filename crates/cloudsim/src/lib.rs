@@ -75,6 +75,7 @@ pub mod cost;
 pub mod error;
 pub mod parallel;
 pub mod providers;
+pub mod reference;
 pub mod sla;
 pub mod tiers;
 pub mod timeline;
@@ -89,5 +90,6 @@ pub use providers::{Provider, ProviderCatalog, ProviderId, ProviderTopology};
 pub use sla::{LatencyEstimate, SlaPolicy};
 pub use tiers::{Tier, TierCatalog, TierId};
 pub use timeline::{
-    events_from_monthly, BillingEvent, PlacementSchedule, ScheduleSegment, DAYS_PER_MONTH,
+    events_from_monthly, BillingEvent, EventColumns, PlacementSchedule, ScheduleSegment,
+    DAYS_PER_MONTH, UNKNOWN_OBJECT,
 };

@@ -103,6 +103,74 @@ pub fn events_from_monthly(events: &[AccessEvent]) -> Vec<BillingEvent> {
     events.iter().map(BillingEvent::from_monthly).collect()
 }
 
+/// Sentinel id in [`EventColumns::object_ids`] for events naming an object
+/// the resolver does not know (such accesses are ignored by the billing
+/// engine, matching the historical behaviour).
+pub const UNKNOWN_OBJECT: u32 = u32::MAX;
+
+/// An access trace in struct-of-arrays layout: one parallel column per
+/// event field, in trace order.
+///
+/// The billing replay loop touches four narrow fields per event (day,
+/// object id, kind, volume); storing them as parallel `Vec`s instead of a
+/// `Vec` of [`BillingEvent`] structs removes the per-event `String` from
+/// the hot cache lines entirely and lets the engine stream each column
+/// sequentially. Object names are resolved to interned ids and days are
+/// bucketed into billing periods **once**, at column-build time — the
+/// replay itself (`BillingSimulator::run_columns`) never hashes a name or
+/// divides a day again.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventColumns {
+    /// Day stamp of each event (0-based).
+    pub days: Vec<u32>,
+    /// Billing period of each event (`day / DAYS_PER_MONTH`, precomputed).
+    pub periods: Vec<u32>,
+    /// Interned object id of each event, or [`UNKNOWN_OBJECT`].
+    pub object_ids: Vec<u32>,
+    /// Read or write.
+    pub kinds: Vec<AccessKind>,
+    /// Volume touched in GB.
+    pub volumes: Vec<f64>,
+}
+
+impl EventColumns {
+    /// Build columns from a day-stamped trace, resolving each object name
+    /// with `resolve` (typically the simulator's intern table). Unresolved
+    /// names get [`UNKNOWN_OBJECT`].
+    pub fn from_events(
+        events: &[BillingEvent],
+        mut resolve: impl FnMut(&str) -> Option<u32>,
+    ) -> Self {
+        let n = events.len();
+        let mut cols = EventColumns {
+            days: Vec::with_capacity(n),
+            periods: Vec::with_capacity(n),
+            object_ids: Vec::with_capacity(n),
+            kinds: Vec::with_capacity(n),
+            volumes: Vec::with_capacity(n),
+        };
+        for ev in events {
+            cols.days.push(ev.day);
+            cols.periods.push(period_of_day(ev.day));
+            cols.object_ids
+                .push(resolve(&ev.object).unwrap_or(UNKNOWN_OBJECT));
+            cols.kinds.push(ev.kind);
+            cols.volumes.push(ev.volume_gb);
+        }
+        cols
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+}
+
 /// The placement of one object over the billing horizon: an initial
 /// [`Placement`] (in force from day 0) plus day-stamped transitions.
 ///
@@ -318,6 +386,28 @@ mod tests {
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].placement.tier, TierId(0));
         assert!(s.segments(0).is_empty());
+    }
+
+    #[test]
+    fn event_columns_preserve_trace_order_and_resolve_names() {
+        let events = vec![
+            BillingEvent::read("a", 0, 1.5),
+            BillingEvent::write("b", 31, 2.0),
+            BillingEvent::read("ghost", 65, 0.5),
+        ];
+        let cols = EventColumns::from_events(&events, |name| match name {
+            "a" => Some(0),
+            "b" => Some(1),
+            _ => None,
+        });
+        assert_eq!(cols.len(), 3);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.days, vec![0, 31, 65]);
+        assert_eq!(cols.periods, vec![0, 1, 2]);
+        assert_eq!(cols.object_ids, vec![0, 1, UNKNOWN_OBJECT]);
+        assert_eq!(cols.kinds[1], AccessKind::Write);
+        assert_eq!(cols.volumes, vec![1.5, 2.0, 0.5]);
+        assert!(EventColumns::from_events(&[], |_| None).is_empty());
     }
 
     #[test]

@@ -28,6 +28,13 @@ use crate::Codec;
 
 const MAGIC: &[u8; 4] = b"GZF2";
 
+#[inline]
+fn read_u64_le(data: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&data[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
 /// The gzip-like codec.
 #[derive(Debug, Clone)]
 pub struct GzipishCodec {
@@ -86,16 +93,19 @@ impl Codec for GzipishCodec {
         if data.len() < 4 + 8 + 256 + 8 || &data[0..4] != MAGIC {
             return Err(CompressError::BadHeader);
         }
-        let original_len = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes")) as usize;
+        let original_len = read_u64_le(data, 4) as usize;
         let mut lengths = [0u8; 256];
         lengths.copy_from_slice(&data[12..268]);
-        let token_len = u64::from_le_bytes(data[268..276].try_into().expect("8 bytes")) as usize;
+        let token_len = read_u64_le(data, 268) as usize;
         let coded = &data[276..];
 
         let code = HuffmanCode::from_lengths(&lengths);
         let decoder = code.decoder();
         let mut reader = BitReader::new(coded);
-        let mut token_bytes = Vec::with_capacity(token_len);
+        // Cap the *preallocation* (not the output): a corrupted header can
+        // declare an absurd token count, but a real stream only carries
+        // ~1 bit per token at minimum, so growth past the cap is organic.
+        let mut token_bytes = Vec::with_capacity(token_len.min(1 << 20));
         for _ in 0..token_len {
             token_bytes.push(decoder.decode(&mut reader)?);
         }
@@ -168,6 +178,37 @@ mod tests {
         // Truncate the body.
         let ok = codec.compress(b"hello hello hello hello hello");
         assert!(codec.decompress(&ok[..ok.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn two_stage_stream_matches_reference_bytes() {
+        use crate::reference::{gzipish_compress_reference, gzipish_decompress_reference};
+        let cases: Vec<Vec<u8>> = vec![
+            b"l_orderkey|l_partkey|l_suppkey|l_quantity\n".repeat(80),
+            vec![0u8; 2048],
+            (0..1024u32).flat_map(|i| (i * i).to_le_bytes()).collect(),
+            b"ab".to_vec(),
+        ];
+        for data in &cases {
+            for params in [MatcherParams::thorough(), MatcherParams::fastest()] {
+                let fast = GzipishCodec::with_params(params).compress(data);
+                let reference = gzipish_compress_reference(data, &params);
+                assert_eq!(fast, reference, "params {params:?}");
+                assert_eq!(
+                    GzipishCodec::with_params(params).decompress(&fast).unwrap(),
+                    gzipish_decompress_reference(&reference).unwrap()
+                );
+            }
+        }
+        // Truncation anywhere in the entropy-coded body errors identically.
+        let good = GzipishCodec::default().compress(&cases[0]);
+        for cut in [0, 7, 270, 276, good.len() - 2] {
+            assert_eq!(
+                GzipishCodec::default().decompress(&good[..cut]).err(),
+                gzipish_decompress_reference(&good[..cut]).err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

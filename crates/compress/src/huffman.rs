@@ -50,6 +50,12 @@ impl HuffmanCode {
         &self.lengths
     }
 
+    /// Canonical code value assigned to `symbol` (0 if the symbol has no
+    /// code — check [`HuffmanCode::lengths`] to distinguish).
+    pub fn code_of(&self, symbol: u8) -> u16 {
+        self.codes[symbol as usize]
+    }
+
     /// Encode one symbol into the bit writer.
     pub fn encode(&self, writer: &mut BitWriter, symbol: u8) {
         let len = self.lengths[symbol as usize];
@@ -57,14 +63,36 @@ impl HuffmanCode {
         writer.write_bits(self.codes[symbol as usize] as u32, len as u32);
     }
 
-    /// Build a decoding table: sorted (length, code, symbol) triples.
+    /// Build a decoding table: per-length canonical ranges over a flat
+    /// symbol array (the classic count/first-code/first-index layout).
     pub fn decoder(&self) -> HuffmanDecoder {
         let mut entries: Vec<(u8, u16, u8)> = (0..256)
             .filter(|&s| self.lengths[s] > 0)
             .map(|s| (self.lengths[s], self.codes[s], s as u8))
             .collect();
         entries.sort();
-        HuffmanDecoder { entries }
+        // Canonical construction assigns consecutive code values within each
+        // length (in symbol order), so every length's codes form one
+        // contiguous range — a membership test replaces the binary search.
+        let mut count = [0u32; MAX_CODE_LEN + 1];
+        let mut first_code = [0u32; MAX_CODE_LEN + 1];
+        let mut first_index = [0u32; MAX_CODE_LEN + 1];
+        let mut symbols = Vec::with_capacity(entries.len());
+        for (i, &(len, code, sym)) in entries.iter().enumerate() {
+            let len = len as usize;
+            if count[len] == 0 {
+                first_code[len] = code as u32;
+                first_index[len] = i as u32;
+            }
+            count[len] += 1;
+            symbols.push(sym);
+        }
+        HuffmanDecoder {
+            count,
+            first_code,
+            first_index,
+            symbols,
+        }
     }
 }
 
@@ -176,36 +204,47 @@ fn canonical_codes(lengths: &[u8; 256]) -> [u16; 256] {
 /// Decoder built from a canonical code book.
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
-    /// Sorted (length, code, symbol) entries.
-    entries: Vec<(u8, u16, u8)>,
+    /// Number of codes of each length.
+    count: [u32; MAX_CODE_LEN + 1],
+    /// Smallest code value of each length.
+    first_code: [u32; MAX_CODE_LEN + 1],
+    /// Index into `symbols` of the first code of each length.
+    first_index: [u32; MAX_CODE_LEN + 1],
+    /// Symbols sorted by (length, code).
+    symbols: Vec<u8>,
 }
 
 impl HuffmanDecoder {
-    /// Decode one symbol from the bit reader.
+    /// Decode one symbol from the bit reader. Consumes exactly the bits of
+    /// one code; errors with `Truncated` at the first missing bit and with
+    /// `InvalidSymbol` after [`MAX_CODE_LEN`] unmatched bits (identical
+    /// positions to the preserved binary-search decoder in
+    /// [`crate::reference`]).
     pub fn decode(&self, reader: &mut BitReader) -> Result<u8, CompressError> {
-        let mut code = 0u16;
-        // Read bit by bit, looking for a matching (len, code) entry. Codes
-        // are at most MAX_CODE_LEN bits so this loop is bounded.
-        for len in 1..=MAX_CODE_LEN as u8 {
-            let bit = reader.read_bits(1)? as u16;
-            code = (code << 1) | bit;
-            // Binary search over sorted entries for (len, code).
-            if let Ok(idx) = self
-                .entries
-                .binary_search_by(|&(l, c, _)| (l, c).cmp(&(len, code)))
-            {
-                return Ok(self.entries[idx].2);
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN {
+            code = (code << 1) | reader.read_bits(1)?;
+            let n = self.count[len];
+            let first = self.first_code[len];
+            if n > 0 && code >= first && code - first < n {
+                let idx = self.first_index[len] + (code - first);
+                return Ok(self.symbols[idx as usize]);
             }
         }
         Err(CompressError::InvalidSymbol)
     }
 }
 
-/// MSB-first bit writer.
+/// MSB-first bit writer with a word accumulator: bits pile up in a `u64`
+/// and drain a whole byte at a time, producing byte-for-byte the same
+/// output as the preserved bit-at-a-time writer in [`crate::reference`]
+/// (including the zero-padded final byte).
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    bit_pos: u8,
+    /// Pending bits; only the low `nbits` are meaningful.
+    acc: u64,
+    nbits: u32,
 }
 
 impl BitWriter {
@@ -217,19 +256,29 @@ impl BitWriter {
     /// Write the low `count` bits of `value`, most significant bit first.
     pub fn write_bits(&mut self, value: u32, count: u32) {
         debug_assert!(count <= 32);
-        for i in (0..count).rev() {
-            let bit = (value >> i) & 1;
-            if self.bit_pos == 0 {
-                self.bytes.push(0);
-            }
-            let last = self.bytes.last_mut().expect("pushed above");
-            *last |= (bit as u8) << (7 - self.bit_pos);
-            self.bit_pos = (self.bit_pos + 1) % 8;
+        // `nbits` stays < 8 between calls, so the shift below tops out at
+        // 7 + 32 = 39 meaningful bits — no overflow. Stale bits above
+        // `nbits` fall off the top of the accumulator harmlessly.
+        let mask = if count == 32 {
+            u32::MAX as u64
+        } else {
+            (1u64 << count) - 1
+        };
+        self.acc = (self.acc << count) | (value as u64 & mask);
+        self.nbits += count;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.bytes.push((self.acc >> self.nbits) as u8);
         }
     }
 
-    /// Finish writing and return the byte buffer.
-    pub fn finish(self) -> Vec<u8> {
+    /// Finish writing and return the byte buffer, zero-padding the final
+    /// partial byte (if any) on the right.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let tail = (self.acc as u8) & ((1u16 << self.nbits) - 1) as u8;
+            self.bytes.push(tail << (8 - self.nbits));
+        }
         self.bytes
     }
 }
@@ -253,19 +302,27 @@ impl<'a> BitReader<'a> {
     }
 
     /// Read `count` bits (MSB first) as the low bits of the returned value.
+    /// Consumes whatever remains of the current byte in one step rather than
+    /// bit by bit; reader state after a `Truncated` error is the same as the
+    /// per-bit loop's (all available bits consumed).
     pub fn read_bits(&mut self, count: u32) -> Result<u32, CompressError> {
         let mut value = 0u32;
-        for _ in 0..count {
+        let mut remaining = count;
+        while remaining > 0 {
             if self.byte_pos >= self.bytes.len() {
                 return Err(CompressError::Truncated);
             }
-            let bit = (self.bytes[self.byte_pos] >> (7 - self.bit_pos)) & 1;
-            value = (value << 1) | bit as u32;
-            self.bit_pos += 1;
+            let avail = 8 - self.bit_pos as u32;
+            let take = remaining.min(avail);
+            let byte = self.bytes[self.byte_pos] as u32;
+            let bits = (byte >> (avail - take)) & ((1u32 << take) - 1);
+            value = (value << take) | bits;
+            self.bit_pos += take as u8;
             if self.bit_pos == 8 {
                 self.bit_pos = 0;
                 self.byte_pos += 1;
             }
+            remaining -= take;
         }
         Ok(value)
     }

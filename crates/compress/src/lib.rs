@@ -27,6 +27,45 @@
 //! match the real libraries, which they do (see the cross-codec tests in
 //! [`measure`]).
 //!
+//! ## Block format
+//!
+//! The LZ-family codecs share one block-based wire format (see
+//! [`lz4ish`]): after a 4-byte magic and a u64 little-endian original
+//! length, the stream is a sequence of blocks, each holding one literal run
+//! followed by at most one back-reference. A block opens with a token byte
+//! — high nibble literal-run length, low nibble match length minus the
+//! 4-byte minimum, both with 15 as a "more length bytes follow" escape
+//! (LZ4's 255-byte continuation scheme) — then the literal bytes, then a
+//! 2-byte little-endian match offset. The final block carries only
+//! literals. [`gzipish`] wraps the same token stream in a canonical Huffman
+//! entropy-coding layer; [`rle`] uses plain (run, value) byte pairs.
+//!
+//! ## Word-level kernels, without `unsafe`
+//!
+//! The hot loops move eight bytes at a time but contain no `unsafe`:
+//!
+//! * **Match extension** ([`lz77`]) loads two `u64`s via
+//!   `copy_from_slice` into a stack array, XORs them, and converts
+//!   `trailing_zeros` to a byte count (little-endian, so the lowest byte is
+//!   the earliest position). Word loads only happen while `i + 8 <= len`;
+//!   the final sub-word region is compared byte by byte, so every index is
+//!   bounds-checked by the slice layer and short inputs never touch the
+//!   word path.
+//! * **Match copies** ([`lz4ish`] decompression) write whole words through
+//!   `copy_from_slice` into a `Vec` that is always kept at least 8 bytes
+//!   longer than the logical output, so a copy may overshoot the logical
+//!   end by up to 7 bytes yet never reaches the buffer's real end.
+//!   Overlapping copies (offset < 8) take a byte-at-a-time path because the
+//!   word path would read bytes the copy itself has not produced yet.
+//! * **Run detection** ([`rle`]) broadcasts the run byte into a `u64` and
+//!   XOR-compares word-sized chunks, again switching to a byte loop for the
+//!   sub-word tail.
+//!
+//! Every optimized path is pinned **byte-for-byte** (output bytes and error
+//! values, not just round-trip success) against the preserved
+//! byte-at-a-time implementations in [`reference`], both in unit tests and
+//! in the workspace-level `differential_compress` proptest suite.
+//!
 //! ```
 //! use scope_compress::{Codec, GzipishCodec, SnappyishCodec};
 //!
@@ -49,6 +88,7 @@ pub mod huffman;
 pub mod lz4ish;
 pub mod lz77;
 pub mod measure;
+pub mod reference;
 pub mod rle;
 pub mod snappyish;
 

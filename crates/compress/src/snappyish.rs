@@ -2,7 +2,8 @@
 //! match candidate per position — fastest compression and decompression,
 //! lightest ratio.
 //!
-//! Stream layout mirrors [`crate::lz4ish`] but with a different magic tag;
+//! Stream layout and kernels are shared with [`crate::lz4ish`] — the
+//! word-level match extension and wild-copy decode apply here unchanged;
 //! what differs is the matcher effort (and therefore speed/ratio profile),
 //! which is exactly how Snappy differs from LZ4/DEFLATE in practice.
 

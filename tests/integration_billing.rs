@@ -90,7 +90,8 @@ fn reference_monthly_replay(
             ..Default::default()
         })
         .collect();
-    let mut per_object: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut per_object: std::collections::BTreeMap<std::sync::Arc<str>, f64> =
+        std::collections::BTreeMap::new();
     for (obj, placement) in objects {
         let stored_gb = obj.size_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
         let mut obj_total = 0.0;
@@ -115,7 +116,7 @@ fn reference_monthly_replay(
                 }
             }
         }
-        per_object.insert(obj.name.clone(), obj_total);
+        per_object.insert(obj.name.as_str().into(), obj_total);
     }
     let mut dropped_events = 0u64;
     for ev in accesses {
@@ -142,7 +143,7 @@ fn reference_monthly_replay(
                 w
             }
         };
-        *per_object.entry(ev.object.clone()).or_insert(0.0) += cost;
+        *per_object.entry(ev.object.as_str().into()).or_insert(0.0) += cost;
     }
     BillingReport {
         months,
