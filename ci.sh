@@ -40,7 +40,7 @@ cargo run -q -p scope-analyze -- --deny --json
 # static recount of #[test] cases (scope-analyze rule ci-floor-consistency
 # keeps it honest) — if the suite ever shrinks below it, tests were lost,
 # not just reorganised.
-min_tests=509
+min_tests=536
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {
@@ -77,6 +77,14 @@ if [[ $quick -eq 0 ]]; then
     echo "==> throughput_bench --json --quick (BENCH_7 smoke)"
     cargo run --release -q -p scope-bench --bin throughput_bench -- \
         --json --quick --out target/BENCH_7.quick.json
+
+    # PR-8 serving suite: the incremental serving engine vs the preserved
+    # batch full-resolve (bit-identical choices/objectives asserted on every
+    # epoch, plus thread-count independence, before any timing) and the
+    # steady-state speedup floor asserted inside the bin.
+    echo "==> serve_bench --json --quick (BENCH_8 smoke)"
+    cargo run --release -q -p scope-bench --bin serve_bench -- \
+        --json --quick --out target/BENCH_8.quick.json
 fi
 
 echo "==> cargo bench --no-run (criterion benches must compile)"

@@ -4,16 +4,16 @@
 
 use scope_bench::heading;
 use scope_workload::{AccessPattern, EnterpriseOptions, EnterpriseWorkload};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let workload = EnterpriseWorkload::generate(EnterpriseOptions {
         n_datasets: 760,
         history_months: 12,
         future_months: 6,
         seed: 17,
         ..Default::default()
-    })
-    .expect("workload generates");
+    })?;
 
     heading("Fig 1a — % of read accesses vs dataset rank (sorted)");
     let shares = workload.series.access_share_sorted();
@@ -90,4 +90,5 @@ fn main() {
         print!("{writes:>7.0}");
     }
     println!();
+    Ok(())
 }

@@ -10,17 +10,17 @@ use scope_compredict::{
 use scope_compress::CompressionScheme;
 use scope_table::{DataLayout, TpchGenerator, TpchOptions, TpchTable};
 use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let gen = TpchGenerator::new(TpchOptions {
         scale_factor: 0.25,
         ..Default::default()
-    })
-    .expect("generator");
+    })?;
     let lineitem = gen.generate(TpchTable::Lineitem);
     let orders = gen.generate(TpchTable::Orders);
-    let li_files = lineitem.split_into_files(100).unwrap();
-    let or_files = orders.split_into_files(50).unwrap();
+    let li_files = lineitem.split_into_files(100)?;
+    let or_files = orders.split_into_files(50)?;
     let workload = QueryWorkload::generate_tpch(
         &[
             ("lineitem".to_string(), li_files.len()),
@@ -30,16 +30,15 @@ fn main() {
             queries_per_template: 8,
             ..Default::default()
         },
-    )
-    .unwrap();
+    )?;
 
     let entropy_extractor = FeatureExtractor::new(FeatureSet::WeightedEntropy);
     let size_extractor = FeatureExtractor::new(FeatureSet::SizeOnly);
 
-    let mut query_tables = query_samples(&lineitem, &li_files, &workload.families).unwrap();
-    query_tables.extend(query_samples(&orders, &or_files, &workload.families).unwrap());
-    let mut random_tables = random_samples(&lineitem, query_tables.len() / 2, 300, 5).unwrap();
-    random_tables.extend(random_samples(&orders, query_tables.len() / 2, 150, 6).unwrap());
+    let mut query_tables = query_samples(&lineitem, &li_files, &workload.families)?;
+    query_tables.extend(query_samples(&orders, &or_files, &workload.families)?);
+    let mut random_tables = random_samples(&lineitem, query_tables.len() / 2, 300, 5)?;
+    random_tables.extend(random_samples(&orders, query_tables.len() / 2, 150, 6)?);
 
     let query_examples = build_examples(
         &query_tables,
@@ -113,8 +112,7 @@ fn main() {
             ModelKind::RandomForest,
             extractor,
             1,
-        )
-        .expect("training succeeds");
+        )?;
         // Evaluation always happens on held-out *query* samples with the
         // matching feature set.
         let eval_examples = if features == "Size" {
@@ -133,4 +131,5 @@ fn main() {
             data_kind, features, eval.mae, eval.mape, eval.r2
         );
     }
+    Ok(())
 }

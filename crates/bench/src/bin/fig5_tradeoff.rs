@@ -5,16 +5,16 @@
 
 use scope_bench::heading;
 use scope_core::{tpch_scenario, tradeoff_sweep, PredictorVariant, ScenarioOptions};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let inputs = tpch_scenario(&ScenarioOptions {
         nominal_total_gb: 1.0, // the paper runs Fig 5 on TPC-H 1 GB
         generator_scale: 0.15,
         queries_per_template: 8,
         total_files: 32,
         ..Default::default()
-    })
-    .expect("scenario builds");
+    })?;
 
     let alphas = [0.0, 0.05, 0.1, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0];
     heading("Fig 5 — cost/latency trade-off curves per compression predictor");
@@ -24,7 +24,7 @@ fn main() {
             "{:>8} {:>14} {:>14} {:>14} {:>14}",
             "alpha", "storage cost", "latency cost", "total cost", "latency (s)"
         );
-        let points = tradeoff_sweep(&inputs, variant, &alphas, 1.0).expect("sweep runs");
+        let points = tradeoff_sweep(&inputs, variant, &alphas, 1.0)?;
         for p in points {
             println!(
                 "{:>8.2} {:>14.3} {:>14.3} {:>14.3} {:>14.4}",
@@ -36,4 +36,5 @@ fn main() {
         "\nThe ground-truth and RF curves should be nearly identical; the averaging and\n\
          random-sample/size-only predictors land on visibly different trade-off points."
     );
+    Ok(())
 }

@@ -9,10 +9,11 @@ use scope_datapart::{
     gpart_merge, merge_all, metrics, no_merge, solve_ordered_bicriteria, solve_ordered_exact,
     MergeConfig, OrderedPartition, Partition,
 };
+use std::error::Error;
 
-fn tradeoff(label: &str, options: &ScenarioOptions) {
+fn tradeoff(label: &str, options: &ScenarioOptions) -> Result<(), Box<dyn Error>> {
     heading(&format!("Fig 7 — space/cost trade-off ({label})"));
-    let inputs = tpch_scenario(options).expect("scenario builds");
+    let inputs = tpch_scenario(options)?;
     let catalog = inputs.file_catalog();
     println!(
         "{:<12} {:<12} {:>12} {:>13} {:>14} {:>12}",
@@ -38,21 +39,22 @@ fn tradeoff(label: &str, options: &ScenarioOptions) {
             ("no-merge", no_merge(&initial)),
             (
                 "G-PART",
-                gpart_merge(&initial, &catalog, &MergeConfig::default()).expect("gpart"),
+                gpart_merge(&initial, &catalog, &MergeConfig::default())?,
             ),
             ("merge-all", merge_all(&initial)),
         ];
         for (name, parts) in variants {
-            let m = metrics::evaluate(&parts, &catalog).expect("metrics");
+            let m = metrics::evaluate(&parts, &catalog)?;
             println!(
                 "{:<12} {:<12} {:>12} {:>13.3} {:>14.1} {:>12.2}",
                 table.name, name, m.n_partitions, m.duplication, m.read_cost, m.total_space
             );
         }
     }
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     tradeoff(
         "TPC-H 100GB-class",
         &ScenarioOptions {
@@ -62,7 +64,7 @@ fn main() {
             total_files: 80,
             ..Default::default()
         },
-    );
+    )?;
     tradeoff(
         "TPC-H 1TB-class",
         &ScenarioOptions {
@@ -72,7 +74,7 @@ fn main() {
             total_files: 120,
             ..Default::default()
         },
-    );
+    )?;
 
     heading("Ordered (time-series) special case — exact DP vs bi-criteria approximation");
     let partitions: Vec<OrderedPartition> = (0..40)
@@ -85,11 +87,12 @@ fn main() {
     );
     for factor in [1.0, 1.5, 2.0, 3.0, 5.0] {
         let budget = min_cost * factor;
-        let exact = solve_ordered_exact(&partitions, budget, 1.0).expect("dp solves");
-        let approx = solve_ordered_bicriteria(&partitions, budget, 0.05).expect("approx solves");
+        let exact = solve_ordered_exact(&partitions, budget, 1.0)?;
+        let approx = solve_ordered_bicriteria(&partitions, budget, 0.05)?;
         println!(
             "{:>12.0} {:>14.1} {:>14.1} {:>12.1}",
             budget, exact.total_space, approx.total_space, approx.total_cost
         );
     }
+    Ok(())
 }

@@ -3,8 +3,9 @@
 
 use scope_bench::{heading, print_policy_header, print_policy_row};
 use scope_core::{run_all_policies, tpch_scenario, ScenarioOptions};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     heading("Table XI — TPC-H 1 TB-class");
     let inputs = tpch_scenario(&ScenarioOptions {
         nominal_total_gb: 1000.0,
@@ -12,8 +13,7 @@ fn main() {
         queries_per_template: 20,
         total_files: 150,
         ..Default::default()
-    })
-    .expect("scenario builds");
+    })?;
     println!(
         "scenario: {} tables, {:.0} GB, {} query families, horizon {:.1} months\n",
         inputs.tables.len(),
@@ -22,8 +22,9 @@ fn main() {
         inputs.horizon_months
     );
     print_policy_header();
-    for outcome in run_all_policies(&inputs).expect("policies run") {
+    for outcome in run_all_policies(&inputs)? {
         print_policy_row(&outcome);
     }
     println!("\nCosts in cents over the horizon. Lower total cost is better; the SCOPe rows should dominate.");
+    Ok(())
 }

@@ -6,8 +6,9 @@
 use scope_bench::heading;
 use scope_core::{multicloud_egress_sweep, MultiCloudOptions};
 use scope_workload::EnterpriseOptions;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let options = MultiCloudOptions {
         workload: EnterpriseOptions {
             n_datasets: 200,
@@ -21,8 +22,7 @@ fn main() {
 
     heading("Multi-cloud placement — cooling account, home = azure:Hot");
     println!("(egress scale 1 = discounted interconnect rates, ~5 = public internet prices)\n");
-    let sweep = multicloud_egress_sweep(&options, &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0])
-        .expect("multicloud sweep runs");
+    let sweep = multicloud_egress_sweep(&options, &[0.0, 0.5, 1.0, 2.0, 5.0, 10.0])?;
     println!(
         "{:<8} {:>14} {:>14} {:>12} {:>12} {:>10} {:>12} {:>12}",
         "scale",
@@ -52,7 +52,7 @@ fn main() {
     let (_, at_one) = sweep
         .iter()
         .find(|(s, _)| *s == 1.0)
-        .expect("scale 1 is in the sweep");
+        .ok_or("scale 1 missing from the sweep")?;
     println!(
         "{:<10} {:>14} {:>14} {:>12}",
         "provider", "total (c)", "egress (c)", "transitions"
@@ -72,4 +72,5 @@ fn main() {
         at_one.cross_provider_moves,
         at_one.savings_vs_best_single
     );
+    Ok(())
 }

@@ -5,8 +5,9 @@
 use scope_bench::heading;
 use scope_core::{customer_benefit_table, enterprise::benefit_scatter};
 use scope_workload::EnterpriseOptions;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let base = EnterpriseOptions {
         n_datasets: 300,
         history_months: 12,
@@ -57,7 +58,7 @@ fn main() {
         "{:<12} {:>16} {:>12} {:>12}",
         "Customer", "Total size (PB)", "2 months", "6 months"
     );
-    for row in customer_benefit_table(&accounts).expect("table II computes") {
+    for row in customer_benefit_table(&accounts)? {
         println!(
             "{:<12} {:>16.4} {:>12.2} {:>12.2}",
             row.customer, row.total_size_pb, row.benefit_2_months, row.benefit_6_months
@@ -65,8 +66,7 @@ fn main() {
     }
 
     heading("Fig 3 — per-dataset % benefit for the 6-month projection (one account)");
-    let points =
-        benefit_scatter(&EnterpriseOptions { seed: 1, ..base }, 6).expect("scatter computes");
+    let points = benefit_scatter(&EnterpriseOptions { seed: 1, ..base }, 6)?;
     // Bucket by size and by reads to summarise the scatter in text form.
     println!(
         "{:<28} {:>10} {:>14}",
@@ -104,4 +104,5 @@ fn main() {
             mean
         );
     }
+    Ok(())
 }

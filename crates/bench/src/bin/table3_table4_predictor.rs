@@ -6,8 +6,9 @@ use scope_bench::heading;
 use scope_core::{predictor_confusion, tiering_baseline_comparison};
 use scope_learn::{f1_score, precision, recall};
 use scope_workload::EnterpriseOptions;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let account = EnterpriseOptions {
         n_datasets: 760,
         history_months: 12,
@@ -17,7 +18,7 @@ fn main() {
     };
 
     heading("Table III — predicted vs ideal tier (2-month horizon)");
-    let cm = predictor_confusion(&account, 2).expect("predictor trains");
+    let cm = predictor_confusion(&account, 2)?;
     println!("{:>18} {:>8} {:>8}", "", "Pred Hot", "Pred Cool");
     println!(
         "{:>18} {:>8} {:>8}",
@@ -39,10 +40,11 @@ fn main() {
         "{:<44} {:>12} {:>9} {:>11}",
         "Model", "Access info", "Months", "Benefit %"
     );
-    for row in tiering_baseline_comparison(&account).expect("comparison runs") {
+    for row in tiering_baseline_comparison(&account)? {
         println!(
             "{:<44} {:>12} {:>9} {:>11.2}",
             row.model, row.access_information, row.duration_months, row.benefit_percent
         );
     }
+    Ok(())
 }

@@ -10,18 +10,22 @@ use scope_compredict::{
 use scope_compress::CompressionScheme;
 use scope_table::{DataLayout, TpchGenerator, TpchOptions, TpchTable};
 use scope_workload::{QueryWorkload, QueryWorkloadOptions};
+use std::error::Error;
 
-fn samples(scale: f64, skew: Option<f64>, seed: u64) -> Vec<scope_table::Table> {
+fn samples(
+    scale: f64,
+    skew: Option<f64>,
+    seed: u64,
+) -> Result<Vec<scope_table::Table>, Box<dyn Error>> {
     let gen = TpchGenerator::new(TpchOptions {
         scale_factor: scale,
         skew,
         seed,
-    })
-    .expect("generator");
+    })?;
     let lineitem = gen.generate(TpchTable::Lineitem);
     let orders = gen.generate(TpchTable::Orders);
-    let li_files = lineitem.split_into_files(80).unwrap();
-    let or_files = orders.split_into_files(40).unwrap();
+    let li_files = lineitem.split_into_files(80)?;
+    let or_files = orders.split_into_files(40)?;
     let workload = QueryWorkload::generate_tpch(
         &[
             ("lineitem".to_string(), li_files.len()),
@@ -32,11 +36,10 @@ fn samples(scale: f64, skew: Option<f64>, seed: u64) -> Vec<scope_table::Table> 
             seed,
             ..Default::default()
         },
-    )
-    .unwrap();
-    let mut tables = query_samples(&lineitem, &li_files, &workload.families).unwrap();
-    tables.extend(query_samples(&orders, &or_files, &workload.families).unwrap());
-    tables
+    )?;
+    let mut tables = query_samples(&lineitem, &li_files, &workload.families)?;
+    tables.extend(query_samples(&orders, &or_files, &workload.families)?);
+    Ok(tables)
 }
 
 fn sweep(
@@ -73,9 +76,9 @@ fn sweep(
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     heading("Table VI — compression-ratio prediction, TPC-H 1GB-class (uniform)");
-    let small = samples(0.25, None, 7);
+    let small = samples(0.25, None, 7)?;
     for (scheme, layout) in [
         (CompressionScheme::Gzip, DataLayout::Csv),
         (CompressionScheme::Snappy, DataLayout::Csv),
@@ -93,7 +96,7 @@ fn main() {
     }
 
     heading("Table VII — compression-ratio prediction at larger scale and with Zipf skew");
-    let large = samples(0.6, None, 11);
+    let large = samples(0.6, None, 11)?;
     sweep(
         "TPC-H 100GB-class",
         &large,
@@ -108,7 +111,7 @@ fn main() {
         DataLayout::Columnar,
         PredictionTask::CompressionRatio,
     );
-    let skewed = samples(0.25, Some(3.0), 13);
+    let skewed = samples(0.25, Some(3.0), 13)?;
     sweep(
         "TPC-H Skew",
         &skewed,
@@ -153,4 +156,5 @@ fn main() {
         DataLayout::Columnar,
         PredictionTask::DecompressionSpeed,
     );
+    Ok(())
 }

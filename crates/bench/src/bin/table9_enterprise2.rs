@@ -3,10 +3,11 @@
 
 use scope_bench::{heading, print_policy_header, print_policy_row};
 use scope_core::{enterprise2_scenario, run_all_policies};
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     heading("Table IX — Enterprise Data II (3 tables, ~1.5 GB, Zipf queries)");
-    let inputs = enterprise2_scenario(1.5, 200, 5).expect("scenario builds");
+    let inputs = enterprise2_scenario(1.5, 200, 5)?;
     println!(
         "scenario: {} tables, {:.2} GB, {} query families, horizon {:.1} months\n",
         inputs.tables.len(),
@@ -15,8 +16,9 @@ fn main() {
         inputs.horizon_months
     );
     print_policy_header();
-    for outcome in run_all_policies(&inputs).expect("policies run") {
+    for outcome in run_all_policies(&inputs)? {
         print_policy_row(&outcome);
     }
     println!("\nCosts in cents over the horizon. Lower total cost is better; the SCOPe rows should dominate.");
+    Ok(())
 }

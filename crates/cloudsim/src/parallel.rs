@@ -77,10 +77,78 @@ where
             })
             .collect();
         for handle in handles {
-            chunks.push(handle.join().expect("fan-out worker panicked"));
+            match handle.join() {
+                Ok(chunk) => chunks.push(chunk),
+                // Re-raise the worker's own panic payload on the caller
+                // thread instead of wrapping it in a second panic.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     let mut out = Vec::with_capacity(items.len());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Map `f` over `items` in parallel **with mutable access to each item**,
+/// returning results in index order — the in-place counterpart of
+/// [`parallel_map`] for workers that update owned per-item state (e.g. the
+/// serving engine patching each account shard's cost table) while the
+/// merge stays deterministic. Bit-for-bit identical to
+/// `items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect()`.
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    parallel_map_mut_with_threads(items, default_threads(), f)
+}
+
+/// [`parallel_map_mut`] with an explicit thread count (1 = plain
+/// sequential loop). Items are chunked into contiguous disjoint
+/// `chunks_mut` ranges, so each item is visited by exactly one worker and
+/// the thread count affects only wall-clock time, never the output or the
+/// final item states.
+pub fn parallel_map_mut_with_threads<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let n = items.len();
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let base = ci * chunk_len;
+                scope.spawn(move || {
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(j, item)| f(base + j, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk) => chunks.push(chunk),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(n);
     for chunk in chunks {
         out.extend(chunk);
     }
@@ -125,6 +193,31 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
             }
         }
+    }
+
+    #[test]
+    fn mutable_fan_out_is_thread_count_independent() {
+        let seed: Vec<f64> = (0..131).map(|i| 0.3 * i as f64 + 0.011).collect();
+        let f = |i: usize, x: &mut f64| {
+            *x = (*x * 1.0001 + i as f64 / 7.0).cos() * *x;
+            x.to_bits()
+        };
+        let mut sequential = seed.clone();
+        let expected = parallel_map_mut_with_threads(&mut sequential, 1, f);
+        for threads in [2, 3, 5, 8, 13] {
+            let mut items = seed.clone();
+            let got = parallel_map_mut_with_threads(&mut items, threads, f);
+            assert_eq!(got, expected, "results diverged at threads = {threads}");
+            for (a, b) in sequential.iter().zip(&items) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "state diverged at threads = {threads}"
+                );
+            }
+        }
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_mut(&mut empty, |_, x: &mut u32| *x).is_empty());
     }
 
     #[test]

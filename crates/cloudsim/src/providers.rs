@@ -228,7 +228,13 @@ impl ProviderCatalog {
             vec![2.1, 0.0, 2.1],
             vec![2.5, 2.5, 0.0],
         ];
-        ProviderCatalog::new(providers, egress).expect("static catalog is well-formed")
+        // Static data satisfying every `ProviderCatalog::new` invariant
+        // (square egress matrix, zero diagonal, shared compute rate);
+        // constructed directly so the shipped catalog is panic-free.
+        ProviderCatalog {
+            providers,
+            egress_cents_per_gb: egress,
+        }
     }
 
     /// Scale every egress rate by `scale` (>= 0). `scale = 0` models free
@@ -304,9 +310,10 @@ impl ProviderCatalog {
                 tiers.push(t);
             }
         }
-        // All providers share one compute rate, validated at construction.
+        // All providers share one compute rate, validated at construction —
+        // which also guarantees non-empty ladders, so the merge is direct.
         let compute = self.providers[0].tiers.compute_cost_cents_per_second;
-        let mut merged = TierCatalog::new(tiers).expect("providers have non-empty ladders");
+        let mut merged = TierCatalog::from_tiers(tiers);
         merged.compute_cost_cents_per_second = compute;
         merged
     }

@@ -114,17 +114,23 @@ impl TierCatalog {
         if tiers.is_empty() {
             return Err(CloudSimError::EmptyCatalog);
         }
+        Ok(Self::from_tiers(tiers))
+    }
+
+    /// Infallible constructor for callers that guarantee a non-empty tier
+    /// list (the shipped static catalogs, merges of validated catalogs).
+    pub(crate) fn from_tiers(tiers: Vec<Tier>) -> Self {
         // First occurrence wins, matching the historical linear-scan
         // semantics for (pathological) duplicate-name catalogs.
         let mut name_index = HashMap::with_capacity(tiers.len());
         for (i, t) in tiers.iter().enumerate() {
             name_index.entry(t.name.clone()).or_insert(i);
         }
-        Ok(TierCatalog {
+        TierCatalog {
             tiers,
             name_index,
             compute_cost_cents_per_second: 0.001,
-        })
+        }
     }
 
     /// The Azure ADLS Gen2 tier catalog used throughout the paper.
@@ -149,7 +155,7 @@ impl TierCatalog {
             Tier::new("Cool", 1.52, 0.0333, 0.02662, 0.0614).with_early_deletion_days(30),
             Tier::new("Archive", 0.099, 16.64, 0.02662, 3600.0).with_early_deletion_days(180),
         ];
-        TierCatalog::new(tiers).expect("static catalog is non-empty")
+        TierCatalog::from_tiers(tiers)
     }
 
     /// An S3-style four-tier ladder (Standard, Standard-IA, Glacier-IR,
@@ -173,7 +179,7 @@ impl TierCatalog {
             Tier::new("Glacier-IR", 0.4, 3.0, 0.02, 0.1).with_early_deletion_days(90),
             Tier::new("Deep-Archive", 0.099, 5.0, 0.05, 43200.0).with_early_deletion_days(180),
         ];
-        TierCatalog::new(tiers).expect("static catalog is non-empty")
+        TierCatalog::from_tiers(tiers)
     }
 
     /// A GCS-style four-tier ladder (Standard, Nearline, Coldline,
@@ -197,7 +203,7 @@ impl TierCatalog {
             Tier::new("Coldline", 0.4, 2.0, 0.02, 0.08).with_early_deletion_days(90),
             Tier::new("Archive", 0.12, 5.0, 0.05, 0.08).with_early_deletion_days(365),
         ];
-        TierCatalog::new(tiers).expect("static catalog is non-empty")
+        TierCatalog::from_tiers(tiers)
     }
 
     /// Catalog restricted to the Hot and Cool tiers, used for the
@@ -211,7 +217,7 @@ impl TierCatalog {
             .filter(|t| t.name == "Hot" || t.name == "Cool")
             .cloned()
             .collect();
-        TierCatalog::new(tiers).expect("two tiers")
+        TierCatalog::from_tiers(tiers)
     }
 
     /// Catalog with Hot, Cool and Archive, used for the 6-month enterprise
@@ -224,7 +230,7 @@ impl TierCatalog {
             .filter(|t| t.name != "Premium")
             .cloned()
             .collect();
-        TierCatalog::new(tiers).expect("three tiers")
+        TierCatalog::from_tiers(tiers)
     }
 
     /// Catalog with Premium, Hot and Cool (no Archive), used for the
@@ -238,7 +244,7 @@ impl TierCatalog {
             .filter(|t| t.name != "Archive")
             .cloned()
             .collect();
-        TierCatalog::new(tiers).expect("three tiers")
+        TierCatalog::from_tiers(tiers)
     }
 
     /// Number of tiers (`L` in the paper).

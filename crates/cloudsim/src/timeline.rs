@@ -169,6 +169,47 @@ impl EventColumns {
     pub fn is_empty(&self) -> bool {
         self.days.is_empty()
     }
+
+    /// Append one already-resolved event, preserving trace order — the
+    /// streaming counterpart of [`EventColumns::from_events`] for callers
+    /// (like the serving engine's ingestion path) that accumulate batches
+    /// incrementally instead of materializing a `Vec<BillingEvent>` first.
+    pub fn push_resolved(&mut self, day: u32, object_id: u32, kind: AccessKind, volume_gb: f64) {
+        self.days.push(day);
+        self.periods.push(period_of_day(day));
+        self.object_ids.push(object_id);
+        self.kinds.push(kind);
+        self.volumes.push(volume_gb);
+    }
+
+    /// Append every event of `other` after this trace's events, preserving
+    /// both traces' internal order (batch concatenation).
+    pub fn extend_from(&mut self, other: &EventColumns) {
+        self.days.extend_from_slice(&other.days);
+        self.periods.extend_from_slice(&other.periods);
+        self.object_ids.extend_from_slice(&other.object_ids);
+        self.kinds.extend_from_slice(&other.kinds);
+        self.volumes.extend_from_slice(&other.volumes);
+    }
+
+    /// The sub-trace of events with `start_day <= day < end_day`, in the
+    /// original trace order — the epoch-batching primitive: a day log is
+    /// sliced into `[epoch_start, epoch_end)` windows that are fed to the
+    /// serving engine one batch at a time.
+    pub fn filter_day_range(&self, start_day: u32, end_day: u32) -> EventColumns {
+        let mut out = EventColumns::default();
+        for i in 0..self.len() {
+            let day = self.days[i];
+            if day >= start_day && day < end_day {
+                out.days.push(day);
+                out.periods.push(self.periods[i]);
+                out.object_ids.push(self.object_ids[i]);
+                out.kinds.push(self.kinds[i]);
+                out.volumes.push(self.volumes[i]);
+            }
+        }
+        out
+    }
 }
 
 /// The placement of one object over the billing horizon: an initial
@@ -408,6 +449,48 @@ mod tests {
         assert_eq!(cols.kinds[1], AccessKind::Write);
         assert_eq!(cols.volumes, vec![1.5, 2.0, 0.5]);
         assert!(EventColumns::from_events(&[], |_| None).is_empty());
+    }
+
+    #[test]
+    fn event_columns_batch_api_appends_and_slices_in_trace_order() {
+        let events = vec![
+            BillingEvent::read("a", 0, 1.5),
+            BillingEvent::write("b", 31, 2.0),
+            BillingEvent::read("a", 31, 0.25),
+            BillingEvent::read("b", 65, 0.5),
+        ];
+        let resolve = |name: &str| match name {
+            "a" => Some(0),
+            "b" => Some(1),
+            _ => None,
+        };
+        let cols = EventColumns::from_events(&events, resolve);
+
+        // push_resolved rebuilds the same columns one event at a time.
+        let mut streamed = EventColumns::default();
+        for ev in &events {
+            streamed.push_resolved(
+                ev.day,
+                resolve(&ev.object).unwrap_or(UNKNOWN_OBJECT),
+                ev.kind,
+                ev.volume_gb,
+            );
+        }
+        assert_eq!(streamed, cols);
+
+        // Slicing by day windows preserves order, and re-concatenating the
+        // epoch batches reproduces the full trace exactly.
+        let early = cols.filter_day_range(0, 32);
+        assert_eq!(early.days, vec![0, 31, 31]);
+        assert_eq!(early.object_ids, vec![0, 1, 0]);
+        assert_eq!(early.periods, vec![0, 1, 1]);
+        let late = cols.filter_day_range(32, 90);
+        assert_eq!(late.days, vec![65]);
+        assert!(cols.filter_day_range(90, 300).is_empty());
+        let mut rejoined = EventColumns::default();
+        rejoined.extend_from(&early);
+        rejoined.extend_from(&late);
+        assert_eq!(rejoined, cols);
     }
 
     #[test]

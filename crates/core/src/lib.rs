@@ -36,7 +36,11 @@
 //! * [`multicloud`] — the cross-provider scenario: the same cooling
 //!   account placed inside each single provider vs across the merged
 //!   multi-provider tier space with egress-aware planning, reporting the
-//!   egress-adjusted savings split.
+//!   egress-adjusted savings split,
+//! * [`serving`] — the deployment loop: an enterprise day log replayed
+//!   through the incremental serving engine (`scope-serve`), epoch by
+//!   epoch, with every incremental re-solve differentially checked
+//!   against the preserved batch path.
 
 #![warn(missing_docs)]
 
@@ -46,6 +50,7 @@ pub mod multicloud;
 pub mod pipeline;
 pub mod policy;
 pub mod scenario;
+pub mod serving;
 pub mod tradeoff;
 
 pub use enterprise::{
@@ -62,6 +67,7 @@ pub use policy::Policy;
 pub use scenario::{
     enterprise2_scenario, tpch_scenario, PipelineInputs, ScenarioOptions, TableProfile,
 };
+pub use serving::{run_serving, ServingEpoch, ServingOptions, ServingOutcome};
 pub use tradeoff::{tradeoff_sweep, PredictorVariant, TradeoffPoint};
 
 /// Errors produced by the pipeline.
@@ -77,6 +83,8 @@ pub enum ScopeError {
     CloudSim(String),
     /// A workload-generation error.
     Workload(String),
+    /// A serving-engine error.
+    Serving(String),
     /// Invalid pipeline configuration.
     InvalidConfig(String),
 }
@@ -89,6 +97,7 @@ impl std::fmt::Display for ScopeError {
             ScopeError::Compredict(m) => write!(f, "compredict: {m}"),
             ScopeError::CloudSim(m) => write!(f, "cloudsim: {m}"),
             ScopeError::Workload(m) => write!(f, "workload: {m}"),
+            ScopeError::Serving(m) => write!(f, "serving: {m}"),
             ScopeError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
@@ -117,6 +126,12 @@ impl From<scope_compredict::CompredictError> for ScopeError {
 impl From<scope_cloudsim::CloudSimError> for ScopeError {
     fn from(e: scope_cloudsim::CloudSimError) -> Self {
         ScopeError::CloudSim(e.to_string())
+    }
+}
+
+impl From<scope_serve::ServeError> for ScopeError {
+    fn from(e: scope_serve::ServeError) -> Self {
+        ScopeError::Serving(e.to_string())
     }
 }
 

@@ -24,9 +24,9 @@
 //! `tests/differential_costtable.rs` against [`crate::reference`]).
 
 use crate::error::OptAssignError;
-use crate::problem::{Assignment, OptAssignProblem};
+use crate::problem::{Assignment, OptAssignProblem, PartitionSpec};
 use scope_cloudsim::parallel::parallel_map;
-use scope_cloudsim::{CostBreakdown, TierId};
+use scope_cloudsim::{CostBreakdown, CostModel, TierId};
 
 /// Below this partition count the table is built sequentially: thread
 /// spawn overhead would dominate the handful of evaluations. Purely a
@@ -43,6 +43,42 @@ struct Row {
     min_feasible: Option<(f64, TierId, usize)>,
 }
 
+/// Evaluate one partition's tier-major block. Shared by the full build and
+/// [`CostTable::patch_rows`] so a patched row is bit-for-bit the row a
+/// from-scratch build would produce for the same spec.
+fn build_row(
+    problem: &OptAssignProblem,
+    model: &CostModel,
+    n_tiers: usize,
+    p: &PartitionSpec,
+) -> Row {
+    let n_opts = p.compression_options.len();
+    let mut cost = Vec::with_capacity(n_tiers * n_opts);
+    let mut feasible = Vec::with_capacity(n_tiers * n_opts);
+    let mut breakdowns = Vec::with_capacity(n_tiers * n_opts);
+    let mut min_feasible: Option<(f64, TierId, usize)> = None;
+    for t in 0..n_tiers {
+        let tier = TierId(t);
+        for k in 0..n_opts {
+            let b = problem.cost_breakdown_with(model, p, tier, k);
+            let c = problem.weighted_objective(&b);
+            let ok = problem.is_feasible(p, tier, k);
+            if ok && min_feasible.map(|(mc, _, _)| c < mc).unwrap_or(true) {
+                min_feasible = Some((c, tier, k));
+            }
+            cost.push(c);
+            feasible.push(ok);
+            breakdowns.push(b);
+        }
+    }
+    Row {
+        cost,
+        feasible,
+        breakdowns,
+        min_feasible,
+    }
+}
+
 /// Dense per-solve cost matrix over `[partition × tier × compression]`.
 ///
 /// Entry `(n, l, k)` holds the weighted objective contribution (Eq. 1) of
@@ -53,6 +89,7 @@ struct Row {
 /// entries — including infeasible ones — so explicit choice lists (e.g.
 /// re-pricing a plan under ground truth) can be evaluated from the table
 /// too; feasibility is a separate mask.
+#[derive(Debug, Clone)]
 pub struct CostTable {
     n_tiers: usize,
     /// Start of partition `n`'s block in the flat arrays; the block is
@@ -85,42 +122,15 @@ impl CostTable {
         let model = problem.cost_model();
         let n_tiers = problem.n_tiers();
 
-        let build_row = |_: usize, p: &crate::problem::PartitionSpec| -> Row {
-            let n_opts = p.compression_options.len();
-            let mut cost = Vec::with_capacity(n_tiers * n_opts);
-            let mut feasible = Vec::with_capacity(n_tiers * n_opts);
-            let mut breakdowns = Vec::with_capacity(n_tiers * n_opts);
-            let mut min_feasible: Option<(f64, TierId, usize)> = None;
-            for t in 0..n_tiers {
-                let tier = TierId(t);
-                for k in 0..n_opts {
-                    let b = problem.cost_breakdown_with(&model, p, tier, k);
-                    let c = problem.weighted_objective(&b);
-                    let ok = problem.is_feasible(p, tier, k);
-                    if ok && min_feasible.map(|(mc, _, _)| c < mc).unwrap_or(true) {
-                        min_feasible = Some((c, tier, k));
-                    }
-                    cost.push(c);
-                    feasible.push(ok);
-                    breakdowns.push(b);
-                }
-            }
-            Row {
-                cost,
-                feasible,
-                breakdowns,
-                min_feasible,
-            }
-        };
-
         let rows: Vec<Row> = if problem.partitions.len() >= PARALLEL_BUILD_MIN_PARTITIONS {
-            parallel_map(&problem.partitions, build_row)
+            parallel_map(&problem.partitions, |_, p| {
+                build_row(problem, &model, n_tiers, p)
+            })
         } else {
             problem
                 .partitions
                 .iter()
-                .enumerate()
-                .map(|(i, p)| build_row(i, p))
+                .map(|p| build_row(problem, &model, n_tiers, p))
                 .collect()
         };
 
@@ -193,6 +203,72 @@ impl CostTable {
     #[inline]
     pub fn min_feasible(&self, n: usize) -> Option<(f64, TierId, usize)> {
         self.min_feasible[n]
+    }
+
+    /// Re-evaluate the blocks of the listed partitions in place — the delta
+    /// update behind the incremental serving engine: after a batch of heat
+    /// deltas changes the projected accesses of a few partitions, only
+    /// their rows are re-priced and every untouched row is reused verbatim.
+    ///
+    /// Each patched block is computed by the same [`build_row`] arithmetic
+    /// (one hoisted model, tier-major scan, identical min-feasible
+    /// tie-break) the full build uses, so a patched table is **bit-for-bit
+    /// equal** to `CostTable::build` of the mutated problem. Large
+    /// worklists fan out over the deterministic parallel map, merged in
+    /// worklist order.
+    ///
+    /// `problem` must be the same instance the table was built from, with
+    /// only per-partition spec fields mutated: the partition count, tier
+    /// count and each patched partition's option count must be unchanged
+    /// (anything else needs a rebuild and is rejected).
+    pub fn patch_rows(
+        &mut self,
+        problem: &OptAssignProblem,
+        rows: &[usize],
+    ) -> Result<(), OptAssignError> {
+        if problem.partitions.len() != self.offsets.len() || problem.n_tiers() != self.n_tiers {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "patch shape mismatch: table covers {} partitions x {} tiers, problem has {} x {}",
+                self.offsets.len(),
+                self.n_tiers,
+                problem.partitions.len(),
+                problem.n_tiers()
+            )));
+        }
+        for &n in rows {
+            if n >= self.offsets.len() {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "patched row {n} out of range ({} partitions)",
+                    self.offsets.len()
+                )));
+            }
+            if problem.partitions[n].compression_options.len() != self.n_options[n] {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "partition {n} changed its option count ({} -> {}); rebuild the table",
+                    self.n_options[n],
+                    problem.partitions[n].compression_options.len()
+                )));
+            }
+        }
+        let model = problem.cost_model();
+        let patched: Vec<Row> = if rows.len() >= PARALLEL_BUILD_MIN_PARTITIONS {
+            parallel_map(rows, |_, &n| {
+                build_row(problem, &model, self.n_tiers, &problem.partitions[n])
+            })
+        } else {
+            rows.iter()
+                .map(|&n| build_row(problem, &model, self.n_tiers, &problem.partitions[n]))
+                .collect()
+        };
+        for (&n, row) in rows.iter().zip(patched) {
+            let lo = self.offsets[n];
+            let hi = lo + self.n_tiers * self.n_options[n];
+            self.cost[lo..hi].copy_from_slice(&row.cost);
+            self.feasible[lo..hi].copy_from_slice(&row.feasible);
+            self.breakdowns[lo..hi].copy_from_slice(&row.breakdowns);
+            self.min_feasible[n] = row.min_feasible;
+        }
+        Ok(())
     }
 
     /// Feasible candidates of partition `n` sorted by increasing cost, in
@@ -347,5 +423,56 @@ mod tests {
         let via_model = Assignment::from_choices(&problem, choices).unwrap();
         assert_eq!(via_table, via_model);
         assert!(table.assignment(&problem, vec![(hot, 0)]).is_err());
+    }
+
+    #[test]
+    fn patched_rows_are_bit_identical_to_a_rebuild() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts: Vec<PartitionSpec> = (0..90)
+            .map(|i| partition(i, 1.0 + (i % 13) as f64, (i % 7) as f64))
+            .collect();
+        let mut problem = OptAssignProblem::new(catalog, parts, 6.0);
+        problem.validate().unwrap();
+        let mut table = CostTable::build(&problem);
+
+        // Mutate a scattered worklist of projected accesses (the serving
+        // engine's rebucketing) and patch only those rows.
+        let worklist: Vec<usize> = (0..90).filter(|i| i % 7 == 3).collect();
+        for &n in &worklist {
+            problem.partitions[n].predicted_accesses *= 31.0;
+        }
+        table.patch_rows(&problem, &worklist).unwrap();
+
+        let rebuilt = CostTable::build(&problem);
+        for (n, p) in problem.partitions.iter().enumerate() {
+            for tier in problem.catalog.tier_ids() {
+                for k in 0..p.compression_options.len() {
+                    assert_eq!(
+                        table.cost(n, tier, k).to_bits(),
+                        rebuilt.cost(n, tier, k).to_bits(),
+                        "entry ({n}, {tier}, {k})"
+                    );
+                    assert_eq!(table.breakdown(n, tier, k), rebuilt.breakdown(n, tier, k));
+                    assert_eq!(
+                        table.is_feasible(n, tier, k),
+                        rebuilt.is_feasible(n, tier, k)
+                    );
+                }
+            }
+            assert_eq!(table.min_feasible(n), rebuilt.min_feasible(n));
+        }
+    }
+
+    #[test]
+    fn patch_rejects_shape_changes() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts = vec![partition(0, 10.0, 5.0), partition(1, 20.0, 1.0)];
+        let mut problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let mut table = CostTable::build(&problem);
+        assert!(table.patch_rows(&problem, &[2]).is_err());
+        problem.partitions[0].compression_options.pop();
+        assert!(table.patch_rows(&problem, &[0]).is_err());
+        problem.partitions.pop();
+        assert!(table.patch_rows(&problem, &[0]).is_err());
     }
 }

@@ -111,6 +111,25 @@ pub(crate) fn branch_and_bound_search(
     candidates: Vec<Vec<(f64, TierId, usize)>>,
     node_budget: u64,
 ) -> Result<(Vec<(TierId, usize)>, BranchAndBoundStats), OptAssignError> {
+    branch_and_bound_search_warm(problem, candidates, node_budget, None)
+}
+
+/// An incumbent seed for the warm search: the choices and per-partition
+/// costs of a known-feasible assignment.
+pub(crate) type WarmStart = (Vec<(TierId, usize)>, Vec<f64>);
+
+/// [`branch_and_bound_search`] with an optional incumbent seed: `warm` is
+/// `(choices, per-partition cost)` of a known-feasible assignment. The seed
+/// only tightens the pruning bound — ties lose to the incumbent (the leaf
+/// comparison is strict), so seeding with an optimum returns that optimum's
+/// exact choices, and seeding with anything else returns what the cold
+/// search would have found.
+pub(crate) fn branch_and_bound_search_warm(
+    problem: &OptAssignProblem,
+    candidates: Vec<Vec<(f64, TierId, usize)>>,
+    node_budget: u64,
+    warm: Option<WarmStart>,
+) -> Result<(Vec<(TierId, usize)>, BranchAndBoundStats), OptAssignError> {
     let n = problem.partitions.len();
 
     // Visit order: largest partitions first (hardest to pack).
@@ -121,6 +140,21 @@ pub(crate) fn branch_and_bound_search(
             .partial_cmp(&problem.partitions[a].size_gb)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
+
+    // Seed the incumbent from the warm start. Its cost is accumulated along
+    // the visit order — the exact running sum a search leaf reaching the
+    // same choices would carry — so the strict `<` tie-break behaves as if
+    // the search had discovered the incumbent first.
+    let (best_cost, best_choices) = match warm {
+        Some((choices, costs)) => {
+            let mut c = 0.0;
+            for &pidx in &order {
+                c += costs[pidx];
+            }
+            (c, Some(choices))
+        }
+        None => (f64::INFINITY, None),
+    };
 
     // Suffix minima of the capacity-free minimum cost along the visit order.
     let mut suffix_min = vec![0.0; n + 1];
@@ -159,8 +193,8 @@ pub(crate) fn branch_and_bound_search(
         capacity,
         candidates,
         suffix_min,
-        best_cost: f64::INFINITY,
-        best_choices: None,
+        best_cost,
+        best_choices,
         current: vec![(TierId(0), 0); n],
         stats: BranchAndBoundStats::default(),
         node_budget,
@@ -202,6 +236,76 @@ pub fn solve_branch_and_bound(
     }
 
     let (choices, stats) = branch_and_bound_search(problem, candidates, node_budget)?;
+    let assignment = table.assignment(problem, choices)?;
+    Ok((assignment, stats))
+}
+
+/// Warm-started branch and bound over a caller-held [`CostTable`] — the
+/// serving-engine re-solve entry point: the table is typically the previous
+/// epoch's, delta-patched with [`CostTable::patch_rows`], and `incumbent`
+/// is the previous epoch's assignment.
+///
+/// The incumbent seeds the search's best cost/choices, so the bound prunes
+/// from the first node; because the leaf comparison is strict, an optimal
+/// incumbent is returned unchanged and a stale one is improved to exactly
+/// what the cold search finds. The incumbent must be feasible for the
+/// *current* table (per-entry mask + capacity), which is checked up front.
+pub fn solve_branch_and_bound_warm(
+    problem: &OptAssignProblem,
+    table: &CostTable,
+    incumbent: &[(TierId, usize)],
+    node_budget: u64,
+) -> Result<(Assignment, BranchAndBoundStats), OptAssignError> {
+    problem.validate()?;
+    if incumbent.len() != problem.partitions.len() {
+        return Err(OptAssignError::InvalidProblem(format!(
+            "incumbent covers {} partitions, problem has {}",
+            incumbent.len(),
+            problem.partitions.len()
+        )));
+    }
+    let mut used = vec![0.0f64; problem.catalog.len()];
+    let mut costs = Vec::with_capacity(incumbent.len());
+    for (n, (p, &(tier, k))) in problem.partitions.iter().zip(incumbent).enumerate() {
+        if !table.is_feasible(n, tier, k) {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "incumbent choice for partition {} is infeasible",
+                p.name
+            )));
+        }
+        used[tier.index()] += p.stored_gb(k);
+        costs.push(table.cost(n, tier, k));
+    }
+    for (ti, (_, t)) in problem.catalog.iter().enumerate() {
+        if let Some(cap) = t.capacity_gb {
+            if used[ti] > cap + 1e-9 {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "incumbent overfills tier {ti}: {} GB of {} GB",
+                    used[ti], cap
+                )));
+            }
+        }
+    }
+
+    let mut candidates: Vec<Vec<(f64, TierId, usize)>> =
+        Vec::with_capacity(problem.partitions.len());
+    for (i, p) in problem.partitions.iter().enumerate() {
+        let cands = table.candidates_sorted(i);
+        if cands.is_empty() {
+            return Err(OptAssignError::InfeasiblePartition {
+                partition: p.id,
+                name: p.name.clone(),
+            });
+        }
+        candidates.push(cands);
+    }
+
+    let (choices, stats) = branch_and_bound_search_warm(
+        problem,
+        candidates,
+        node_budget,
+        Some((incumbent.to_vec(), costs)),
+    )?;
     let assignment = table.assignment(problem, choices)?;
     Ok((assignment, stats))
 }
@@ -319,6 +423,79 @@ mod tests {
         let (a, stats) = solve_branch_and_bound(&problem, 5).unwrap();
         assert!(!stats.proved_optimal);
         assert_eq!(a.choices.len(), 12);
+    }
+
+    #[test]
+    fn warm_start_with_the_cold_optimum_returns_it_unchanged() {
+        let mut catalog = TierCatalog::azure_adls_gen2();
+        catalog.set_capacity("Premium", 100.0).unwrap();
+        let parts: Vec<_> = (0..8)
+            .map(|i| partition(i, 10.0 * (i + 1) as f64, (i * 700) as f64))
+            .collect();
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let (cold, cold_stats) = solve_branch_and_bound(&problem, 1_000_000).unwrap();
+        assert!(cold_stats.proved_optimal);
+
+        let table = CostTable::build(&problem);
+        let (warm, warm_stats) =
+            solve_branch_and_bound_warm(&problem, &table, &cold.choices, 1_000_000).unwrap();
+        // The strict leaf comparison keeps the seeded optimum on ties, so
+        // the choices — not just the objective — are identical.
+        assert_eq!(warm.choices, cold.choices);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert!(warm_stats.proved_optimal);
+        // Seeding a finite bound can only tighten pruning.
+        assert!(warm_stats.nodes_expanded <= cold_stats.nodes_expanded);
+    }
+
+    #[test]
+    fn warm_start_improves_a_suboptimal_feasible_incumbent() {
+        let catalog = TierCatalog::azure_adls_gen2();
+        let parts: Vec<_> = (0..6)
+            .map(|i| partition(i, 10.0 * (i + 1) as f64, (i * 1500) as f64))
+            .collect();
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let table = CostTable::build(&problem);
+        // Deliberately bad incumbent: everything uncompressed on tier 0.
+        let bad: Vec<_> = (0..6).map(|_| (TierId(0), 0usize)).collect();
+        assert!(bad
+            .iter()
+            .enumerate()
+            .all(|(n, &(t, k))| table.is_feasible(n, t, k)));
+        let (warm, _) = solve_branch_and_bound_warm(&problem, &table, &bad, 1_000_000).unwrap();
+        let (cold, _) = solve_branch_and_bound(&problem, 1_000_000).unwrap();
+        assert_eq!(warm.choices, cold.choices);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+    }
+
+    #[test]
+    fn warm_start_rejects_bad_incumbents() {
+        let mut catalog = TierCatalog::azure_adls_gen2();
+        catalog.set_capacity("Premium", 15.0).unwrap();
+        let premium = catalog.tier_id("Premium").unwrap();
+        let parts = vec![
+            PartitionSpec::new(0, "a", 10.0, 0.0).with_latency_threshold(0.5),
+            PartitionSpec::new(1, "b", 10.0, 0.0),
+        ];
+        let problem = OptAssignProblem::new(catalog, parts, 6.0);
+        let table = CostTable::build(&problem);
+
+        // Wrong length.
+        assert!(matches!(
+            solve_branch_and_bound_warm(&problem, &table, &[(TierId(0), 0)], 1000),
+            Err(OptAssignError::InvalidProblem(_))
+        ));
+        // Infeasible entry: "a" has a latency threshold archive tiers miss.
+        let archive = problem.catalog.tier_id("Archive").unwrap();
+        assert!(matches!(
+            solve_branch_and_bound_warm(&problem, &table, &[(archive, 0), (TierId(0), 0)], 1000),
+            Err(OptAssignError::InvalidProblem(_))
+        ));
+        // Overfilled capacity: both 10 GB objects on the 15 GB premium tier.
+        assert!(matches!(
+            solve_branch_and_bound_warm(&problem, &table, &[(premium, 0), (premium, 0)], 1000),
+            Err(OptAssignError::InvalidProblem(_))
+        ));
     }
 
     #[test]

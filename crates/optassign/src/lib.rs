@@ -73,14 +73,16 @@ pub mod schedule;
 pub use costtable::CostTable;
 pub use error::OptAssignError;
 pub use greedy::solve_greedy;
-pub use ilp::{solve_branch_and_bound, BranchAndBoundStats};
+pub use ilp::{solve_branch_and_bound, solve_branch_and_bound_warm, BranchAndBoundStats};
 pub use matching::solve_equal_size_matching;
 pub use predictor::{
     ideal_tier_labels, ideal_tier_labels_multi, PredictorFeatures, TierPredictor, TieringBaseline,
 };
 pub use problem::{Assignment, CompressionOption, OptAssignProblem, PartitionSpec, NO_COMPRESSION};
 pub use schedule::{
-    ideal_tier_schedules, ideal_tier_schedules_with_model, plan_tier_schedule,
-    plan_tier_schedule_with_model, schedule_cost, schedule_cost_with_model, PeriodAccess,
+    ideal_tier_schedules, ideal_tier_schedules_with_model, placement_schedule_cost,
+    placement_schedule_cost_with_model, plan_placement_schedule,
+    plan_placement_schedule_with_model, plan_tier_schedule, plan_tier_schedule_with_model,
+    schedule_cost, schedule_cost_with_model, PeriodAccess, PeriodUsage, PlacementPlan,
     ScheduleOptions, TierSchedule,
 };

@@ -24,6 +24,7 @@
 //! being left).
 
 use crate::error::OptAssignError;
+use crate::problem::CompressionOption;
 use scope_cloudsim::billing::Placement;
 use scope_cloudsim::timeline::{PlacementSchedule, DAYS_PER_MONTH};
 use scope_cloudsim::{CostModel, TierCatalog, TierId};
@@ -294,12 +295,16 @@ pub fn plan_tier_schedule_with_model(
     }
 
     // Best final state and schedule reconstruction.
-    let (mut best_state, best_cost) = cost
+    let Some((mut best_state, best_cost)) = cost
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
         .map(|(i, &c)| (i, c))
-        .expect("state space is non-empty");
+    else {
+        return Err(OptAssignError::InvalidProblem(
+            "empty tier-schedule state space".to_string(),
+        ));
+    };
     if !best_cost.is_finite() {
         return Err(OptAssignError::InvalidProblem(
             "no feasible tier schedule".to_string(),
@@ -366,6 +371,427 @@ pub fn schedule_cost_with_model(
         total += period_cost(model, tier, size_gb, access);
         days_served += DAYS_PER_MONTH;
         prev = Some(tier);
+    }
+    Ok(total)
+}
+
+/// Projected access volumes and read-event count of one object in one
+/// billing period — the input row of the compression-aware planner.
+///
+/// Unlike [`PeriodAccess`], this also carries the number of read *events*:
+/// the billing engine charges decompression compute per access, not per
+/// GB, so a scheme-aware plan needs both.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PeriodUsage {
+    /// GB expected to be read during the period.
+    pub read_gb: f64,
+    /// GB expected to be written during the period.
+    pub write_gb: f64,
+    /// Number of read accesses expected during the period (each pays the
+    /// scheme's decompression compute).
+    pub read_events: f64,
+}
+
+impl PeriodUsage {
+    /// Convenience constructor.
+    pub fn new(read_gb: f64, write_gb: f64, read_events: f64) -> Self {
+        PeriodUsage {
+            read_gb,
+            write_gb,
+            read_events,
+        }
+    }
+}
+
+/// A cost-optimal per-period `(tier, scheme)` schedule for one object: the
+/// compression-aware counterpart of [`TierSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Per billing period: the tier occupied and the index into the
+    /// planner's scheme list of the compression scheme stored under.
+    pub placements: Vec<(TierId, usize)>,
+    /// The projected cost (cents) of the plan, priced exactly as the
+    /// day-granular billing engine bills it — including mid-horizon
+    /// recompression rewrites.
+    pub planned_cost: f64,
+}
+
+impl PlacementPlan {
+    /// Number of mid-horizon placement changes (tier or scheme).
+    pub fn transition_count(&self) -> usize {
+        self.placements.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Number of mid-horizon scheme changes that stay on the same tier —
+    /// the in-place recompressions the tier-only DP could not price.
+    pub fn recompression_count(&self) -> usize {
+        self.placements
+            .windows(2)
+            .filter(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1)
+            .count()
+    }
+
+    /// Lower the plan onto the billing timeline, resolving scheme indices
+    /// against the same `schemes` list the planner searched over.
+    pub fn to_placement_schedule(&self, schemes: &[CompressionOption]) -> PlacementSchedule {
+        let placement = |(tier, k): (TierId, usize)| Placement {
+            tier,
+            compression_ratio: schemes[k].ratio,
+            decompression_seconds: schemes[k].decompress_seconds,
+        };
+        let mut schedule = PlacementSchedule::constant(placement(self.placements[0]));
+        for (p, w) in self.placements.windows(2).enumerate() {
+            if w[0] != w[1] {
+                schedule =
+                    schedule.with_transition((p as u32 + 1) * DAYS_PER_MONTH, placement(w[1]));
+            }
+        }
+        schedule
+    }
+}
+
+fn validate_schemes(schemes: &[CompressionOption]) -> Result<(), OptAssignError> {
+    if schemes.is_empty() {
+        return Err(OptAssignError::InvalidProblem(
+            "scheme list must contain at least one compression option".to_string(),
+        ));
+    }
+    for s in schemes {
+        if !s.ratio.is_finite() || s.ratio <= 0.0 {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "scheme {} has invalid ratio {}",
+                s.name, s.ratio
+            )));
+        }
+        if !s.decompress_seconds.is_finite() || s.decompress_seconds < 0.0 {
+            return Err(OptAssignError::InvalidProblem(format!(
+                "scheme {} has invalid decompression time {}",
+                s.name, s.decompress_seconds
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Cost (cents) of spending one period on `tier` compressed with `scheme`:
+/// a full period of storage at the compressed size, read/write volume
+/// charges on the compressed bytes (the billing engine divides every
+/// event's volume by the segment ratio) and decompression compute per read
+/// access.
+fn period_usage_cost(
+    model: &CostModel,
+    tier: TierId,
+    stored_gb: f64,
+    scheme: &CompressionOption,
+    usage: &PeriodUsage,
+) -> f64 {
+    model.storage_cost(tier, stored_gb, 1.0)
+        + model.read_cost(tier, usage.read_gb / scheme.ratio, 1.0)
+        + model.write_cost(tier, usage.write_gb / scheme.ratio)
+        + model.decompression_cost(scheme.decompress_seconds, usage.read_events)
+}
+
+/// Find the cost-minimal per-period `(tier, scheme)` placement plan for
+/// one object — [`plan_tier_schedule`] extended with compression in the DP
+/// state, closing the standing caveat that the tier-only DP could not
+/// price the recompression rewrites the billing engine charges.
+pub fn plan_placement_schedule(
+    catalog: &TierCatalog,
+    size_gb: f64,
+    schemes: &[CompressionOption],
+    periods: &[PeriodUsage],
+    options: &ScheduleOptions,
+) -> Result<PlacementPlan, OptAssignError> {
+    plan_placement_schedule_with_model(
+        &CostModel::new(catalog.clone()),
+        size_gb,
+        schemes,
+        periods,
+        options,
+        None,
+    )
+}
+
+/// [`plan_placement_schedule`] over an explicit [`CostModel`] and optional
+/// tier restriction — the multi-provider entry point, mirroring
+/// [`plan_tier_schedule_with_model`].
+///
+/// The DP state is `(tier, scheme, period the tier was entered)`: a scheme
+/// change that stays on the tier keeps the entry period (billing accrues
+/// residency across consecutive same-tier segments), a tier change resets
+/// it. Transition costs mirror the billing ledger branch for branch: a
+/// mid-horizon tier change pays a read of the bytes resident under the old
+/// scheme plus a write of the new stored size (plus egress and any unmet
+/// residency on the source-resident bytes); an in-place recompression pays
+/// the same read+write rewrite with no egress and no penalty; the day-0
+/// segment on the object's current tier charges nothing (the pre-horizon
+/// compression state is unknown).
+pub fn plan_placement_schedule_with_model(
+    model: &CostModel,
+    size_gb: f64,
+    schemes: &[CompressionOption],
+    periods: &[PeriodUsage],
+    options: &ScheduleOptions,
+    allowed_tiers: Option<&[TierId]>,
+) -> Result<PlacementPlan, OptAssignError> {
+    let catalog = model.catalog();
+    if periods.is_empty() {
+        return Err(OptAssignError::InvalidProblem(
+            "schedule horizon must cover at least one period".to_string(),
+        ));
+    }
+    if !(size_gb >= 0.0) || !size_gb.is_finite() {
+        return Err(OptAssignError::InvalidProblem(format!(
+            "invalid object size {size_gb}"
+        )));
+    }
+    validate_schemes(schemes)?;
+    for u in periods {
+        for (name, v) in [
+            ("read_gb", u.read_gb),
+            ("write_gb", u.write_gb),
+            ("read_events", u.read_events),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(OptAssignError::InvalidProblem(format!(
+                    "invalid period usage {name} {v}"
+                )));
+            }
+        }
+    }
+    let retier_every = options.retier_every.max(1);
+    let candidates: Vec<TierId> = match allowed_tiers {
+        Some(ids) => ids.to_vec(),
+        None => catalog.tier_ids(),
+    };
+    let mut usable: Vec<TierId> = Vec::with_capacity(candidates.len());
+    for id in candidates {
+        let tier = catalog
+            .tier(id)
+            .map_err(|e| OptAssignError::InvalidProblem(e.to_string()))?;
+        if tier.ttfb_seconds <= options.latency_threshold_seconds {
+            usable.push(id);
+        }
+    }
+    if usable.is_empty() {
+        return Err(OptAssignError::InvalidProblem(
+            "no tier satisfies the latency threshold".to_string(),
+        ));
+    }
+
+    // The DP's choice space is the cross product tier × scheme; the entry
+    // period in the state tracks the *tier* only, since that is what
+    // residency accounting keys on.
+    let opts_list: Vec<(TierId, usize)> = usable
+        .iter()
+        .flat_map(|&t| (0..schemes.len()).map(move |k| (t, k)))
+        .collect();
+    let n = periods.len();
+    let n_opts = opts_list.len();
+    let stored: Vec<f64> = opts_list
+        .iter()
+        .map(|&(_, k)| size_gb / schemes[k].ratio)
+        .collect();
+    let idx = |o: usize, e: usize| o * n + e;
+    let inf = f64::INFINITY;
+
+    // Hoisted per-(option, period) stay costs and the option×option
+    // placement-change matrix (the penalty term stays in the loop — it
+    // depends on days served, which is state).
+    let mut stay_cost = Vec::with_capacity(n_opts * n);
+    for (o, &(tier, k)) in opts_list.iter().enumerate() {
+        for usage in periods {
+            stay_cost.push(period_usage_cost(
+                model,
+                tier,
+                stored[o],
+                &schemes[k],
+                usage,
+            ));
+        }
+    }
+    let mut change_cost = Vec::with_capacity(n_opts * n_opts);
+    for (oi, &(ti, _)) in opts_list.iter().enumerate() {
+        for (oj, &(tj, _)) in opts_list.iter().enumerate() {
+            change_cost.push(if ti != tj {
+                // Mid-horizon move: read + egress cover the bytes resident
+                // under the old scheme, the write lands the new stored
+                // size — exactly the billing ledger's move branch.
+                model.read_cost(ti, stored[oi], 1.0)
+                    + model.write_cost(tj, stored[oj])
+                    + model.egress_cost(Some(ti), tj, stored[oi])
+            } else if stored[oi] != stored[oj] {
+                // In-place recompression: a physical rewrite, no egress.
+                model.read_cost(ti, stored[oi], 1.0) + model.write_cost(tj, stored[oj])
+            } else {
+                0.0
+            });
+        }
+    }
+
+    let mut cost = vec![inf; n_opts * n];
+    let mut parents: Vec<Vec<usize>> = Vec::with_capacity(n);
+
+    // Seed: the day-0 placement. Staying on the current tier charges
+    // nothing whatever the scheme (the pre-horizon compression state is
+    // unknown — billing's legacy convention); moving pays read+write on
+    // the destination's stored size, egress and residency penalty on the
+    // uncompressed source bytes.
+    for (o, &(tier, _)) in opts_list.iter().enumerate() {
+        let mut c = model.read_write_cost(options.current_tier, tier, stored[o])
+            + model.egress_cost(options.current_tier, tier, size_gb);
+        if let Some(from) = options.current_tier {
+            if from != tier {
+                c += departure_penalty(model, from, size_gb, options.residency_days)?;
+            }
+        }
+        c += stay_cost[o * n];
+        cost[idx(o, 0)] = c;
+    }
+    parents.push(vec![usize::MAX; n_opts * n]);
+
+    for p in 1..n {
+        let mut next = vec![inf; n_opts * n];
+        let mut parent = vec![usize::MAX; n_opts * n];
+        let may_move = (p as u32) % retier_every == 0;
+        for (oi, &(ti, _)) in opts_list.iter().enumerate() {
+            for e in 0..p {
+                let s = idx(oi, e);
+                if cost[s] == inf {
+                    continue;
+                }
+                // Keep the placement: entry period unchanged.
+                let stay = cost[s] + stay_cost[oi * n + p];
+                if stay < next[s] {
+                    next[s] = stay;
+                    parent[s] = s;
+                }
+                if !may_move {
+                    continue;
+                }
+                let mut days_served = (p - e) as u32 * DAYS_PER_MONTH;
+                if e == 0 && options.current_tier == Some(ti) {
+                    days_served += options.residency_days;
+                }
+                let penalty = departure_penalty(model, ti, stored[oi], days_served)?;
+                for (oj, &(tj, _)) in opts_list.iter().enumerate() {
+                    if oj == oi {
+                        continue;
+                    }
+                    let tier_change = tj != ti;
+                    let mut c = cost[s] + change_cost[oi * n_opts + oj] + stay_cost[oj * n + p];
+                    if tier_change {
+                        c += penalty;
+                    }
+                    // A recompression that stays put keeps the tier's
+                    // entry period: residency keeps accruing.
+                    let d = idx(oj, if tier_change { p } else { e });
+                    if c < next[d] {
+                        next[d] = c;
+                        parent[d] = s;
+                    }
+                }
+            }
+        }
+        cost = next;
+        parents.push(parent);
+    }
+
+    let Some((mut best_state, best_cost)) = cost
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, &c)| (i, c))
+    else {
+        return Err(OptAssignError::InvalidProblem(
+            "empty placement-plan state space".to_string(),
+        ));
+    };
+    if !best_cost.is_finite() {
+        return Err(OptAssignError::InvalidProblem(
+            "no feasible placement plan".to_string(),
+        ));
+    }
+    let mut placements = vec![opts_list[0]; n];
+    for p in (0..n).rev() {
+        placements[p] = opts_list[best_state / n];
+        best_state = parents[p][best_state];
+    }
+    debug_assert_eq!(best_state, usize::MAX, "walked past the DP root");
+    Ok(PlacementPlan {
+        placements,
+        planned_cost: best_cost,
+    })
+}
+
+/// Price an *explicit* per-period `(tier, scheme)` placement sequence with
+/// the same branch-for-branch billing arithmetic the compression-aware DP
+/// optimizes.
+pub fn placement_schedule_cost(
+    catalog: &TierCatalog,
+    size_gb: f64,
+    schemes: &[CompressionOption],
+    periods: &[PeriodUsage],
+    placements: &[(TierId, usize)],
+    options: &ScheduleOptions,
+) -> Result<f64, OptAssignError> {
+    placement_schedule_cost_with_model(
+        &CostModel::new(catalog.clone()),
+        size_gb,
+        schemes,
+        periods,
+        placements,
+        options,
+    )
+}
+
+/// [`placement_schedule_cost`] over an explicit [`CostModel`].
+pub fn placement_schedule_cost_with_model(
+    model: &CostModel,
+    size_gb: f64,
+    schemes: &[CompressionOption],
+    periods: &[PeriodUsage],
+    placements: &[(TierId, usize)],
+    options: &ScheduleOptions,
+) -> Result<f64, OptAssignError> {
+    if placements.len() != periods.len() || periods.is_empty() {
+        return Err(OptAssignError::InvalidProblem(format!(
+            "placement sequence length {} does not match horizon {}",
+            placements.len(),
+            periods.len()
+        )));
+    }
+    validate_schemes(schemes)?;
+    let mut prev_tier = options.current_tier;
+    let mut days_served = options.residency_days;
+    let mut prev_stored = size_gb;
+    let mut total = 0.0;
+    for (p, (&(tier, k), usage)) in placements.iter().zip(periods).enumerate() {
+        let scheme = schemes.get(k).ok_or_else(|| {
+            OptAssignError::InvalidProblem(format!(
+                "placement for period {p} names scheme {k}, only {} known",
+                schemes.len()
+            ))
+        })?;
+        let stored = size_gb / scheme.ratio;
+        if prev_tier != Some(tier) {
+            if let (true, Some(from)) = (p > 0, prev_tier) {
+                total += model.read_cost(from, prev_stored, 1.0) + model.write_cost(tier, stored);
+            } else {
+                total += model.read_write_cost(prev_tier, tier, stored);
+            }
+            total += model.egress_cost(prev_tier, tier, prev_stored);
+            if let Some(from) = prev_tier {
+                total += departure_penalty(model, from, prev_stored, days_served)?;
+            }
+            days_served = 0;
+        } else if p > 0 && stored != prev_stored {
+            total += model.read_cost(tier, prev_stored, 1.0) + model.write_cost(tier, stored);
+        }
+        total += period_usage_cost(model, tier, stored, scheme, usage);
+        days_served += DAYS_PER_MONTH;
+        prev_tier = Some(tier);
+        prev_stored = stored;
     }
     Ok(total)
 }
@@ -725,6 +1151,252 @@ mod tests {
         assert!(
             schedule_cost(&catalog(), 1.0, &[PeriodAccess::default()], &[], &on_hot()).is_err()
         );
+    }
+
+    fn none_and_gzip() -> Vec<CompressionOption> {
+        vec![
+            CompressionOption::none(),
+            CompressionOption::new("gzip", 4.0, 2.0),
+        ]
+    }
+
+    /// Catalog whose compute rate makes decompression CPU a first-class
+    /// cost: heavy-read periods then favor "none", quiet periods favor
+    /// compressed storage, so optimal plans recompress mid-horizon.
+    fn compute_heavy_catalog() -> TierCatalog {
+        let mut c = catalog();
+        c.compute_cost_cents_per_second = 50.0;
+        c
+    }
+
+    #[test]
+    fn compression_dp_with_none_only_matches_the_tier_dp() {
+        let periods = vec![
+            PeriodAccess::new(5000.0, 10.0),
+            PeriodAccess::new(100.0, 0.0),
+            PeriodAccess::default(),
+            PeriodAccess::default(),
+        ];
+        let usage: Vec<PeriodUsage> = periods
+            .iter()
+            .map(|a| PeriodUsage::new(a.read_gb, a.write_gb, 0.0))
+            .collect();
+        let tiers_only = plan_tier_schedule(&catalog(), 250.0, &periods, &on_hot()).unwrap();
+        let plan = plan_placement_schedule(
+            &catalog(),
+            250.0,
+            &[CompressionOption::none()],
+            &usage,
+            &on_hot(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan.placements.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            tiers_only.tiers
+        );
+        assert!(plan.placements.iter().all(|&(_, k)| k == 0));
+        assert!(
+            (plan.planned_cost - tiers_only.planned_cost).abs()
+                < 1e-9 * (1.0 + tiers_only.planned_cost),
+            "scheme dp {} vs tier dp {}",
+            plan.planned_cost,
+            tiers_only.planned_cost
+        );
+    }
+
+    #[test]
+    fn compression_dp_matches_placement_pricer() {
+        let usage = vec![
+            PeriodUsage::new(300.0, 30.0, 3.0),
+            PeriodUsage::new(300.0, 30.0, 3.0),
+            PeriodUsage::default(),
+            PeriodUsage::default(),
+            PeriodUsage::default(),
+            PeriodUsage::default(),
+        ];
+        let catalog = compute_heavy_catalog();
+        let schemes = none_and_gzip();
+        let plan = plan_placement_schedule(&catalog, 100.0, &schemes, &usage, &on_hot()).unwrap();
+        let repriced = placement_schedule_cost(
+            &catalog,
+            100.0,
+            &schemes,
+            &usage,
+            &plan.placements,
+            &on_hot(),
+        )
+        .unwrap();
+        assert!(
+            (plan.planned_cost - repriced).abs() < 1e-9 * (1.0 + repriced),
+            "dp {} vs repriced {}",
+            plan.planned_cost,
+            repriced
+        );
+    }
+
+    /// The recompression-caveat regression test: an optimal plan that
+    /// recompresses *in place* mid-horizon is billed exactly what the DP
+    /// planned — the tier-only DP could not even express this schedule.
+    #[test]
+    fn in_place_recompression_plan_matches_billed_cost() {
+        use scope_cloudsim::timeline::BillingEvent;
+        use scope_cloudsim::{BillingSimulator, ObjectSpec};
+
+        let catalog = compute_heavy_catalog();
+        let schemes = none_and_gzip();
+        // Two heavy-read periods (decompression CPU makes gzip a loss),
+        // then four quiet ones (compressed storage wins, and the rewrite
+        // cost is trivially repaid).
+        let busy = PeriodUsage::new(300.0, 30.0, 3.0);
+        let usage = vec![
+            busy,
+            busy,
+            PeriodUsage::default(),
+            PeriodUsage::default(),
+            PeriodUsage::default(),
+            PeriodUsage::default(),
+        ];
+        let only_hot = [hot()];
+        let model = CostModel::new(catalog.clone());
+        let plan = plan_placement_schedule_with_model(
+            &model,
+            100.0,
+            &schemes,
+            &usage,
+            &on_hot(),
+            Some(&only_hot),
+        )
+        .unwrap();
+        assert!(
+            plan.recompression_count() >= 1,
+            "plan never recompresses: {:?}",
+            plan.placements
+        );
+        assert_eq!(
+            plan.placements[0],
+            (hot(), 0),
+            "busy start should stay uncompressed"
+        );
+        assert_eq!(plan.placements[5].1, 1, "quiet tail should be compressed");
+
+        // Replay the plan through the billing engine with a trace matching
+        // the projected usage: per busy period, three reads of a third of
+        // the volume each plus one write.
+        let mut sim = BillingSimulator::new(catalog);
+        sim.place_scheduled(
+            ObjectSpec::new("obj", 100.0).on_tier(hot()),
+            plan.to_placement_schedule(&schemes),
+        )
+        .unwrap();
+        let mut events = Vec::new();
+        for (p, u) in usage.iter().enumerate() {
+            let day = p as u32 * DAYS_PER_MONTH;
+            for i in 0..u.read_events as u32 {
+                events.push(BillingEvent::read(
+                    "obj",
+                    day + i,
+                    u.read_gb / u.read_events,
+                ));
+            }
+            if u.write_gb > 0.0 {
+                events.push(BillingEvent::write("obj", day + 5, u.write_gb));
+            }
+        }
+        let report = sim
+            .run_days(usage.len() as u32 * DAYS_PER_MONTH, &events)
+            .unwrap();
+        let billed = report.total();
+        assert!(
+            (plan.planned_cost - billed).abs() < 1e-9 * (1.0 + billed),
+            "planned {} vs billed {}",
+            plan.planned_cost,
+            billed
+        );
+    }
+
+    /// A mid-horizon move that recompresses in flight: the billing ledger
+    /// reads/egresses the bytes resident under the old scheme but writes
+    /// the new stored size, and the DP prices exactly that.
+    #[test]
+    fn move_with_recompression_matches_billed_cost() {
+        use scope_cloudsim::timeline::BillingEvent;
+        use scope_cloudsim::{BillingSimulator, ObjectSpec};
+
+        let catalog = compute_heavy_catalog();
+        let schemes = none_and_gzip();
+        let busy = PeriodUsage::new(10_000.0, 0.0, 3.0);
+        let mut usage = vec![busy];
+        usage.extend(vec![PeriodUsage::default(); 5]);
+        let opts = ScheduleOptions {
+            current_tier: Some(hot()),
+            latency_threshold_seconds: 60.0, // rules out Archive
+            ..Default::default()
+        };
+        let plan = plan_placement_schedule(&catalog, 100.0, &schemes, &usage, &opts).unwrap();
+        assert_eq!(plan.placements[0], (hot(), 0));
+        assert!(
+            plan.placements
+                .windows(2)
+                .any(|w| w[0].0 != w[1].0 && w[0].1 != w[1].1),
+            "no simultaneous move + recompression: {:?}",
+            plan.placements
+        );
+        assert_eq!(*plan.placements.last().unwrap(), (cool(), 1));
+
+        let mut sim = BillingSimulator::new(catalog);
+        sim.place_scheduled(
+            ObjectSpec::new("obj", 100.0).on_tier(hot()),
+            plan.to_placement_schedule(&schemes),
+        )
+        .unwrap();
+        let mut events = Vec::new();
+        for (p, u) in usage.iter().enumerate() {
+            let day = p as u32 * DAYS_PER_MONTH;
+            for i in 0..u.read_events as u32 {
+                events.push(BillingEvent::read(
+                    "obj",
+                    day + i,
+                    u.read_gb / u.read_events,
+                ));
+            }
+        }
+        let report = sim
+            .run_days(usage.len() as u32 * DAYS_PER_MONTH, &events)
+            .unwrap();
+        let billed = report.total();
+        assert!(
+            (plan.planned_cost - billed).abs() < 1e-9 * (1.0 + billed),
+            "planned {} vs billed {}",
+            plan.planned_cost,
+            billed
+        );
+    }
+
+    #[test]
+    fn placement_planner_and_pricer_validate_inputs() {
+        let usage = vec![PeriodUsage::default(); 2];
+        let schemes = none_and_gzip();
+        // Empty scheme list.
+        assert!(plan_placement_schedule(&catalog(), 1.0, &[], &usage, &on_hot()).is_err());
+        // Non-finite usage.
+        let bad_usage = vec![PeriodUsage::new(f64::NAN, 0.0, 0.0)];
+        assert!(plan_placement_schedule(&catalog(), 1.0, &schemes, &bad_usage, &on_hot()).is_err());
+        // Invalid scheme ratio.
+        let bad_scheme = vec![CompressionOption::new("broken", 0.0, 0.0)];
+        assert!(plan_placement_schedule(&catalog(), 1.0, &bad_scheme, &usage, &on_hot()).is_err());
+        // Pricer: length mismatch and out-of-range scheme index.
+        assert!(
+            placement_schedule_cost(&catalog(), 1.0, &schemes, &usage, &[], &on_hot()).is_err()
+        );
+        assert!(placement_schedule_cost(
+            &catalog(),
+            1.0,
+            &schemes,
+            &usage,
+            &[(hot(), 99), (hot(), 99)],
+            &on_hot(),
+        )
+        .is_err());
     }
 
     #[test]

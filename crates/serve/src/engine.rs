@@ -1,0 +1,1090 @@
+//! Long-running serving state and the incremental re-optimization loop.
+//!
+//! The engine is organised around three invariants:
+//!
+//! 1. **Bounded memory.** [`ServeEngine::ingest`] folds event batches into
+//!    per-object `(heat, last_day)` pairs and never retains an event, so
+//!    resident state is `O(objects)` regardless of trace length.
+//! 2. **Delta-only table work.** Heat feeds the optimizer through a
+//!    geometric bucket representative; a partition's cost-table row is
+//!    re-evaluated (via [`CostTable::patch_rows`]) only when its heat
+//!    crosses a bucket boundary or its placement changed last epoch.
+//! 3. **Bit-for-bit reproducibility.** The incremental path re-derives
+//!    exactly the rows a from-scratch build would produce (patching is
+//!    pinned bit-identical in `scope-optassign`), per-row choices use the
+//!    same first-minimum rule as the batch greedy solver, and account
+//!    shards merge in account order under the deterministic
+//!    [`parallel fan-out`](scope_cloudsim::parallel) — so the outcome is
+//!    independent of the thread count and equal to
+//!    [`crate::reference::full_resolve`] on the same state.
+
+use std::collections::HashMap;
+
+use scope_cloudsim::parallel::{default_threads, parallel_map_mut_with_threads};
+use scope_cloudsim::{AccessKind, BillingEvent, EventColumns, TierCatalog, TierId, UNKNOWN_OBJECT};
+use scope_optassign::{
+    solve_branch_and_bound, solve_branch_and_bound_warm, Assignment, CompressionOption, CostTable,
+    OptAssignError, OptAssignProblem, PartitionSpec,
+};
+
+use crate::error::ServeError;
+
+/// Tuning knobs for a [`ServeEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Billing/serving horizon in days; events at or past this day are
+    /// counted as dropped, mirroring the billing engine's
+    /// `dropped_events` rule exactly.
+    pub horizon_days: u32,
+    /// Optimizer cost horizon in months (the projection length every
+    /// re-solve prices placements over).
+    pub horizon_months: f64,
+    /// Per-day exponential decay applied to heat counters, in `(0, 1]`
+    /// (1.0 = no decay, pure cumulative access counts).
+    pub decay_per_day: f64,
+    /// Base of the geometric heat buckets (> 1). Heat `h >= 1` is
+    /// represented by `base^floor(log_base(h))`; heat below 1 by 0. A
+    /// partition is re-evaluated only when its representative changes, so
+    /// larger bases mean fewer row patches and coarser cost estimates.
+    pub bucket_base: f64,
+    /// Re-bucketing hysteresis margin (>= 1). With representative `rep`,
+    /// the row is only re-bucketed once heat leaves the widened band
+    /// `[rep / hysteresis, rep * base * hysteresis)` — objects whose heat
+    /// merely oscillates around a bucket edge with event noise stop
+    /// flapping between rows. 1.0 = pure floor semantics (any bucket
+    /// change re-buckets). Like `bucket_base`, this only trades estimate
+    /// freshness against patch volume; both re-solve paths read the same
+    /// stored representative, so bit-for-bit equality with the batch
+    /// reference holds for any setting.
+    pub bucket_hysteresis: f64,
+    /// Worker threads for the account-sharded re-solve fan-out
+    /// (0 = [`default_threads`]). The thread count never changes the
+    /// outcome, only the wall-clock.
+    pub threads: usize,
+    /// `Some(budget)` switches re-solves from per-partition greedy to
+    /// warm-started branch-and-bound with this node budget (needed when
+    /// tiers have capacity constraints that couple partitions).
+    pub node_budget: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            horizon_days: 180,
+            horizon_months: 6.0,
+            decay_per_day: 0.98,
+            bucket_base: 2.0,
+            bucket_hysteresis: 1.0,
+            threads: 0,
+            node_budget: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.horizon_days == 0 {
+            return Err(ServeError::InvalidConfig(
+                "horizon_days must be positive".into(),
+            ));
+        }
+        if !(self.horizon_months > 0.0) || !self.horizon_months.is_finite() {
+            return Err(ServeError::InvalidConfig(format!(
+                "horizon_months must be finite and positive, got {}",
+                self.horizon_months
+            )));
+        }
+        if !(self.decay_per_day > 0.0 && self.decay_per_day <= 1.0) {
+            return Err(ServeError::InvalidConfig(format!(
+                "decay_per_day must be in (0, 1], got {}",
+                self.decay_per_day
+            )));
+        }
+        if !(self.bucket_base > 1.0) || !self.bucket_base.is_finite() {
+            return Err(ServeError::InvalidConfig(format!(
+                "bucket_base must be finite and > 1, got {}",
+                self.bucket_base
+            )));
+        }
+        if !(self.bucket_hysteresis >= 1.0) || !self.bucket_hysteresis.is_finite() {
+            return Err(ServeError::InvalidConfig(format!(
+                "bucket_hysteresis must be finite and >= 1, got {}",
+                self.bucket_hysteresis
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Registration record for one serving object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeObject {
+    /// Globally unique object name (the id events resolve against).
+    pub name: String,
+    /// Billing account the object belongs to; each account is one
+    /// independently re-solved shard.
+    pub account: String,
+    /// Uncompressed size in GB.
+    pub size_gb: f64,
+    /// Tier the object currently lives on.
+    pub current_tier: TierId,
+    /// Index into the engine's shared compression-scheme list for the
+    /// object's current encoding (0 = uncompressed).
+    pub compression: usize,
+    /// Days the object has already resided on `current_tier` (feeds
+    /// early-deletion penalties on the first move).
+    pub residency_days: u32,
+    /// Maximum tolerable access latency in seconds
+    /// (`f64::INFINITY` = unconstrained).
+    pub latency_threshold_seconds: f64,
+}
+
+impl ServeObject {
+    /// A new object on `tier`, uncompressed, with no latency constraint.
+    pub fn new(
+        name: impl Into<String>,
+        account: impl Into<String>,
+        size_gb: f64,
+        tier: TierId,
+    ) -> Self {
+        ServeObject {
+            name: name.into(),
+            account: account.into(),
+            size_gb,
+            current_tier: tier,
+            compression: 0,
+            residency_days: 0,
+            latency_threshold_seconds: f64::INFINITY,
+        }
+    }
+
+    /// Set the current compression scheme (index into the engine's list).
+    pub fn with_compression(mut self, scheme: usize) -> Self {
+        self.compression = scheme;
+        self
+    }
+
+    /// Set the days already served on the current tier.
+    pub fn with_residency_days(mut self, days: u32) -> Self {
+        self.residency_days = days;
+        self
+    }
+
+    /// Set the latency threshold in seconds.
+    pub fn with_latency_threshold(mut self, seconds: f64) -> Self {
+        self.latency_threshold_seconds = seconds;
+        self
+    }
+}
+
+/// Per-object heat state: an exponentially decayed read counter.
+#[derive(Debug, Clone, Copy)]
+struct HeatState {
+    /// Decayed read count as of `last_day`.
+    value: f64,
+    /// Day the counter was last decayed to.
+    last_day: u32,
+}
+
+/// One account's shard: its assignment problem, incrementally patched
+/// cost table, incumbent choices, and the dirty-row worklist for the next
+/// re-solve.
+#[derive(Debug)]
+pub(crate) struct AccountShard {
+    /// Account name (shards merge in first-registration order).
+    pub(crate) account: String,
+    /// The shard's assignment problem; `partitions[n].predicted_accesses`
+    /// holds the bucket representative and `current_tier` tracks the
+    /// applied placement.
+    pub(crate) problem: OptAssignProblem,
+    /// Dense cost table, built on the first re-solve and row-patched
+    /// afterwards. `None` until then (or after a new registration, which
+    /// changes the problem shape).
+    table: Option<CostTable>,
+    /// Incumbent `(tier, scheme)` per partition: the registered placement
+    /// before the first re-solve, the last applied assignment after.
+    choices: Vec<(TierId, usize)>,
+    /// Rows whose table entries are stale (heat re-bucketed, or placement
+    /// changed last epoch); patched at the start of the next re-solve.
+    dirty: Vec<usize>,
+}
+
+/// Result of one shard's re-solve (internal; merged in account order).
+struct ShardDelta {
+    assignment: Assignment,
+    rows_patched: usize,
+    retier_decisions: usize,
+}
+
+/// Counters from one [`ServeEngine::ingest`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events folded into heat counters.
+    pub folded: u64,
+    /// Events at or past the horizon, dropped exactly as the billing
+    /// engine drops them (checked before object resolution).
+    pub dropped: u64,
+    /// In-horizon events for unknown object ids, skipped.
+    pub unknown: u64,
+}
+
+/// One account's slice of a resolve.
+#[derive(Debug, Clone)]
+pub struct AccountAssignment {
+    /// Account name.
+    pub account: String,
+    /// The account's (incremental or reference) assignment.
+    pub assignment: Assignment,
+}
+
+/// Outcome of one [`ServeEngine::reoptimize`] epoch.
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// Day the engine was last advanced to.
+    pub day: u32,
+    /// Per-account assignments, in account registration order.
+    pub accounts: Vec<AccountAssignment>,
+    /// Total objective across accounts, summed in account order.
+    pub total_objective: f64,
+    /// Cost-table rows (re)evaluated this epoch, across all shards.
+    pub rows_patched: usize,
+    /// Objects whose `(tier, scheme)` changed vs. the incumbent.
+    pub retier_decisions: usize,
+    /// Objects covered by this resolve.
+    pub objects: usize,
+    /// Cumulative out-of-horizon events dropped since engine start.
+    pub dropped_events: u64,
+}
+
+/// The long-running serving core: interned objects, decayed heat, and
+/// account shards re-solved incrementally (see the
+/// [module docs](self) for the invariants).
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    catalog: TierCatalog,
+    /// Shared compression-scheme list; index 0 must be "no compression".
+    schemes: Vec<CompressionOption>,
+    shards: Vec<AccountShard>,
+    account_ids: HashMap<String, usize>,
+    /// Global object id -> (shard index, row within shard).
+    locs: Vec<(u32, u32)>,
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    heat: Vec<HeatState>,
+    /// Day the engine state was last advanced to.
+    day: u32,
+    dropped_events: u64,
+}
+
+impl ServeEngine {
+    /// Create an engine over `catalog` with a shared compression-scheme
+    /// list (`schemes[0]` must have ratio 1.0 — the "no compression"
+    /// slot every partition's option list leads with).
+    pub fn new(
+        catalog: TierCatalog,
+        schemes: Vec<CompressionOption>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        if catalog.is_empty() {
+            return Err(ServeError::InvalidConfig("tier catalog is empty".into()));
+        }
+        if schemes.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "scheme list is empty; it must at least contain the no-compression option".into(),
+            ));
+        }
+        if schemes[0].ratio != 1.0 {
+            return Err(ServeError::InvalidConfig(format!(
+                "schemes[0] must be the no-compression option (ratio 1.0), got ratio {}",
+                schemes[0].ratio
+            )));
+        }
+        for (k, s) in schemes.iter().enumerate() {
+            if !(s.ratio > 0.0) || !s.ratio.is_finite() {
+                return Err(ServeError::InvalidConfig(format!(
+                    "scheme {k} ({}) has invalid ratio {}",
+                    s.name, s.ratio
+                )));
+            }
+            if !(s.decompress_seconds >= 0.0) || !s.decompress_seconds.is_finite() {
+                return Err(ServeError::InvalidConfig(format!(
+                    "scheme {k} ({}) has invalid decompress_seconds {}",
+                    s.name, s.decompress_seconds
+                )));
+            }
+        }
+        Ok(ServeEngine {
+            config,
+            catalog,
+            schemes,
+            shards: Vec::new(),
+            account_ids: HashMap::new(),
+            locs: Vec::new(),
+            names: Vec::new(),
+            name_ids: HashMap::new(),
+            heat: Vec::new(),
+            day: 0,
+            dropped_events: 0,
+        })
+    }
+
+    /// Register an object and return its interned id (the id to use in
+    /// [`EventColumns::object_ids`]). Registration invalidates the owning
+    /// shard's cost table — the next re-solve rebuilds that shard from
+    /// scratch, since the problem shape changed.
+    pub fn register(&mut self, spec: ServeObject) -> Result<u32, ServeError> {
+        if self.name_ids.contains_key(&spec.name) {
+            return Err(ServeError::DuplicateObject(spec.name));
+        }
+        if !(spec.size_gb > 0.0) || !spec.size_gb.is_finite() {
+            return Err(ServeError::InvalidObject(format!(
+                "object {} has invalid size {} GB",
+                spec.name, spec.size_gb
+            )));
+        }
+        if spec.current_tier.index() >= self.catalog.len() {
+            return Err(ServeError::InvalidObject(format!(
+                "object {} is on unknown tier {:?}",
+                spec.name, spec.current_tier
+            )));
+        }
+        if spec.compression >= self.schemes.len() {
+            return Err(ServeError::InvalidObject(format!(
+                "object {} uses compression scheme {} but only {} are registered",
+                spec.name,
+                spec.compression,
+                self.schemes.len()
+            )));
+        }
+        let shard_idx = match self.account_ids.get(&spec.account) {
+            Some(&i) => i,
+            None => {
+                let i = self.shards.len();
+                self.account_ids.insert(spec.account.clone(), i);
+                self.shards.push(AccountShard {
+                    account: spec.account.clone(),
+                    problem: OptAssignProblem::new(
+                        self.catalog.clone(),
+                        Vec::new(),
+                        self.config.horizon_months,
+                    ),
+                    table: None,
+                    choices: Vec::new(),
+                    dirty: Vec::new(),
+                });
+                i
+            }
+        };
+        let gid = self.locs.len() as u32;
+        if gid == UNKNOWN_OBJECT {
+            return Err(ServeError::InvalidObject(
+                "object id space exhausted".into(),
+            ));
+        }
+        let shard = &mut self.shards[shard_idx];
+        let row = shard.problem.partitions.len();
+        let mut partition = PartitionSpec::new(row, spec.name.clone(), spec.size_gb, 0.0)
+            .with_current_tier(spec.current_tier)
+            .with_residency_days(spec.residency_days);
+        if spec.latency_threshold_seconds.is_finite() {
+            partition = partition.with_latency_threshold(spec.latency_threshold_seconds);
+        }
+        partition.compression_options = self.schemes.clone();
+        shard.problem.partitions.push(partition);
+        shard.choices.push((spec.current_tier, spec.compression));
+        // Shape changed: the dense table no longer matches the problem.
+        shard.table = None;
+        shard.dirty.clear();
+        self.locs.push((shard_idx as u32, row as u32));
+        self.name_ids.insert(spec.name.clone(), gid);
+        self.names.push(spec.name);
+        self.heat.push(HeatState {
+            value: 0.0,
+            last_day: self.day,
+        });
+        Ok(gid)
+    }
+
+    /// Interned id of `name`, if registered.
+    pub fn object_id(&self, name: &str) -> Option<u32> {
+        self.name_ids.get(name).copied()
+    }
+
+    /// Name of object `id`, if it exists.
+    pub fn object_name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Whether no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Day the engine was last advanced to.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Cumulative out-of-horizon events dropped by [`Self::ingest`].
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// Current decayed heat of object `id` (as of its last fold/advance).
+    pub fn heat(&self, id: u32) -> Option<f64> {
+        self.heat.get(id as usize).map(|h| h.value)
+    }
+
+    /// Current applied `(tier, scheme)` placement of object `id`.
+    pub fn placement(&self, id: u32) -> Option<(TierId, usize)> {
+        let &(shard, row) = self.locs.get(id as usize)?;
+        Some(self.shards[shard as usize].choices[row as usize])
+    }
+
+    /// Resolve a name-keyed event trace against this engine's interned
+    /// ids ([`UNKNOWN_OBJECT`] for unregistered names) — the serving
+    /// analogue of the billing simulator's internal resolution step, so
+    /// both see the identical id stream for a given trace.
+    pub fn columns_from_events(&self, events: &[BillingEvent]) -> EventColumns {
+        let mut columns = EventColumns::default();
+        for e in events {
+            let id = self.object_id(&e.object).unwrap_or(UNKNOWN_OBJECT);
+            columns.push_resolved(e.day, id, e.kind, e.volume_gb);
+        }
+        columns
+    }
+
+    /// Fold an event batch into the per-object heat counters. No event is
+    /// retained: memory stays `O(objects)` for arbitrarily long streams.
+    ///
+    /// Mirrors the billing engine's event loop exactly: the out-of-horizon
+    /// drop check comes **first** (so a day-300 event for an unknown
+    /// object still counts as dropped), then unknown ids are skipped.
+    /// Reads add 1 to the (decayed) heat; writes are folded but carry no
+    /// read heat. Splitting a day-ordered stream into batches at any
+    /// boundary yields identical state, because decay is applied lazily
+    /// per object from its own `last_day`.
+    pub fn ingest(&mut self, columns: &EventColumns) -> IngestReport {
+        let mut report = IngestReport::default();
+        for i in 0..columns.len() {
+            let day = columns.days[i];
+            if day >= self.config.horizon_days {
+                report.dropped += 1;
+                continue;
+            }
+            let id = columns.object_ids[i] as usize;
+            if id >= self.heat.len() {
+                report.unknown += 1;
+                continue;
+            }
+            let h = &mut self.heat[id];
+            if day > h.last_day {
+                h.value *= self.config.decay_per_day.powi((day - h.last_day) as i32);
+                h.last_day = day;
+            }
+            if columns.kinds[i] == AccessKind::Read {
+                h.value += 1.0;
+            }
+            report.folded += 1;
+        }
+        self.dropped_events += report.dropped;
+        report
+    }
+
+    /// Advance the engine clock to `day`: decay every heat counter to the
+    /// boundary, re-bucket, and mark exactly the rows whose bucket
+    /// representative changed as dirty. Days already passed are ignored
+    /// per object (the clock never runs backwards).
+    pub fn advance(&mut self, day: u32) {
+        self.day = self.day.max(day);
+        for id in 0..self.heat.len() {
+            let h = &mut self.heat[id];
+            if day > h.last_day {
+                h.value *= self.config.decay_per_day.powi((day - h.last_day) as i32);
+                h.last_day = day;
+            }
+            let (shard_idx, row) = self.locs[id];
+            let shard = &mut self.shards[shard_idx as usize];
+            let partition = &mut shard.problem.partitions[row as usize];
+            let rep = partition.predicted_accesses;
+            let base = self.config.bucket_base;
+            let hyst = self.config.bucket_hysteresis;
+            // Re-bucket only once the heat leaves the representative's
+            // hysteresis band (at hysteresis 1.0 the band is exactly the
+            // bucket, i.e. pure floor semantics).
+            let stale = if rep == 0.0 {
+                h.value >= hyst
+            } else {
+                h.value < rep / hyst || h.value >= rep * base * hyst
+            };
+            if stale {
+                // Geometric bucket representative: 0 below one read, else
+                // the largest power of `bucket_base` not exceeding the heat.
+                let target = if h.value < 1.0 {
+                    0.0
+                } else {
+                    base.powf(h.value.log(base).floor())
+                };
+                if target.to_bits() != rep.to_bits() {
+                    partition.predicted_accesses = target;
+                    shard.dirty.push(row as usize);
+                }
+            }
+        }
+    }
+
+    /// Re-solve incrementally and apply the result: each account shard
+    /// patches its dirty rows in place, re-decides (greedy per-row, or
+    /// warm-started branch-and-bound under a node budget), and updates the
+    /// incumbent; shards fan out over the deterministic parallel map and
+    /// merge in account order, so the outcome is bit-for-bit identical for
+    /// any thread count — and to [`crate::reference::full_resolve`] on the
+    /// same state.
+    pub fn reoptimize(&mut self) -> Result<ResolveOutcome, ServeError> {
+        let threads = if self.config.threads == 0 {
+            default_threads()
+        } else {
+            self.config.threads
+        };
+        let node_budget = self.config.node_budget;
+        let deltas: Vec<Result<ShardDelta, OptAssignError>> =
+            parallel_map_mut_with_threads(&mut self.shards, threads, |_, shard| {
+                shard.resolve(node_budget)
+            });
+        let mut outcome = ResolveOutcome {
+            day: self.day,
+            accounts: Vec::with_capacity(self.shards.len()),
+            total_objective: 0.0,
+            rows_patched: 0,
+            retier_decisions: 0,
+            objects: self.locs.len(),
+            dropped_events: self.dropped_events,
+        };
+        // Merge strictly in account order: the objective sum order is part
+        // of the bit-for-bit contract with the reference path.
+        for (shard, delta) in self.shards.iter().zip(deltas) {
+            let delta = delta?;
+            outcome.total_objective += delta.assignment.objective;
+            outcome.rows_patched += delta.rows_patched;
+            outcome.retier_decisions += delta.retier_decisions;
+            outcome.accounts.push(AccountAssignment {
+                account: shard.account.clone(),
+                assignment: delta.assignment,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// The account shards, in registration order (crate-internal: the
+    /// reference resolver walks the same problems cold).
+    pub(crate) fn shards(&self) -> &[AccountShard] {
+        &self.shards
+    }
+}
+
+impl AccountShard {
+    /// One shard re-solve: patch stale rows, re-decide, apply.
+    fn resolve(&mut self, node_budget: Option<u64>) -> Result<ShardDelta, OptAssignError> {
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        let dirty = std::mem::take(&mut self.dirty);
+        let n = self.problem.partitions.len();
+        let rows_patched;
+        let choices = match &mut self.table {
+            None => {
+                // Cold start (first resolve, or the shape changed after a
+                // registration): full build, full decide.
+                self.problem.validate()?;
+                let table = CostTable::build(&self.problem);
+                rows_patched = n;
+                let choices = match node_budget {
+                    None => greedy_choices(&table, &self.problem, 0..n, None)?,
+                    Some(budget) => {
+                        // The cold branch-and-bound builds its own table
+                        // internally; its rows are bit-identical to ours,
+                        // so adopting its choices keeps the two in lockstep.
+                        let (assignment, _) = solve_branch_and_bound(&self.problem, budget)?;
+                        assignment.choices
+                    }
+                };
+                self.table = Some(table);
+                choices
+            }
+            Some(table) => {
+                table.patch_rows(&self.problem, &dirty)?;
+                rows_patched = dirty.len();
+                match node_budget {
+                    None => greedy_choices(
+                        table,
+                        &self.problem,
+                        dirty.iter().copied(),
+                        Some(self.choices.clone()),
+                    )?,
+                    Some(budget) => {
+                        // The incumbent stays feasible across heat changes
+                        // (feasibility depends only on latency thresholds
+                        // and sizes, which never change here), so it seeds
+                        // the warm search directly.
+                        let (assignment, _) = solve_branch_and_bound_warm(
+                            &self.problem,
+                            table,
+                            &self.choices,
+                            budget,
+                        )?;
+                        assignment.choices
+                    }
+                }
+            }
+        };
+        let Some(table) = self.table.as_ref() else {
+            return Err(OptAssignError::InvalidProblem(
+                "shard lost its cost table mid-resolve".into(),
+            ));
+        };
+        let assignment = table.assignment(&self.problem, choices.clone())?;
+        let mut retier_decisions = 0;
+        for (row, (&new, &old)) in choices.iter().zip(&self.choices).enumerate() {
+            if new != old {
+                retier_decisions += 1;
+                // Applying the move changes the row's transition costs
+                // (they are priced from current_tier), so the row is stale
+                // for the *next* epoch.
+                self.problem.partitions[row].current_tier = Some(new.0);
+                self.dirty.push(row);
+            }
+        }
+        self.choices = choices;
+        Ok(ShardDelta {
+            assignment,
+            rows_patched,
+            retier_decisions,
+        })
+    }
+}
+
+/// Per-row greedy decisions over `rows`, starting from `seed` (or empty
+/// choices when re-deciding everything). Uses [`CostTable::min_feasible`],
+/// the exact rule `solve_greedy` applies — first minimum in tier-major
+/// order — so incremental and batch paths tie-break identically.
+fn greedy_choices(
+    table: &CostTable,
+    problem: &OptAssignProblem,
+    rows: impl Iterator<Item = usize>,
+    seed: Option<Vec<(TierId, usize)>>,
+) -> Result<Vec<(TierId, usize)>, OptAssignError> {
+    let mut choices = seed.unwrap_or_else(|| vec![(TierId(0), 0); problem.partitions.len()]);
+    for row in rows {
+        match table.min_feasible(row) {
+            Some((_, tier, scheme)) => choices[row] = (tier, scheme),
+            None => {
+                return Err(OptAssignError::InfeasiblePartition {
+                    partition: problem.partitions[row].id,
+                    name: problem.partitions[row].name.clone(),
+                })
+            }
+        }
+    }
+    Ok(choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use scope_cloudsim::{BillingSimulator, ObjectSpec, Placement};
+
+    fn schemes() -> Vec<CompressionOption> {
+        vec![
+            CompressionOption::none(),
+            CompressionOption::new("gzip", 3.5, 1.5),
+            CompressionOption::new("zstd", 2.4, 0.35),
+        ]
+    }
+
+    /// Deterministic LCG so traces are reproducible without the rand shim.
+    fn lcg(state: &mut u64) -> u32 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 33) as u32
+    }
+
+    /// Engine with `accounts * per_account` objects of distinct sizes;
+    /// every third object gets a tight latency threshold (excludes the
+    /// archive tier), sizes/residencies vary deterministically.
+    fn demo_engine(accounts: usize, per_account: usize, config: ServeConfig) -> ServeEngine {
+        let mut engine = ServeEngine::new(
+            scope_cloudsim::TierCatalog::azure_hot_cool_archive(),
+            schemes(),
+            config,
+        )
+        .unwrap();
+        for a in 0..accounts {
+            for o in 0..per_account {
+                let gid = a * per_account + o;
+                let mut spec = ServeObject::new(
+                    format!("obj-{a}-{o}"),
+                    format!("acct-{a}"),
+                    1.0 + gid as f64 * 0.37,
+                    TierId(gid % 2),
+                )
+                .with_residency_days((gid as u32 * 11) % 200);
+                if gid % 3 == 0 {
+                    spec = spec.with_latency_threshold(2.0);
+                }
+                engine.register(spec).unwrap();
+            }
+        }
+        engine
+    }
+
+    /// A day-ordered read/write trace over the engine's objects, with a
+    /// skewed access distribution so heats diverge across buckets.
+    fn demo_trace(engine: &ServeEngine, days: u32, events_per_day: usize) -> Vec<BillingEvent> {
+        let mut state = 0x5eed_cafe_u64;
+        let n = engine.len() as u32;
+        let mut events = Vec::new();
+        for day in 0..days {
+            for _ in 0..events_per_day {
+                // Square the draw to skew toward low ids (hot objects).
+                let draw = lcg(&mut state) % n;
+                let id = (u64::from(draw) * u64::from(draw) / u64::from(n)) as u32;
+                let name = engine.object_name(id.min(n - 1)).unwrap().to_string();
+                let volume = 0.05 + f64::from(lcg(&mut state) % 100) / 200.0;
+                if lcg(&mut state) % 10 == 0 {
+                    events.push(BillingEvent::write(name, day, volume));
+                } else {
+                    events.push(BillingEvent::read(name, day, volume));
+                }
+            }
+        }
+        events
+    }
+
+    fn assert_outcome_matches_reference(
+        outcome: &ResolveOutcome,
+        reference: &[AccountAssignment],
+        epoch: usize,
+    ) {
+        assert_eq!(outcome.accounts.len(), reference.len(), "epoch {epoch}");
+        for (inc, cold) in outcome.accounts.iter().zip(reference) {
+            assert_eq!(inc.account, cold.account, "epoch {epoch}");
+            assert_eq!(
+                inc.assignment.choices, cold.assignment.choices,
+                "epoch {epoch}: choices diverged for {}",
+                inc.account
+            );
+            assert_eq!(
+                inc.assignment.objective.to_bits(),
+                cold.assignment.objective.to_bits(),
+                "epoch {epoch}: objective bits diverged for {}",
+                inc.account
+            );
+        }
+        assert_eq!(
+            outcome.total_objective.to_bits(),
+            reference::total_objective(reference).to_bits(),
+            "epoch {epoch}: total objective diverged"
+        );
+    }
+
+    #[test]
+    fn config_and_registration_are_validated() {
+        let bad = ServeConfig {
+            decay_per_day: 1.5,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(ServeError::InvalidConfig(_))));
+        let bad = ServeConfig {
+            bucket_base: 1.0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(ServeError::InvalidConfig(_))));
+
+        let catalog = scope_cloudsim::TierCatalog::azure_hot_cool_archive();
+        // schemes[0] must be the identity scheme.
+        assert!(ServeEngine::new(
+            catalog.clone(),
+            vec![CompressionOption::new("gzip", 3.5, 1.5)],
+            ServeConfig::default(),
+        )
+        .is_err());
+
+        let mut engine = ServeEngine::new(catalog, schemes(), ServeConfig::default()).unwrap();
+        engine
+            .register(ServeObject::new("a", "acct", 1.0, TierId(0)))
+            .unwrap();
+        assert!(matches!(
+            engine.register(ServeObject::new("a", "acct", 2.0, TierId(0))),
+            Err(ServeError::DuplicateObject(_))
+        ));
+        assert!(matches!(
+            engine.register(ServeObject::new("b", "acct", -1.0, TierId(0))),
+            Err(ServeError::InvalidObject(_))
+        ));
+        assert!(matches!(
+            engine.register(ServeObject::new("c", "acct", 1.0, TierId(9))),
+            Err(ServeError::InvalidObject(_))
+        ));
+        assert!(matches!(
+            engine.register(ServeObject::new("d", "acct", 1.0, TierId(0)).with_compression(7)),
+            Err(ServeError::InvalidObject(_))
+        ));
+        assert_eq!(engine.len(), 1);
+        assert_eq!(engine.object_id("a"), Some(0));
+        assert_eq!(engine.object_name(0), Some("a"));
+        assert_eq!(engine.placement(0), Some((TierId(0), 0)));
+    }
+
+    #[test]
+    fn ingest_mirrors_billing_dropped_events_exactly() {
+        let catalog = scope_cloudsim::TierCatalog::azure_hot_cool_archive();
+        let config = ServeConfig {
+            horizon_days: 60,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(catalog.clone(), schemes(), config).unwrap();
+        engine
+            .register(ServeObject::new("a", "acct", 10.0, TierId(0)))
+            .unwrap();
+        engine
+            .register(ServeObject::new("b", "acct", 4.0, TierId(1)))
+            .unwrap();
+
+        let mut sim = BillingSimulator::new(catalog);
+        sim.place(
+            ObjectSpec::new("a", 10.0).on_tier(TierId(0)),
+            Placement::uncompressed(TierId(0)),
+        )
+        .unwrap();
+        sim.place(
+            ObjectSpec::new("b", 4.0).on_tier(TierId(1)),
+            Placement::uncompressed(TierId(1)),
+        )
+        .unwrap();
+
+        // In-horizon reads/writes, out-of-horizon events (including one for
+        // an unknown object — the drop check precedes object resolution in
+        // both engines), and an in-horizon unknown (skipped, not dropped).
+        let events = vec![
+            BillingEvent::read("a", 3, 1.0),
+            BillingEvent::write("b", 10, 0.5),
+            BillingEvent::read("a", 59, 2.0),
+            BillingEvent::read("a", 60, 1.0),
+            BillingEvent::read("ghost", 61, 1.0),
+            BillingEvent::write("b", 300, 0.1),
+            BillingEvent::read("ghost", 12, 1.0),
+        ];
+        let report = sim.run_days(60, &events).unwrap();
+        let columns = engine.columns_from_events(&events);
+        let ingest = engine.ingest(&columns);
+
+        assert_eq!(ingest.dropped, 3);
+        assert_eq!(ingest.unknown, 1);
+        assert_eq!(ingest.folded, 3);
+        assert_eq!(report.dropped_events, engine.dropped_events());
+        // Cumulative across batches: a replay of the same columns doubles it.
+        engine.ingest(&columns);
+        assert_eq!(engine.dropped_events(), 2 * report.dropped_events);
+    }
+
+    #[test]
+    fn ingest_is_invariant_under_batch_splits() {
+        let config = ServeConfig::default();
+        let mut whole = demo_engine(2, 12, config.clone());
+        let mut split = demo_engine(2, 12, config);
+        let events = demo_trace(&whole, 90, 40);
+        let columns = whole.columns_from_events(&events);
+
+        whole.ingest(&columns);
+        for (lo, hi) in [(0, 13), (13, 40), (40, 90)] {
+            split.ingest(&columns.filter_day_range(lo, hi));
+        }
+        for id in 0..whole.len() as u32 {
+            assert_eq!(
+                whole.heat(id).unwrap().to_bits(),
+                split.heat(id).unwrap().to_bits(),
+                "heat diverged for object {id}"
+            );
+        }
+        assert_eq!(whole.dropped_events(), split.dropped_events());
+    }
+
+    #[test]
+    fn incremental_resolve_matches_cold_reference_on_every_epoch() {
+        let mut engine = demo_engine(3, 10, ServeConfig::default());
+        let events = demo_trace(&engine, 90, 60);
+        let columns = engine.columns_from_events(&events);
+        let full_rows = engine.len();
+
+        let mut later_rows_patched = 0;
+        for epoch in 0..6 {
+            let (lo, hi) = (epoch as u32 * 15, epoch as u32 * 15 + 15);
+            engine.ingest(&columns.filter_day_range(lo, hi));
+            engine.advance(hi);
+            let cold = reference::full_resolve(&engine).unwrap();
+            let outcome = engine.reoptimize().unwrap();
+            assert_outcome_matches_reference(&outcome, &cold, epoch);
+            assert_eq!(outcome.day, hi);
+            assert_eq!(outcome.objects, engine.len());
+            if epoch == 0 {
+                // Cold start evaluates every row once.
+                assert_eq!(outcome.rows_patched, full_rows);
+            } else {
+                later_rows_patched += outcome.rows_patched;
+            }
+        }
+        // The steady state is a *delta* path: bucketing must absorb most
+        // heat drift, so warm epochs patch far fewer rows than full
+        // rebuilds would (5 warm epochs x 30 rows = 150 ceiling).
+        assert!(
+            later_rows_patched < 5 * full_rows / 2,
+            "warm epochs patched {later_rows_patched} rows; delta path is not delta"
+        );
+    }
+
+    #[test]
+    fn registration_mid_stream_forces_a_cold_rebuild_and_stays_consistent() {
+        let mut engine = demo_engine(2, 6, ServeConfig::default());
+        let events = demo_trace(&engine, 60, 30);
+        let columns = engine.columns_from_events(&events);
+        for epoch in 0..4 {
+            let (lo, hi) = (epoch * 15, epoch * 15 + 15);
+            engine.ingest(&columns.filter_day_range(lo, hi));
+            engine.advance(hi);
+            if epoch == 2 {
+                // Shape change: the owning shard must rebuild, the other
+                // shard keeps its warm table, and both still match the
+                // cold reference.
+                engine
+                    .register(
+                        ServeObject::new("late-arrival", "acct-0", 42.5, TierId(0))
+                            .with_residency_days(7),
+                    )
+                    .unwrap();
+            }
+            let cold = reference::full_resolve(&engine).unwrap();
+            let outcome = engine.reoptimize().unwrap();
+            assert_outcome_matches_reference(&outcome, &cold, epoch as usize);
+        }
+        let late = engine.object_id("late-arrival").unwrap();
+        assert!(engine.placement(late).is_some());
+    }
+
+    /// One epoch's digest: per-account choices plus the total-objective bits.
+    type EpochDigest = Vec<(Vec<(TierId, usize)>, u64)>;
+
+    #[test]
+    fn resolve_outcome_is_thread_count_independent() {
+        let mut outcomes: Vec<EpochDigest> = Vec::new();
+        for threads in [1usize, 3, 8] {
+            let config = ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            };
+            let mut engine = demo_engine(4, 7, config);
+            let events = demo_trace(&engine, 60, 50);
+            let columns = engine.columns_from_events(&events);
+            let mut per_epoch = Vec::new();
+            for epoch in 0..4u32 {
+                let (lo, hi) = (epoch * 15, epoch * 15 + 15);
+                engine.ingest(&columns.filter_day_range(lo, hi));
+                engine.advance(hi);
+                let outcome = engine.reoptimize().unwrap();
+                per_epoch.push((
+                    outcome
+                        .accounts
+                        .iter()
+                        .flat_map(|a| a.assignment.choices.iter().copied())
+                        .collect::<Vec<_>>(),
+                    outcome.total_objective.to_bits(),
+                ));
+            }
+            outcomes.push(per_epoch);
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "threads=3 diverged from sequential"
+        );
+        assert_eq!(
+            outcomes[0], outcomes[2],
+            "threads=8 diverged from sequential"
+        );
+    }
+
+    #[test]
+    fn warm_branch_and_bound_mode_matches_cold_reference_under_capacity() {
+        use scope_cloudsim::Tier;
+        // A capacity-constrained premium tier couples the partitions, so
+        // per-row greedy is wrong and the engine must run warm-started
+        // branch-and-bound seeded from the incumbent.
+        let catalog = scope_cloudsim::TierCatalog::new(vec![
+            Tier::new("premium", 12.0, 0.01, 0.02, 0.005).with_capacity_gb(26.0),
+            Tier::new("standard", 2.0, 0.9, 0.05, 0.2),
+            Tier::new("cold", 0.4, 8.0, 0.05, 15.0),
+        ])
+        .unwrap();
+        let config = ServeConfig {
+            node_budget: Some(200_000),
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(catalog, schemes(), config).unwrap();
+        for (i, size) in [10.0, 9.0, 7.0, 5.0, 4.0, 2.5, 1.5, 13.0]
+            .iter()
+            .enumerate()
+        {
+            let account = if i % 2 == 0 { "acct-a" } else { "acct-b" };
+            let mut spec = ServeObject::new(format!("obj-{i}"), account, *size, TierId(1));
+            if i % 3 == 0 {
+                spec = spec.with_latency_threshold(1.0);
+            }
+            engine.register(spec).unwrap();
+        }
+        let events = demo_trace(&engine, 60, 40);
+        let columns = engine.columns_from_events(&events);
+        for epoch in 0..4u32 {
+            let (lo, hi) = (epoch * 15, epoch * 15 + 15);
+            engine.ingest(&columns.filter_day_range(lo, hi));
+            engine.advance(hi);
+            let cold = reference::full_resolve(&engine).unwrap();
+            let outcome = engine.reoptimize().unwrap();
+            assert_outcome_matches_reference(&outcome, &cold, epoch as usize);
+        }
+    }
+
+    #[test]
+    fn applied_moves_update_placements_and_dirty_the_rows() {
+        let mut engine = demo_engine(1, 8, ServeConfig::default());
+        // Cold resolve decides initial placements (heat 0 -> cheapest
+        // feasible tier for every object).
+        let first = engine.reoptimize().unwrap();
+        assert_eq!(first.rows_patched, 8);
+        for id in 0..engine.len() as u32 {
+            let (tier, scheme) = engine.placement(id).unwrap();
+            let shard_choice = first.accounts[0].assignment.choices[id as usize];
+            assert_eq!((tier, scheme), shard_choice);
+        }
+        // Without new events or heat changes, the next epoch only patches
+        // rows whose placement moved last epoch, and decides nothing new.
+        let second = engine.reoptimize().unwrap();
+        assert_eq!(second.rows_patched, first.retier_decisions);
+        assert_eq!(second.retier_decisions, 0);
+        assert_eq!(
+            second.total_objective.to_bits(),
+            reference::total_objective(&reference::full_resolve(&engine).unwrap()).to_bits()
+        );
+    }
+}

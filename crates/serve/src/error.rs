@@ -1,0 +1,40 @@
+//! Error type for the serving engine.
+
+use std::fmt;
+
+use scope_optassign::OptAssignError;
+
+/// Errors produced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The [`crate::ServeConfig`] is malformed (bad decay, bucket base, ...).
+    InvalidConfig(String),
+    /// An object registration is malformed (bad size, unknown tier or
+    /// compression scheme, ...).
+    InvalidObject(String),
+    /// An object with the same name is already registered.
+    DuplicateObject(String),
+    /// A re-solve failed inside the assignment optimizer.
+    Solver(OptAssignError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::InvalidObject(msg) => write!(f, "invalid object: {msg}"),
+            ServeError::DuplicateObject(name) => {
+                write!(f, "object {name:?} is already registered")
+            }
+            ServeError::Solver(err) => write!(f, "re-solve failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OptAssignError> for ServeError {
+    fn from(err: OptAssignError) -> Self {
+        ServeError::Solver(err)
+    }
+}

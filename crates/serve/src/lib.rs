@@ -1,0 +1,46 @@
+//! Incremental serving engine over the streaming billing loop.
+//!
+//! The optimizer crates below this one are batch-only: every solve builds
+//! a dense [`scope_optassign::CostTable`], solves, and discards — fine for
+//! a one-shot experiment, useless for the north-star of re-optimizing
+//! millions of objects as access events stream in. This crate is the
+//! long-running form:
+//!
+//! * [`ServeEngine`] holds per-object state — interned id, current
+//!   `tier + compression` placement, and a heat counter with day-bucketed
+//!   exponential decay — grouped into per-account shards.
+//! * [`ServeEngine::ingest`] folds [`scope_cloudsim::EventColumns`]
+//!   batches into per-object heat deltas in bounded memory (no event is
+//!   retained), counting out-of-horizon events exactly as the billing
+//!   engine's `dropped_events` does.
+//! * [`ServeEngine::advance`] decays heat to the epoch boundary and
+//!   re-buckets it geometrically; only objects whose heat crossed a bucket
+//!   boundary are marked dirty.
+//! * [`ServeEngine::reoptimize`] re-solves incrementally: dirty rows are
+//!   re-evaluated in place with [`scope_optassign::CostTable::patch_rows`]
+//!   (bit-identical to a from-scratch build), the greedy choice is
+//!   recomputed for exactly those rows (or a warm-started branch-and-bound
+//!   is seeded from the incumbent), and account shards fan out over the
+//!   deterministic [`scope_cloudsim::parallel`] primitives with an
+//!   in-order merge — the outcome is bit-for-bit identical for any thread
+//!   count.
+//! * [`reference::full_resolve`] is the preserved batch path: a cold
+//!   from-scratch solve over the same state, pinned bit-for-bit equal to
+//!   the incremental path by the differential tests and in-process by
+//!   `serve_bench` before any timing runs.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod reference;
+
+mod error;
+
+pub use engine::{
+    AccountAssignment, IngestReport, ResolveOutcome, ServeConfig, ServeEngine, ServeObject,
+};
+pub use error::ServeError;
+
+// The vocabulary types callers need to drive the engine, re-exported so
+// downstream crates don't have to depend on the optimizer directly.
+pub use scope_optassign::{Assignment, CompressionOption};
