@@ -40,7 +40,7 @@ cargo run -q -p scope-analyze -- --deny --json
 # static recount of #[test] cases (scope-analyze rule ci-floor-consistency
 # keeps it honest) — if the suite ever shrinks below it, tests were lost,
 # not just reorganised.
-min_tests=536
+min_tests=571
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {
@@ -85,6 +85,15 @@ if [[ $quick -eq 0 ]]; then
     echo "==> serve_bench --json --quick (BENCH_8 smoke)"
     cargo run --release -q -p scope-bench --bin serve_bench -- \
         --json --quick --out target/BENCH_8.quick.json
+
+    # PR-9 chaos suite: seeded fault injection against the serving loop.
+    # The bin asserts, in-process before timing: heat bit-identical to a
+    # fault-free twin, quarantine == the independent expected_intake
+    # reference, healthy shards == full_resolve, and crash+restore ==
+    # never-crashed (checkpoints compared as raw bytes).
+    echo "==> chaos_bench --json --quick (BENCH_9 smoke)"
+    cargo run --release -q -p scope-bench --bin chaos_bench -- \
+        --json --quick --out target/BENCH_9.quick.json
 fi
 
 echo "==> cargo bench --no-run (criterion benches must compile)"

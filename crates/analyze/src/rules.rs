@@ -1051,6 +1051,25 @@ fn bench_schema(ws: &Workspace, findings: &mut Vec<Finding>) {
                 Some(_) => {}
             }
         }
+        // The filename's number is the artifact's identity — it must agree
+        // with the `issue` field, or a copied template silently misfiles a
+        // PR's numbers under another PR's name.
+        if let (Some(stem), Some(json::Value::Number(issue))) = (
+            name.strip_prefix("BENCH_")
+                .and_then(|s| s.strip_suffix(".json")),
+            obj.get("issue"),
+        ) {
+            if stem.parse::<f64>() != Ok(*issue) {
+                findings.push(Finding {
+                    rule: "bench-schema",
+                    file: name.clone(),
+                    line: 0,
+                    message: format!(
+                        "filename number \"{stem}\" does not match \"issue\": {issue}"
+                    ),
+                });
+            }
+        }
     }
 }
 

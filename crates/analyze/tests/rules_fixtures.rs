@@ -142,7 +142,7 @@ fn shim_surface_pos_neg_waived() {
 fn bench_schema_checks_keys_types_and_parse() {
     let report = run("bench-schema", &["bench-schema"]);
     let msgs = messages(&report);
-    assert_eq!(report.findings.len(), 4, "{msgs:?}");
+    assert_eq!(report.findings.len(), 5, "{msgs:?}");
     let bad_keys = report
         .findings
         .iter()
@@ -159,6 +159,12 @@ fn bench_schema_checks_keys_types_and_parse() {
     assert!(
         msgs.iter()
             .any(|m| m.contains("BENCH_12.json") && m.contains("not valid JSON")),
+        "{msgs:?}"
+    );
+    // The filename number is the artifact's identity.
+    assert!(
+        msgs.iter().any(|m| m.contains("BENCH_13.json")
+            && m.contains("filename number \"13\" does not match \"issue\": 99")),
         "{msgs:?}"
     );
     // BENCH_10.json is well-formed and produces nothing.

@@ -404,11 +404,10 @@ impl BillingSimulator {
 
         // Phase 1: per-object ledgers, computed in parallel, merged in
         // placement order.
-        let ledgers = parallel::parallel_map_with_threads(&self.objects, threads, |i, obj| {
+        let ledgers = parallel::try_parallel_map_with_threads(&self.objects, threads, |i, obj| {
             self.object_ledger(obj, self.object_ids[i], horizon_days)
-        });
+        })?;
         for ledger in ledgers {
-            let ledger = ledger?;
             for &(period, component, amount) in &ledger.postings {
                 let m = &mut months[period as usize];
                 match component {
@@ -456,14 +455,17 @@ impl BillingSimulator {
                     dropped_events += 1; // outside the billed horizon
                     continue;
                 }
-                if id == UNKNOWN_OBJECT {
-                    continue; // accesses to unknown objects are ignored
-                }
                 if !volume_gb.is_finite() || volume_gb < 0.0 {
+                    // Malformed volumes are rejected before object
+                    // resolution: an in-horizon NaN/negative volume is a
+                    // corrupt trace even when it names an unknown object.
                     return Err(CloudSimError::InvalidParameter {
                         name: "volume_gb",
                         value: volume_gb,
                     });
+                }
+                if id == UNKNOWN_OBJECT {
+                    continue; // accesses to unknown objects are ignored
                 }
                 let (lo, hi) = rates.spans[id as usize];
                 let table = &rates.entries[lo as usize..hi as usize];
@@ -694,11 +696,13 @@ fn outcome_of(
     if day >= horizon_days {
         return EventOutcome::Dropped;
     }
+    if !volume_gb.is_finite() || volume_gb < 0.0 {
+        // Checked before the unknown-object skip: a corrupt volume is a
+        // corrupt trace regardless of whether its name resolved.
+        return EventOutcome::Invalid(volume_gb);
+    }
     if id == UNKNOWN_OBJECT {
         return EventOutcome::Unknown;
-    }
-    if !volume_gb.is_finite() || volume_gb < 0.0 {
-        return EventOutcome::Invalid(volume_gb);
     }
     // The segment in force on `day`: the last entry starting at or before
     // it. Segments tile [0, horizon) and day < horizon, so the search
@@ -1469,5 +1473,58 @@ mod tests {
             );
             assert!(format!("{got:?}").contains("NaN"), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn invalid_volume_on_an_unknown_object_is_rejected_not_skipped() {
+        // Regression: the invalid-volume check used to come after the
+        // unknown-object skip, so corrupt events naming unregistered
+        // objects were silently ignored instead of failing the replay.
+        let (s, mut events, horizon) = differential_fixture();
+        events[11] = BillingEvent::read("nobody-at-all", 2, f64::NAN);
+        let expected = crate::reference::run_days_reference(&s, horizon, &events);
+        assert!(
+            format!("{expected:?}").contains("volume_gb"),
+            "reference must reject the corrupt unknown-object event: {expected:?}"
+        );
+        for threads in [1, 2, 7] {
+            let got = s.run_days_with_threads(horizon, &events, threads);
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{expected:?}"),
+                "threads={threads}"
+            );
+        }
+        // Negative volumes are typed errors too, on known and unknown names.
+        for name in ["obj-1", "ghost-object"] {
+            let mut events = events.clone();
+            events[11] = BillingEvent::write(name, 2, -0.5);
+            let got = s.run_days(horizon, &events);
+            assert!(
+                matches!(
+                    got,
+                    Err(CloudSimError::InvalidParameter {
+                        name: "volume_gb",
+                        value,
+                    }) if value == -0.5
+                ),
+                "{name}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_horizon_invalid_volumes_still_count_as_dropped() {
+        // Drop-ordering is unchanged: the horizon check precedes volume
+        // validation, so a corrupt event past the horizon is dropped, not
+        // an error — exactly the serving intake's quarantine ordering.
+        let (s, mut events, horizon) = differential_fixture();
+        events[11] = BillingEvent::read("obj-1", horizon + 3, f64::NAN);
+        let expected = crate::reference::run_days_reference(&s, horizon, &events).unwrap();
+        for threads in [1, 2, 7] {
+            let got = s.run_days_with_threads(horizon, &events, threads).unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+        assert!(expected.dropped_events > 0);
     }
 }

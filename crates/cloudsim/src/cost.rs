@@ -15,7 +15,7 @@
 
 use crate::error::CloudSimError;
 use crate::providers::ProviderTopology;
-use crate::tiers::{TierCatalog, TierId};
+use crate::tiers::{Tier, TierCatalog, TierId};
 use serde::{Deserialize, Serialize};
 
 /// Description of a stored object (a data partition or whole dataset).
@@ -230,26 +230,31 @@ impl CostModel {
         self.topology.as_ref()
     }
 
+    /// The spec of `tier`, whose id the infallible pricing entry points
+    /// below require to come from this model's own catalog (the only
+    /// `TierId`s in circulation are minted by a catalog). This is the one
+    /// place that invariant is enforced.
+    fn tier_spec(&self, tier: TierId) -> &Tier {
+        self.catalog.tier(tier).expect("tier id from this catalog")
+    }
+
     /// Storage cost (cents) of keeping `size_gb` gigabytes on `tier` for
     /// `months` months.
     pub fn storage_cost(&self, tier: TierId, size_gb: f64, months: f64) -> f64 {
-        let t = self.catalog.tier(tier).expect("tier id from this catalog");
-        t.storage_cost_cents_per_gb_month * size_gb * months
+        self.tier_spec(tier).storage_cost_cents_per_gb_month * size_gb * months
     }
 
     /// Read cost (cents) of reading `size_gb` gigabytes `accesses` times
     /// from `tier`.
     pub fn read_cost(&self, tier: TierId, size_gb: f64, accesses: f64) -> f64 {
-        let t = self.catalog.tier(tier).expect("tier id from this catalog");
-        t.read_cost_cents_per_gb * size_gb * accesses
+        self.tier_spec(tier).read_cost_cents_per_gb * size_gb * accesses
     }
 
     /// Write cost (cents) of landing `size_gb` gigabytes on `tier`
     /// (`Delta_{-1,l}` — used both for new ingests and as the write half of
     /// a tier change).
     pub fn write_cost(&self, tier: TierId, size_gb: f64) -> f64 {
-        let t = self.catalog.tier(tier).expect("tier id from this catalog");
-        t.write_cost_cents_per_gb * size_gb
+        self.tier_spec(tier).write_cost_cents_per_gb * size_gb
     }
 
     /// Inter-provider egress cost (cents) of moving `size_gb` GB from
@@ -378,8 +383,7 @@ impl CostModel {
     /// usable: TTFB plus decompression. This is the quantity bounded by the
     /// per-partition latency threshold `T(P_n)` in the ILP.
     pub fn access_latency_seconds(&self, tier: TierId, decompression_seconds: f64) -> f64 {
-        let t = self.catalog.tier(tier).expect("tier id from this catalog");
-        t.ttfb_seconds + decompression_seconds
+        self.tier_spec(tier).ttfb_seconds + decompression_seconds
     }
 }
 

@@ -155,6 +155,79 @@ where
     out
 }
 
+/// Fallible [`parallel_map`]: `f` returns `Result` per item and the whole
+/// fan-out returns `Ok(results)` only when every item succeeded, else the
+/// error of the **lowest-indexed** failing item — the same error a
+/// sequential short-circuiting loop would surface, regardless of which
+/// worker hit its error first. Workers always run their whole chunk (no
+/// cross-thread cancellation), so the choice of surfaced error is a pure
+/// index-order fold over per-item results and never racy.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    try_parallel_map_with_threads(items, default_threads(), f)
+}
+
+/// [`try_parallel_map`] with an explicit thread count (1 = sequential
+/// short-circuiting loop, except that later items are still evaluated; the
+/// *returned* error is identical either way).
+pub fn try_parallel_map_with_threads<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    collect_first_error(parallel_map_with_threads(items, threads, f))
+}
+
+/// Fallible [`parallel_map_mut`]: every item is visited (each worker runs
+/// its whole chunk, so all per-item state updates happen exactly as in the
+/// infallible form), then the results fold to `Ok(all)` or the error of
+/// the lowest-indexed failing item.
+pub fn try_parallel_map_mut<T, R, E, F>(items: &mut [T], f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &mut T) -> Result<R, E> + Sync,
+{
+    try_parallel_map_mut_with_threads(items, default_threads(), f)
+}
+
+/// [`try_parallel_map_mut`] with an explicit thread count.
+pub fn try_parallel_map_mut_with_threads<T, R, E, F>(
+    items: &mut [T],
+    threads: usize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &mut T) -> Result<R, E> + Sync,
+{
+    collect_first_error(parallel_map_mut_with_threads(items, threads, f))
+}
+
+/// Fold per-item `Result`s in index order: all-`Ok` collects, otherwise
+/// the first (lowest-index) error wins deterministically.
+fn collect_first_error<R, E>(results: Vec<Result<R, E>>) -> Result<Vec<R>, E> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +291,48 @@ mod tests {
         }
         let mut empty: Vec<u32> = Vec::new();
         assert!(parallel_map_mut(&mut empty, |_, x: &mut u32| *x).is_empty());
+    }
+
+    #[test]
+    fn fallible_fan_out_surfaces_the_lowest_indexed_error_for_every_thread_count() {
+        // Items 37 and 5 both fail; index order says 5 must win no matter
+        // which worker finished first.
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1usize, 2, 3, 8, 13] {
+            let got = try_parallel_map_with_threads(&items, threads, |_, &x| {
+                if x == 5 || x == 37 {
+                    Err(format!("item {x} failed"))
+                } else {
+                    Ok(x * 2)
+                }
+            });
+            assert_eq!(got, Err("item 5 failed".to_string()), "threads = {threads}");
+            let ok =
+                try_parallel_map_with_threads(&items, threads, |_, &x| Ok::<u32, String>(x * 2))
+                    .unwrap();
+            assert_eq!(ok, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fallible_mutable_fan_out_still_visits_every_item() {
+        // Even when an early item errors, later items' state updates must
+        // happen (workers run whole chunks) so that error handling does not
+        // depend on the thread count.
+        for threads in [1usize, 2, 4, 8] {
+            let mut items: Vec<u64> = (0..50).collect();
+            let got = try_parallel_map_mut_with_threads(&mut items, threads, |_, x| {
+                *x += 1;
+                if *x == 8 {
+                    Err("boom")
+                } else {
+                    Ok(*x)
+                }
+            });
+            assert_eq!(got, Err("boom"), "threads = {threads}");
+            let expected: Vec<u64> = (1..=50).collect();
+            assert_eq!(items, expected, "threads = {threads}");
+        }
     }
 
     #[test]

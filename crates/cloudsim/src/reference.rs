@@ -146,15 +146,17 @@ pub fn run_days_reference(
             dropped_events += 1; // outside the billed horizon
             continue;
         }
-        let Some(&id) = sim.name_ids.get(ev.object.as_str()) else {
-            continue; // accesses to unknown objects are ignored
-        };
         if !ev.volume_gb.is_finite() || ev.volume_gb < 0.0 {
+            // Rejected before name resolution: a corrupt volume is a
+            // corrupt trace even when it names an unknown object.
             return Err(CloudSimError::InvalidParameter {
                 name: "volume_gb",
                 value: ev.volume_gb,
             });
         }
+        let Some(&id) = sim.name_ids.get(ev.object.as_str()) else {
+            continue; // accesses to unknown objects are ignored
+        };
         let placement = sim.schedules[id as usize].placement_at(ev.day);
         let effective_gb = ev.volume_gb / placement.compression_ratio.max(f64::MIN_POSITIVE);
         let m = &mut months[(ev.day / DAYS_PER_MONTH) as usize];

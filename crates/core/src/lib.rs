@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod enterprise;
 pub mod lifecycle;
 pub mod multicloud;
@@ -53,6 +54,7 @@ pub mod scenario;
 pub mod serving;
 pub mod tradeoff;
 
+pub use chaos::{run_chaos, ChaosEpoch, ChaosOptions, ChaosOutcome};
 pub use enterprise::{
     customer_benefit_table, predictor_confusion, tiering_baseline_comparison, BaselineRow,
     CustomerBenefit,

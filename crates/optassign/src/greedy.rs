@@ -53,18 +53,19 @@ pub fn solve_greedy_with_relaxation(
     max_rounds: usize,
 ) -> Result<(Assignment, usize), OptAssignError> {
     let mut relaxed = problem.clone();
-    for round in 0..=max_rounds {
+    let mut round = 0;
+    loop {
         match solve_greedy(&relaxed) {
             Ok(a) => return Ok((a, round)),
             Err(OptAssignError::InfeasiblePartition { .. }) if round < max_rounds => {
                 for p in &mut relaxed.partitions {
                     p.latency_threshold_seconds *= factor;
                 }
+                round += 1;
             }
             Err(e) => return Err(e),
         }
     }
-    unreachable!("loop always returns")
 }
 
 #[cfg(test)]

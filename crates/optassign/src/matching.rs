@@ -163,7 +163,7 @@ pub(crate) fn equal_size_matching_collapsed(
         }
     }
 
-    let tier_of_row = hungarian_collapsed(&cost, &caps);
+    let tier_of_row = hungarian_collapsed(&cost, &caps)?;
     let mut choices = vec![(TierId(0), NO_COMPRESSION); n];
     for (i, &t) in tier_of_row.iter().enumerate() {
         if cost[i][t] >= penalty {
@@ -325,10 +325,10 @@ enum Way {
 /// `O(n²·m)` overall. The collapsed walk still visits those rows (their
 /// relaxations are needed), but each visit costs `O(classes)` rather than
 /// a full `O(m)` column scan.
-fn hungarian_collapsed(cost: &[Vec<f64>], caps: &[usize]) -> Vec<usize> {
+fn hungarian_collapsed(cost: &[Vec<f64>], caps: &[usize]) -> Result<Vec<usize>, OptAssignError> {
     let n = cost.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let l = caps.len();
     debug_assert!(caps.iter().sum::<usize>() >= n);
@@ -438,7 +438,11 @@ fn hungarian_collapsed(cost: &[Vec<f64>], caps: &[usize]) -> Vec<usize> {
                     best = Some(ci);
                 }
             }
-            let ci = best.expect("total capacity >= n guarantees a candidate");
+            let Some(ci) = best else {
+                return Err(OptAssignError::InvalidProblem(
+                    "matching ran out of tier capacity: total capacity < partitions".into(),
+                ));
+            };
             // Apply this step's delta exactly as the dense update loop
             // does: one addition/subtraction per entity per step.
             for r in &tree_rows {
@@ -474,11 +478,12 @@ fn hungarian_collapsed(cost: &[Vec<f64>], caps: &[usize]) -> Vec<usize> {
         let mut w = terminal_way;
         while let Way::Matched(t, pos) = w {
             path.push((t, pos));
-            w = pop_ways[t]
-                .iter()
-                .find(|&&(p, _)| p == pos)
-                .expect("path columns were popped")
-                .1;
+            let Some(&(_, prev)) = pop_ways[t].iter().find(|&&(p, _)| p == pos) else {
+                return Err(OptAssignError::InvalidProblem(
+                    "augmenting path references a column that was never popped".into(),
+                ));
+            };
+            w = prev;
         }
         let mut carry = i;
         for &(t, pos) in path.iter().rev() {
@@ -495,7 +500,7 @@ fn hungarian_collapsed(cost: &[Vec<f64>], caps: &[usize]) -> Vec<usize> {
             result[row] = t;
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -667,7 +672,7 @@ mod tests {
                 .collect();
             let dense = hungarian(&expanded);
             let dense_tiers: Vec<usize> = dense.iter().map(|&j| copy_tier[j]).collect();
-            let collapsed = hungarian_collapsed(&cost, &caps);
+            let collapsed = hungarian_collapsed(&cost, &caps).expect("feasible random case");
             assert_eq!(
                 collapsed, dense_tiers,
                 "case {case}: n={n} l={l} caps={caps:?} cost={cost:?}"

@@ -18,16 +18,20 @@
 //!    independent of the thread count and equal to
 //!    [`crate::reference::full_resolve`] on the same state.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use scope_cloudsim::parallel::{default_threads, parallel_map_mut_with_threads};
-use scope_cloudsim::{AccessKind, BillingEvent, EventColumns, TierCatalog, TierId, UNKNOWN_OBJECT};
+use scope_cloudsim::{
+    AccessKind, BillingEvent, CostBreakdown, EventColumns, TierCatalog, TierId, UNKNOWN_OBJECT,
+};
 use scope_optassign::{
     solve_branch_and_bound, solve_branch_and_bound_warm, Assignment, CompressionOption, CostTable,
     OptAssignError, OptAssignProblem, PartitionSpec,
 };
 
+use crate::checkpoint::{config_fingerprint, Reader, Writer};
 use crate::error::ServeError;
+use crate::quarantine::{QuarantineLedger, QuarantineReason, QuarantinedEvent};
 
 /// Tuning knobs for a [`ServeEngine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -180,11 +184,11 @@ impl ServeObject {
 
 /// Per-object heat state: an exponentially decayed read counter.
 #[derive(Debug, Clone, Copy)]
-struct HeatState {
+pub(crate) struct HeatState {
     /// Decayed read count as of `last_day`.
-    value: f64,
+    pub(crate) value: f64,
     /// Day the counter was last decayed to.
-    last_day: u32,
+    pub(crate) last_day: u32,
 }
 
 /// One account's shard: its assignment problem, incrementally patched
@@ -204,10 +208,25 @@ pub(crate) struct AccountShard {
     table: Option<CostTable>,
     /// Incumbent `(tier, scheme)` per partition: the registered placement
     /// before the first re-solve, the last applied assignment after.
-    choices: Vec<(TierId, usize)>,
+    pub(crate) choices: Vec<(TierId, usize)>,
     /// Rows whose table entries are stale (heat re-bucketed, or placement
     /// changed last epoch); patched at the start of the next re-solve.
-    dirty: Vec<usize>,
+    /// Consumed **only on a successful re-solve** — a failed or faulted
+    /// epoch keeps the worklist queued so the next healthy epoch
+    /// re-converges over everything that accumulated meanwhile.
+    pub(crate) dirty: Vec<usize>,
+    /// Consecutive failed/faulted re-solves (reset by a healthy one).
+    pub(crate) failures: u32,
+    /// Remaining epochs of deterministic backoff before the next re-solve
+    /// attempt (`0, 1, 3, 7, 7, ...` after successive failures).
+    pub(crate) retry_after: u32,
+    /// Whether the shard's served placement is the stale incumbent (set on
+    /// failure, cleared when a re-solve re-converges).
+    pub(crate) stale: bool,
+    /// The last successfully applied assignment — the incumbent served
+    /// verbatim while the shard is degraded. `None` until the first
+    /// healthy re-solve (or after a registration changed the shape).
+    pub(crate) last_assignment: Option<Assignment>,
 }
 
 /// Result of one shard's re-solve (internal; merged in account order).
@@ -215,6 +234,32 @@ struct ShardDelta {
     assignment: Assignment,
     rows_patched: usize,
     retier_decisions: usize,
+}
+
+/// Result of one shard's guarded (fault-tolerant) re-solve.
+struct GuardedDelta {
+    assignment: Assignment,
+    rows_patched: usize,
+    retier_decisions: usize,
+    /// True when the shard served its incumbent instead of re-solving
+    /// (injected fault, genuine solver failure, or backoff epoch).
+    degraded: bool,
+    /// The shard's staleness flag after this epoch.
+    stale: bool,
+}
+
+/// A compute fault injected into one shard's re-solve for one epoch (see
+/// `scope-faults` for the deterministic fault plans that generate these).
+/// Either way the shard's re-solve result is discarded before any state
+/// is touched: the cost table is not patched, the dirty worklist is
+/// preserved, and the incumbent placement is served marked stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// The re-solve fails outright (a crashed or errored solver).
+    SolveFailure,
+    /// The re-solve exceeds its epoch deadline and its result is
+    /// discarded unused.
+    DeadlineOverrun,
 }
 
 /// Counters from one [`ServeEngine::ingest`] call.
@@ -227,6 +272,25 @@ pub struct IngestReport {
     pub dropped: u64,
     /// In-horizon events for unknown object ids, skipped.
     pub unknown: u64,
+    /// In-horizon events with NaN/negative volumes, diverted to the
+    /// [`QuarantineLedger`] (checked after the horizon drop and before the
+    /// unknown-object skip, mirroring the billing engine's order).
+    pub quarantined: u64,
+    /// Events lost to a torn batch whose parallel columns disagree in
+    /// length (only the common prefix is ingested).
+    pub truncated: u64,
+}
+
+impl IngestReport {
+    /// Fold another report's counters into this one (used when a
+    /// sequenced ingest drains several buffered batches at once).
+    fn merge(&mut self, other: IngestReport) {
+        self.folded += other.folded;
+        self.dropped += other.dropped;
+        self.unknown += other.unknown;
+        self.quarantined += other.quarantined;
+        self.truncated += other.truncated;
+    }
 }
 
 /// One account's slice of a resolve.
@@ -236,6 +300,9 @@ pub struct AccountAssignment {
     pub account: String,
     /// The account's (incremental or reference) assignment.
     pub assignment: Assignment,
+    /// True when this is a degraded shard's stale incumbent (its last
+    /// healthy assignment, not a re-solve over current heat).
+    pub stale: bool,
 }
 
 /// Outcome of one [`ServeEngine::reoptimize`] epoch.
@@ -255,6 +322,9 @@ pub struct ResolveOutcome {
     pub objects: usize,
     /// Cumulative out-of-horizon events dropped since engine start.
     pub dropped_events: u64,
+    /// Accounts that served a stale incumbent this epoch instead of
+    /// re-solving (injected fault, solver failure, or backoff).
+    pub degraded_accounts: usize,
 }
 
 /// The long-running serving core: interned objects, decayed heat, and
@@ -272,10 +342,25 @@ pub struct ServeEngine {
     locs: Vec<(u32, u32)>,
     names: Vec<String>,
     name_ids: HashMap<String, u32>,
-    heat: Vec<HeatState>,
+    pub(crate) heat: Vec<HeatState>,
     /// Day the engine state was last advanced to.
     day: u32,
     dropped_events: u64,
+    /// Lifetime count of events examined by the intake (folded, dropped,
+    /// unknown and quarantined alike) — the ordinal space quarantine
+    /// records index, invariant under batch splits.
+    events_seen: u64,
+    /// Epochs started ([`Self::reoptimize`] calls), driving backoff.
+    epoch: u64,
+    /// Malformed-event ledger (see [`QuarantineLedger`]).
+    quarantine: QuarantineLedger,
+    /// Next batch sequence number the sequenced intake will fold.
+    next_seq: u64,
+    /// Out-of-order batches buffered until their predecessors arrive,
+    /// keyed by sequence number (BTreeMap: deterministic drain order).
+    pending: BTreeMap<u64, EventColumns>,
+    /// Batches rejected as duplicates by the sequenced intake.
+    duplicate_batches: u64,
 }
 
 impl ServeEngine {
@@ -328,8 +413,19 @@ impl ServeEngine {
             heat: Vec::new(),
             day: 0,
             dropped_events: 0,
+            events_seen: 0,
+            epoch: 0,
+            quarantine: QuarantineLedger::default(),
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            duplicate_batches: 0,
         })
     }
+
+    /// Upper bound on out-of-order batches the sequenced intake buffers
+    /// while waiting for a gap to fill; the 65th is a typed
+    /// [`ServeError::IntakeOverflow`].
+    pub const MAX_PENDING_BATCHES: usize = 64;
 
     /// Register an object and return its interned id (the id to use in
     /// [`EventColumns::object_ids`]). Registration invalidates the owning
@@ -374,6 +470,10 @@ impl ServeEngine {
                     table: None,
                     choices: Vec::new(),
                     dirty: Vec::new(),
+                    failures: 0,
+                    retry_after: 0,
+                    stale: false,
+                    last_assignment: None,
                 });
                 i
             }
@@ -395,9 +495,13 @@ impl ServeEngine {
         partition.compression_options = self.schemes.clone();
         shard.problem.partitions.push(partition);
         shard.choices.push((spec.current_tier, spec.compression));
-        // Shape changed: the dense table no longer matches the problem.
+        // Shape changed: the dense table no longer matches the problem,
+        // and the incumbent assignment no longer covers every row (a
+        // degraded epoch right after a registration falls back to pricing
+        // the per-row incumbent choices instead).
         shard.table = None;
         shard.dirty.clear();
+        shard.last_assignment = None;
         self.locs.push((shard_idx as u32, row as u32));
         self.name_ids.insert(spec.name.clone(), gid);
         self.names.push(spec.name);
@@ -443,6 +547,46 @@ impl ServeEngine {
         self.dropped_events
     }
 
+    /// The malformed-event quarantine ledger.
+    pub fn quarantine(&self) -> &QuarantineLedger {
+        &self.quarantine
+    }
+
+    /// Lifetime count of events examined by the intake.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Epochs started (completed [`Self::reoptimize`] calls).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Next batch sequence number the sequenced intake will fold.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Out-of-order batches currently buffered by the sequenced intake.
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Batches rejected as duplicates by the sequenced intake.
+    pub fn duplicate_batches(&self) -> u64 {
+        self.duplicate_batches
+    }
+
+    /// Accounts currently serving a stale incumbent (degraded), in
+    /// account order.
+    pub fn stale_accounts(&self) -> Vec<&str> {
+        self.shards
+            .iter()
+            .filter(|s| s.stale)
+            .map(|s| s.account.as_str())
+            .collect()
+    }
+
     /// Current decayed heat of object `id` (as of its last fold/advance).
     pub fn heat(&self, id: u32) -> Option<f64> {
         self.heat.get(id as usize).map(|h| h.value)
@@ -470,19 +614,66 @@ impl ServeEngine {
     /// Fold an event batch into the per-object heat counters. No event is
     /// retained: memory stays `O(objects)` for arbitrarily long streams.
     ///
-    /// Mirrors the billing engine's event loop exactly: the out-of-horizon
-    /// drop check comes **first** (so a day-300 event for an unknown
-    /// object still counts as dropped), then unknown ids are skipped.
+    /// The intake **validates** each event, mirroring the billing engine's
+    /// check order exactly: the out-of-horizon drop check comes **first**
+    /// (so a day-300 event for an unknown object still counts as dropped),
+    /// then NaN/negative volumes are quarantined into the bounded
+    /// [`QuarantineLedger`] (before object resolution — a corrupt volume
+    /// is a corrupt trace even when it names an unknown object, the same
+    /// order the billing engine rejects them in), then unknown ids are
+    /// skipped. A torn batch whose parallel columns disagree in length is
+    /// ingested up to the common prefix; the lost tail is counted in
+    /// [`IngestReport::truncated`] and the ledger.
+    ///
     /// Reads add 1 to the (decayed) heat; writes are folded but carry no
     /// read heat. Splitting a day-ordered stream into batches at any
-    /// boundary yields identical state, because decay is applied lazily
-    /// per object from its own `last_day`.
+    /// boundary yields identical state (heat, counters, and quarantine
+    /// ledger), because decay is applied lazily per object from its own
+    /// `last_day` and quarantine ordinals index the engine's lifetime
+    /// event sequence.
     pub fn ingest(&mut self, columns: &EventColumns) -> IngestReport {
         let mut report = IngestReport::default();
-        for i in 0..columns.len() {
+        // Torn-batch defense: only the common prefix of the four columns
+        // the intake reads is well-formed.
+        let usable = columns
+            .days
+            .len()
+            .min(columns.object_ids.len())
+            .min(columns.kinds.len())
+            .min(columns.volumes.len());
+        let intended = columns
+            .days
+            .len()
+            .max(columns.object_ids.len())
+            .max(columns.kinds.len())
+            .max(columns.volumes.len());
+        if intended > usable {
+            let torn = (intended - usable) as u64;
+            report.truncated = torn;
+            self.quarantine.record_truncated(torn);
+        }
+        for i in 0..usable {
+            let ordinal = self.events_seen;
+            self.events_seen += 1;
             let day = columns.days[i];
             if day >= self.config.horizon_days {
                 report.dropped += 1;
+                continue;
+            }
+            let volume = columns.volumes[i];
+            if !volume.is_finite() || volume < 0.0 {
+                self.quarantine.record(QuarantinedEvent {
+                    ordinal,
+                    day,
+                    object_id: columns.object_ids[i],
+                    volume_bits: volume.to_bits(),
+                    reason: if volume.is_finite() {
+                        QuarantineReason::NegativeVolume
+                    } else {
+                        QuarantineReason::NonFiniteVolume
+                    },
+                });
+                report.quarantined += 1;
                 continue;
             }
             let id = columns.object_ids[i] as usize;
@@ -502,6 +693,50 @@ impl ServeEngine {
         }
         self.dropped_events += report.dropped;
         report
+    }
+
+    /// Exactly-once intake over an at-least-once delivery: fold batch
+    /// `seq` if it is the next expected one (then drain any consecutive
+    /// buffered successors), buffer it if it arrived early, and reject it
+    /// as a duplicate if it was already folded or buffered.
+    ///
+    /// Sequence numbers are assigned by the producer, starting at 0. The
+    /// reorder buffer holds at most [`Self::MAX_PENDING_BATCHES`] batches;
+    /// past that, an early batch is a typed
+    /// [`ServeError::IntakeOverflow`]. The engine state after any
+    /// duplicated and/or locally reordered delivery of a batch stream is
+    /// bit-for-bit identical to an in-order, exactly-once delivery —
+    /// including heat, `dropped_events`, and the quarantine ledger.
+    ///
+    /// The returned report sums over every batch folded by this call
+    /// (the argument plus drained buffered ones); duplicates and buffered
+    /// early arrivals contribute nothing yet.
+    pub fn ingest_sequenced(
+        &mut self,
+        seq: u64,
+        columns: &EventColumns,
+    ) -> Result<IngestReport, ServeError> {
+        if seq < self.next_seq || self.pending.contains_key(&seq) {
+            self.duplicate_batches += 1;
+            return Ok(IngestReport::default());
+        }
+        if seq > self.next_seq {
+            if self.pending.len() >= Self::MAX_PENDING_BATCHES {
+                return Err(ServeError::IntakeOverflow {
+                    expected_seq: self.next_seq,
+                    got_seq: seq,
+                });
+            }
+            self.pending.insert(seq, columns.clone());
+            return Ok(IngestReport::default());
+        }
+        let mut report = self.ingest(columns);
+        self.next_seq += 1;
+        while let Some(buffered) = self.pending.remove(&self.next_seq) {
+            report.merge(self.ingest(&buffered));
+            self.next_seq += 1;
+        }
+        Ok(report)
     }
 
     /// Advance the engine clock to `day`: decay every heat counter to the
@@ -554,15 +789,35 @@ impl ServeEngine {
     /// any thread count — and to [`crate::reference::full_resolve`] on the
     /// same state.
     pub fn reoptimize(&mut self) -> Result<ResolveOutcome, ServeError> {
+        self.reoptimize_with_faults(&[])
+    }
+
+    /// [`Self::reoptimize`] under injected compute faults: `faults[i]`
+    /// (when present and `Some`) makes shard `i`'s re-solve fail this
+    /// epoch. A faulted — or genuinely failing — shard serves its stale
+    /// incumbent instead (marked via [`AccountAssignment::stale`]), keeps
+    /// its dirty worklist, and backs off a bounded, deterministic number
+    /// of epochs (`0, 1, 3, 7, 7, ...` after successive failures) before
+    /// retrying; the next healthy re-solve re-converges it to exactly the
+    /// state [`crate::reference::full_resolve`] produces. Healthy shards
+    /// are bit-for-bit unaffected by other shards' faults. Per-shard
+    /// `Result`s propagate deterministically through the fan-out: only an
+    /// unservable shard (no incumbent and no way to price one) fails the
+    /// epoch, with the lowest-indexed shard's error winning.
+    pub fn reoptimize_with_faults(
+        &mut self,
+        faults: &[Option<ShardFault>],
+    ) -> Result<ResolveOutcome, ServeError> {
         let threads = if self.config.threads == 0 {
             default_threads()
         } else {
             self.config.threads
         };
         let node_budget = self.config.node_budget;
-        let deltas: Vec<Result<ShardDelta, OptAssignError>> =
-            parallel_map_mut_with_threads(&mut self.shards, threads, |_, shard| {
-                shard.resolve(node_budget)
+        self.epoch += 1;
+        let deltas: Vec<Result<GuardedDelta, OptAssignError>> =
+            parallel_map_mut_with_threads(&mut self.shards, threads, |i, shard| {
+                shard.resolve_guarded(node_budget, faults.get(i).copied().flatten())
             });
         let mut outcome = ResolveOutcome {
             day: self.day,
@@ -572,6 +827,7 @@ impl ServeEngine {
             retier_decisions: 0,
             objects: self.locs.len(),
             dropped_events: self.dropped_events,
+            degraded_accounts: 0,
         };
         // Merge strictly in account order: the objective sum order is part
         // of the bit-for-bit contract with the reference path.
@@ -580,9 +836,11 @@ impl ServeEngine {
             outcome.total_objective += delta.assignment.objective;
             outcome.rows_patched += delta.rows_patched;
             outcome.retier_decisions += delta.retier_decisions;
+            outcome.degraded_accounts += usize::from(delta.degraded);
             outcome.accounts.push(AccountAssignment {
                 account: shard.account.clone(),
                 assignment: delta.assignment,
+                stale: delta.stale,
             });
         }
         Ok(outcome)
@@ -595,12 +853,422 @@ impl ServeEngine {
     }
 }
 
+/// Crash-consistent checkpointing (see [`crate::checkpoint`] for the wire
+/// format and the recovery equality contract).
+impl ServeEngine {
+    /// Serialize the engine's full dynamic state into a versioned,
+    /// checksummed checkpoint. Two engines that would behave identically
+    /// from here on produce byte-identical checkpoints (the dense cost
+    /// table — a pure cache — is the only state not captured).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(config_fingerprint(&self.catalog, &self.schemes));
+        // Configuration.
+        w.u32(self.config.horizon_days);
+        w.f64_bits(self.config.horizon_months);
+        w.f64_bits(self.config.decay_per_day);
+        w.f64_bits(self.config.bucket_base);
+        w.f64_bits(self.config.bucket_hysteresis);
+        w.u64(self.config.threads as u64);
+        match self.config.node_budget {
+            None => w.u8(0),
+            Some(budget) => {
+                w.u8(1);
+                w.u64(budget);
+            }
+        }
+        // Global counters.
+        w.u32(self.day);
+        w.u64(self.dropped_events);
+        w.u64(self.events_seen);
+        w.u64(self.epoch);
+        w.u64(self.next_seq);
+        w.u64(self.duplicate_batches);
+        // Accounts, in shard order.
+        w.u64(self.shards.len() as u64);
+        for shard in &self.shards {
+            w.str(&shard.account);
+        }
+        // Objects, in interned-id order. Re-registering them in this order
+        // on restore reproduces the identical shard/row layout.
+        w.u64(self.locs.len() as u64);
+        for gid in 0..self.locs.len() {
+            let (shard_idx, row) = self.locs[gid];
+            let shard = &self.shards[shard_idx as usize];
+            let partition = &shard.problem.partitions[row as usize];
+            let (tier, scheme) = shard.choices[row as usize];
+            w.str(&self.names[gid]);
+            w.u32(shard_idx);
+            w.u64(tier.index() as u64);
+            w.u64(scheme as u64);
+            w.f64_bits(partition.size_gb);
+            w.u32(partition.residency_days);
+            w.f64_bits(partition.latency_threshold_seconds);
+            w.f64_bits(partition.predicted_accesses);
+            let h = &self.heat[gid];
+            w.f64_bits(h.value);
+            w.u32(h.last_day);
+        }
+        // Per-shard degraded-mode state.
+        for shard in &self.shards {
+            w.u32(shard.failures);
+            w.u32(shard.retry_after);
+            w.u8(u8::from(shard.stale));
+            w.u64(shard.dirty.len() as u64);
+            for &row in &shard.dirty {
+                w.u64(row as u64);
+            }
+            match &shard.last_assignment {
+                None => w.u8(0),
+                Some(a) => {
+                    w.u8(1);
+                    w.u64(a.choices.len() as u64);
+                    for &(tier, scheme) in &a.choices {
+                        w.u64(tier.index() as u64);
+                        w.u64(scheme as u64);
+                    }
+                    w.f64_bits(a.objective);
+                    w.f64_bits(a.breakdown.storage);
+                    w.f64_bits(a.breakdown.read);
+                    w.f64_bits(a.breakdown.write);
+                    w.f64_bits(a.breakdown.decompression);
+                    w.f64_bits(a.breakdown.egress);
+                }
+            }
+        }
+        // Quarantine ledger.
+        w.u64(self.quarantine.capacity() as u64);
+        w.u64(self.quarantine.total());
+        w.u64(self.quarantine.truncated());
+        w.u64(self.quarantine.entries().len() as u64);
+        for e in self.quarantine.entries() {
+            w.u64(e.ordinal);
+            w.u32(e.day);
+            w.u32(e.object_id);
+            w.u64(e.volume_bits);
+            w.u8(e.reason.tag());
+        }
+        // Sequenced-intake reorder buffer (BTreeMap: deterministic order).
+        w.u64(self.pending.len() as u64);
+        for (&seq, cols) in &self.pending {
+            w.u64(seq);
+            w.u64(cols.days.len() as u64);
+            for &d in &cols.days {
+                w.u32(d);
+            }
+            w.u64(cols.periods.len() as u64);
+            for &p in &cols.periods {
+                w.u32(p);
+            }
+            w.u64(cols.object_ids.len() as u64);
+            for &o in &cols.object_ids {
+                w.u32(o);
+            }
+            w.u64(cols.kinds.len() as u64);
+            for &k in &cols.kinds {
+                w.u8(match k {
+                    AccessKind::Read => 0,
+                    AccessKind::Write => 1,
+                });
+            }
+            w.u64(cols.volumes.len() as u64);
+            for &v in &cols.volumes {
+                w.f64_bits(v);
+            }
+        }
+        w.finish()
+    }
+
+    /// Rebuild an engine from a [`Self::checkpoint`] taken under the same
+    /// `catalog` and `schemes` (enforced via fingerprint). The restored
+    /// engine, replayed forward over the surviving event stream, is
+    /// bit-for-bit equal to one that never crashed; its first re-solve
+    /// rebuilds the (unserialized) cost table from scratch, which is
+    /// pinned bit-identical to the warm patched table.
+    pub fn restore(
+        catalog: TierCatalog,
+        schemes: Vec<CompressionOption>,
+        bytes: &[u8],
+    ) -> Result<ServeEngine, ServeError> {
+        let mut r = Reader::open(bytes)?;
+        let fingerprint = r.u64()?;
+        let expected = config_fingerprint(&catalog, &schemes);
+        if fingerprint != expected {
+            return Err(ServeError::Checkpoint(format!(
+                "catalog/scheme fingerprint mismatch: checkpoint was taken under \
+                 {fingerprint:#018x}, this configuration is {expected:#018x}"
+            )));
+        }
+        let config = ServeConfig {
+            horizon_days: r.u32()?,
+            horizon_months: r.f64_bits()?,
+            decay_per_day: r.f64_bits()?,
+            bucket_base: r.f64_bits()?,
+            bucket_hysteresis: r.f64_bits()?,
+            threads: r.u64()? as usize,
+            node_budget: match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                tag => return Err(ServeError::Checkpoint(format!("bad node_budget tag {tag}"))),
+            },
+        };
+        let mut engine = ServeEngine::new(catalog, schemes, config)?;
+        let day = r.u32()?;
+        let dropped_events = r.u64()?;
+        let events_seen = r.u64()?;
+        let epoch = r.u64()?;
+        let next_seq = r.u64()?;
+        let duplicate_batches = r.u64()?;
+        let n_accounts = r.len(1)?;
+        let mut accounts = Vec::with_capacity(n_accounts);
+        for _ in 0..n_accounts {
+            accounts.push(r.str()?);
+        }
+        let n_objects = r.len(8)?;
+        for gid in 0..n_objects {
+            let name = r.str()?;
+            let shard_idx = r.u32()? as usize;
+            let account = accounts.get(shard_idx).ok_or_else(|| {
+                ServeError::Checkpoint(format!(
+                    "object {name:?} references shard {shard_idx} but only \
+                     {n_accounts} accounts exist"
+                ))
+            })?;
+            let tier = TierId(r.u64()? as usize);
+            let scheme = r.u64()? as usize;
+            let spec = ServeObject {
+                name,
+                account: account.clone(),
+                size_gb: r.f64_bits()?,
+                current_tier: tier,
+                compression: scheme,
+                residency_days: r.u32()?,
+                latency_threshold_seconds: r.f64_bits()?,
+            };
+            let got = engine.register(spec)?;
+            if got as usize != gid {
+                return Err(ServeError::Checkpoint(format!(
+                    "object order corrupted: expected id {gid}, interned as {got}"
+                )));
+            }
+            let (s, row) = engine.locs[gid];
+            engine.shards[s as usize].problem.partitions[row as usize].predicted_accesses =
+                r.f64_bits()?;
+            engine.heat[gid] = HeatState {
+                value: r.f64_bits()?,
+                last_day: r.u32()?,
+            };
+        }
+        if engine.shards.len() != n_accounts {
+            return Err(ServeError::Checkpoint(format!(
+                "{n_accounts} accounts declared but {} materialized (an account \
+                 with no objects cannot exist)",
+                engine.shards.len()
+            )));
+        }
+        for i in 0..n_accounts {
+            let failures = r.u32()?;
+            let retry_after = r.u32()?;
+            let stale = match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(ServeError::Checkpoint(format!("bad stale tag {tag}")));
+                }
+            };
+            let rows = engine.shards[i].problem.partitions.len();
+            let n_dirty = r.len(8)?;
+            let mut dirty = Vec::with_capacity(n_dirty);
+            for _ in 0..n_dirty {
+                let row = r.u64()? as usize;
+                if row >= rows {
+                    return Err(ServeError::Checkpoint(format!(
+                        "dirty row {row} out of range for shard {i} ({rows} rows)"
+                    )));
+                }
+                dirty.push(row);
+            }
+            let last_assignment = match r.u8()? {
+                0 => None,
+                1 => {
+                    let n_choices = r.len(16)?;
+                    if n_choices != rows {
+                        return Err(ServeError::Checkpoint(format!(
+                            "incumbent assignment for shard {i} covers {n_choices} \
+                             rows, shard has {rows}"
+                        )));
+                    }
+                    let mut choices = Vec::with_capacity(n_choices);
+                    for _ in 0..n_choices {
+                        choices.push((TierId(r.u64()? as usize), r.u64()? as usize));
+                    }
+                    Some(Assignment {
+                        choices,
+                        objective: r.f64_bits()?,
+                        breakdown: CostBreakdown {
+                            storage: r.f64_bits()?,
+                            read: r.f64_bits()?,
+                            write: r.f64_bits()?,
+                            decompression: r.f64_bits()?,
+                            egress: r.f64_bits()?,
+                        },
+                    })
+                }
+                tag => {
+                    return Err(ServeError::Checkpoint(format!(
+                        "bad incumbent-assignment tag {tag}"
+                    )));
+                }
+            };
+            let shard = &mut engine.shards[i];
+            shard.failures = failures;
+            shard.retry_after = retry_after;
+            shard.stale = stale;
+            shard.dirty = dirty;
+            shard.last_assignment = last_assignment;
+        }
+        // The capacity is a configured bound, not an element count — no
+        // allocation is sized from it, so it is read unguarded.
+        let capacity = r.u64()? as usize;
+        let q_total = r.u64()?;
+        let q_truncated = r.u64()?;
+        let n_entries = r.len(25)?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            entries.push(QuarantinedEvent {
+                ordinal: r.u64()?,
+                day: r.u32()?,
+                object_id: r.u32()?,
+                volume_bits: r.u64()?,
+                reason: QuarantineReason::from_tag(r.u8()?)
+                    .ok_or_else(|| ServeError::Checkpoint("bad quarantine reason tag".into()))?,
+            });
+        }
+        engine.quarantine = QuarantineLedger::from_parts(entries, capacity, q_total, q_truncated);
+        let n_pending = r.len(8)?;
+        for _ in 0..n_pending {
+            let seq = r.u64()?;
+            let mut cols = EventColumns::default();
+            let n = r.len(4)?;
+            for _ in 0..n {
+                cols.days.push(r.u32()?);
+            }
+            let n = r.len(4)?;
+            for _ in 0..n {
+                cols.periods.push(r.u32()?);
+            }
+            let n = r.len(4)?;
+            for _ in 0..n {
+                cols.object_ids.push(r.u32()?);
+            }
+            let n = r.len(1)?;
+            for _ in 0..n {
+                cols.kinds.push(match r.u8()? {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    tag => {
+                        return Err(ServeError::Checkpoint(format!("bad access-kind tag {tag}")));
+                    }
+                });
+            }
+            let n = r.len(8)?;
+            for _ in 0..n {
+                cols.volumes.push(r.f64_bits()?);
+            }
+            engine.pending.insert(seq, cols);
+        }
+        r.expect_end()?;
+        engine.day = day;
+        engine.dropped_events = dropped_events;
+        engine.events_seen = events_seen;
+        engine.epoch = epoch;
+        engine.next_seq = next_seq;
+        engine.duplicate_batches = duplicate_batches;
+        Ok(engine)
+    }
+}
+
 impl AccountShard {
-    /// One shard re-solve: patch stale rows, re-decide, apply.
+    /// One guarded shard re-solve: honor backoff, inject `fault`, fall
+    /// back to the incumbent on any failure, and only then attempt the
+    /// real [`Self::resolve`]. A degraded epoch leaves the cost table and
+    /// dirty worklist untouched, so the next healthy epoch re-converges
+    /// over everything that accumulated — exactly what a cold
+    /// `full_resolve` over the same state would decide.
+    fn resolve_guarded(
+        &mut self,
+        node_budget: Option<u64>,
+        fault: Option<ShardFault>,
+    ) -> Result<GuardedDelta, OptAssignError> {
+        if self.retry_after > 0 {
+            // Backing off: serve the incumbent without attempting a solve.
+            self.retry_after -= 1;
+            return self.incumbent_delta();
+        }
+        if fault.is_some() {
+            // Injected compute fault (solver failure or deadline overrun):
+            // the result is discarded before any state is touched.
+            self.note_failure();
+            return self.incumbent_delta();
+        }
+        match self.resolve(node_budget) {
+            Ok(delta) => {
+                self.failures = 0;
+                self.retry_after = 0;
+                self.stale = false;
+                self.last_assignment = Some(delta.assignment.clone());
+                Ok(GuardedDelta {
+                    assignment: delta.assignment,
+                    rows_patched: delta.rows_patched,
+                    retier_decisions: delta.retier_decisions,
+                    degraded: false,
+                    stale: false,
+                })
+            }
+            Err(_) => {
+                // Genuine solver failure: degrade exactly like an injected
+                // one. The error itself is recoverable (the incumbent
+                // keeps serving); only an unservable shard errors out of
+                // `incumbent_delta` below.
+                self.note_failure();
+                self.incumbent_delta()
+            }
+        }
+    }
+
+    /// Record one failed/faulted re-solve: bump the consecutive-failure
+    /// count and arm the bounded deterministic backoff (`0, 1, 3, 7, 7,
+    /// ...` epochs skipped after the 1st, 2nd, 3rd, 4th+ consecutive
+    /// failure — capped so a recovering shard is never more than 8 epochs
+    /// from its next attempt).
+    fn note_failure(&mut self) {
+        self.failures = self.failures.saturating_add(1);
+        self.retry_after = (1u32 << (self.failures - 1).min(3)) - 1;
+        self.stale = true;
+    }
+
+    /// The degraded serve: the last healthy assignment verbatim, or —
+    /// before any re-solve ever succeeded — the registered per-row
+    /// incumbent choices priced fresh.
+    fn incumbent_delta(&mut self) -> Result<GuardedDelta, OptAssignError> {
+        let assignment = match &self.last_assignment {
+            Some(a) => a.clone(),
+            None => Assignment::from_choices(&self.problem, self.choices.clone())?,
+        };
+        Ok(GuardedDelta {
+            assignment,
+            rows_patched: 0,
+            retier_decisions: 0,
+            degraded: true,
+            stale: self.stale,
+        })
+    }
+
+    /// One shard re-solve: patch stale rows, re-decide, apply. The dirty
+    /// worklist is consumed only after every fallible step succeeded.
     fn resolve(&mut self, node_budget: Option<u64>) -> Result<ShardDelta, OptAssignError> {
         self.dirty.sort_unstable();
         self.dirty.dedup();
-        let dirty = std::mem::take(&mut self.dirty);
         let n = self.problem.partitions.len();
         let rows_patched;
         let choices = match &mut self.table {
@@ -624,13 +1292,15 @@ impl AccountShard {
                 choices
             }
             Some(table) => {
-                table.patch_rows(&self.problem, &dirty)?;
-                rows_patched = dirty.len();
+                // Re-patching an already-patched row reproduces the same
+                // bits, so retrying after a failure here is idempotent.
+                table.patch_rows(&self.problem, &self.dirty)?;
+                rows_patched = self.dirty.len();
                 match node_budget {
                     None => greedy_choices(
                         table,
                         &self.problem,
-                        dirty.iter().copied(),
+                        self.dirty.iter().copied(),
                         Some(self.choices.clone()),
                     )?,
                     Some(budget) => {
@@ -655,6 +1325,9 @@ impl AccountShard {
             ));
         };
         let assignment = table.assignment(&self.problem, choices.clone())?;
+        // Success: the worklist is consumed, then applied moves re-dirty
+        // their rows for the next epoch.
+        self.dirty.clear();
         let mut retier_decisions = 0;
         for (row, (&new, &old)) in choices.iter().zip(&self.choices).enumerate() {
             if new != old {
@@ -1063,6 +1736,345 @@ mod tests {
             let outcome = engine.reoptimize().unwrap();
             assert_outcome_matches_reference(&outcome, &cold, epoch as usize);
         }
+    }
+
+    #[test]
+    fn quarantine_is_ordered_and_invariant_under_batch_splits() {
+        let config = ServeConfig::default();
+        let mut whole = demo_engine(2, 6, config.clone());
+        let mut split = demo_engine(2, 6, config);
+        // Interleave corrupt volumes (NaN with a payload, -inf, negative)
+        // with healthy traffic, plus one corrupt event naming an unknown
+        // object and one past the horizon (dropped, not quarantined).
+        let mut columns = EventColumns::default();
+        columns.push_resolved(1, 0, AccessKind::Read, 1.0);
+        columns.push_resolved(
+            2,
+            1,
+            AccessKind::Read,
+            f64::from_bits(0x7ff8_0000_0000_beef),
+        );
+        columns.push_resolved(3, 2, AccessKind::Write, 0.5);
+        columns.push_resolved(4, UNKNOWN_OBJECT, AccessKind::Read, -3.5);
+        columns.push_resolved(5, 3, AccessKind::Read, f64::NEG_INFINITY);
+        columns.push_resolved(500, 0, AccessKind::Read, f64::NAN);
+        columns.push_resolved(6, 4, AccessKind::Read, 2.0);
+
+        let report = whole.ingest(&columns);
+        assert_eq!(report.folded, 3);
+        assert_eq!(report.quarantined, 3);
+        assert_eq!(report.dropped, 1);
+        let entries = whole.quarantine().entries();
+        assert_eq!(entries.len(), 3);
+        // Ordinals index the lifetime intake sequence, in arrival order.
+        assert_eq!(entries[0].ordinal, 1);
+        assert_eq!(entries[0].reason, QuarantineReason::NonFiniteVolume);
+        assert_eq!(entries[0].volume_bits, 0x7ff8_0000_0000_beef);
+        assert_eq!(entries[1].ordinal, 3);
+        assert_eq!(entries[1].reason, QuarantineReason::NegativeVolume);
+        assert_eq!(entries[1].object_id, UNKNOWN_OBJECT);
+        assert_eq!(entries[2].ordinal, 4);
+        // Quarantined events never touch heat.
+        assert_eq!(whole.heat(1).unwrap().to_bits(), 0.0f64.to_bits());
+        assert_eq!(whole.heat(3).unwrap().to_bits(), 0.0f64.to_bits());
+
+        // Any batch split yields a bit-identical ledger and counters.
+        for (lo, hi) in [(0usize, 2), (2, 3), (3, 7)] {
+            let mut part = EventColumns::default();
+            for i in lo..hi {
+                part.push_resolved(
+                    columns.days[i],
+                    columns.object_ids[i],
+                    columns.kinds[i],
+                    columns.volumes[i],
+                );
+            }
+            split.ingest(&part);
+        }
+        assert_eq!(whole.quarantine(), split.quarantine());
+        assert_eq!(whole.events_seen(), split.events_seen());
+        assert_eq!(whole.dropped_events(), split.dropped_events());
+    }
+
+    #[test]
+    fn torn_batches_ingest_the_common_prefix_and_count_the_tail() {
+        let mut engine = demo_engine(1, 4, ServeConfig::default());
+        let mut columns = EventColumns::default();
+        columns.push_resolved(1, 0, AccessKind::Read, 1.0);
+        columns.push_resolved(2, 1, AccessKind::Read, 1.0);
+        columns.push_resolved(3, 2, AccessKind::Read, 1.0);
+        // Tear the last two events' volumes (and one kind) off.
+        columns.volumes.truncate(1);
+        columns.kinds.truncate(2);
+        let report = engine.ingest(&columns);
+        assert_eq!(report.folded, 1);
+        assert_eq!(report.truncated, 2);
+        assert_eq!(engine.quarantine().truncated(), 2);
+        assert_eq!(engine.events_seen(), 1);
+        assert!(engine.heat(0).unwrap() > 0.0);
+        assert_eq!(engine.heat(1).unwrap().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn sequenced_intake_is_exactly_once_under_duplication_and_reordering() {
+        let config = ServeConfig::default();
+        let mut ordered = demo_engine(2, 8, config.clone());
+        let mut chaotic = demo_engine(2, 8, config);
+        let events = demo_trace(&ordered, 60, 30);
+        let columns = ordered.columns_from_events(&events);
+        let batches: Vec<EventColumns> = (0..4)
+            .map(|i| columns.filter_day_range(i * 15, i * 15 + 15))
+            .collect();
+
+        for (seq, batch) in batches.iter().enumerate() {
+            ordered.ingest_sequenced(seq as u64, batch).unwrap();
+        }
+        // Duplicated + locally reordered delivery: 2 early, then the gap
+        // filler (drains 0..=2), a stale duplicate, a buffered duplicate
+        // case, and the tail.
+        chaotic.ingest_sequenced(2, &batches[2]).unwrap();
+        chaotic.ingest_sequenced(1, &batches[1]).unwrap();
+        chaotic.ingest_sequenced(1, &batches[1]).unwrap(); // buffered dup
+        let drained = chaotic.ingest_sequenced(0, &batches[0]).unwrap();
+        assert!(drained.folded > 0);
+        chaotic.ingest_sequenced(0, &batches[0]).unwrap(); // folded dup
+        chaotic.ingest_sequenced(3, &batches[3]).unwrap();
+        assert_eq!(chaotic.duplicate_batches(), 2);
+        assert_eq!(chaotic.pending_batches(), 0);
+        assert_eq!(chaotic.next_seq(), ordered.next_seq());
+
+        for id in 0..ordered.len() as u32 {
+            assert_eq!(
+                ordered.heat(id).unwrap().to_bits(),
+                chaotic.heat(id).unwrap().to_bits(),
+                "heat diverged for object {id}"
+            );
+        }
+        assert_eq!(ordered.dropped_events(), chaotic.dropped_events());
+        assert_eq!(ordered.quarantine(), chaotic.quarantine());
+    }
+
+    #[test]
+    fn sequenced_intake_bounds_the_reorder_buffer() {
+        let mut engine = demo_engine(1, 2, ServeConfig::default());
+        let mut batch = EventColumns::default();
+        batch.push_resolved(1, 0, AccessKind::Read, 1.0);
+        for seq in 1..=ServeEngine::MAX_PENDING_BATCHES as u64 {
+            engine.ingest_sequenced(seq, &batch).unwrap();
+        }
+        assert_eq!(engine.pending_batches(), ServeEngine::MAX_PENDING_BATCHES);
+        let err = engine
+            .ingest_sequenced(ServeEngine::MAX_PENDING_BATCHES as u64 + 1, &batch)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::IntakeOverflow {
+                expected_seq: 0,
+                got_seq: ServeEngine::MAX_PENDING_BATCHES as u64 + 1,
+            }
+        );
+        // Filling the gap drains the whole buffer.
+        let report = engine.ingest_sequenced(0, &batch).unwrap();
+        assert_eq!(report.folded, 1 + ServeEngine::MAX_PENDING_BATCHES as u64);
+        assert_eq!(engine.pending_batches(), 0);
+    }
+
+    #[test]
+    fn faulted_shards_serve_the_incumbent_and_reconverge_after_backoff() {
+        let mut engine = demo_engine(3, 8, ServeConfig::default());
+        let events = demo_trace(&engine, 90, 60);
+        let columns = engine.columns_from_events(&events);
+
+        // Epoch 1: healthy cold start.
+        engine.ingest(&columns.filter_day_range(0, 15));
+        engine.advance(15);
+        let healthy = engine.reoptimize().unwrap();
+        assert_eq!(healthy.degraded_accounts, 0);
+
+        // Epochs 2-3: shard 1 faults repeatedly. It serves its last healthy
+        // assignment verbatim; the other shards keep matching the cold
+        // reference on the live state.
+        let faults = [None, Some(ShardFault::SolveFailure), None];
+        let mut last_good = healthy.accounts[1].assignment.clone();
+        for epoch in 2..4u32 {
+            let (lo, hi) = (epoch * 15 - 15, epoch * 15);
+            engine.ingest(&columns.filter_day_range(lo, hi));
+            engine.advance(hi);
+            let cold = reference::full_resolve(&engine).unwrap();
+            let outcome = engine.reoptimize_with_faults(&faults).unwrap();
+            assert_eq!(outcome.degraded_accounts, 1);
+            assert!(outcome.accounts[1].stale);
+            assert_eq!(outcome.accounts[1].assignment.choices, last_good.choices);
+            assert_eq!(
+                outcome.accounts[1].assignment.objective.to_bits(),
+                last_good.objective.to_bits(),
+                "degraded shard must serve the incumbent bit-for-bit"
+            );
+            last_good = outcome.accounts[1].assignment.clone();
+            for i in [0usize, 2] {
+                assert_eq!(
+                    outcome.accounts[i].assignment.choices,
+                    cold[i].assignment.choices
+                );
+                assert_eq!(
+                    outcome.accounts[i].assignment.objective.to_bits(),
+                    cold[i].assignment.objective.to_bits(),
+                    "healthy shard {i} must be unaffected by shard 1's fault"
+                );
+                assert!(!outcome.accounts[i].stale);
+            }
+            assert_eq!(engine.stale_accounts(), vec!["acct-1"]);
+        }
+
+        // After 2 consecutive failures the backoff is 1 epoch: the next
+        // epoch is skipped even though no fault is injected.
+        engine.ingest(&columns.filter_day_range(45, 60));
+        engine.advance(60);
+        let outcome = engine.reoptimize().unwrap();
+        assert_eq!(outcome.degraded_accounts, 1);
+        assert!(outcome.accounts[1].stale);
+
+        // Backoff expired: the next healthy epoch re-converges shard 1 to
+        // exactly what the cold reference decides over the full state.
+        engine.ingest(&columns.filter_day_range(60, 75));
+        engine.advance(75);
+        let cold = reference::full_resolve(&engine).unwrap();
+        let outcome = engine.reoptimize().unwrap();
+        assert_eq!(outcome.degraded_accounts, 0);
+        assert_outcome_matches_reference(&outcome, &cold, 5);
+        assert!(engine.stale_accounts().is_empty());
+    }
+
+    #[test]
+    fn deadline_overrun_degrades_like_a_solve_failure() {
+        let mut engine = demo_engine(2, 5, ServeConfig::default());
+        let first = engine.reoptimize().unwrap();
+        let faults = [Some(ShardFault::DeadlineOverrun), None];
+        let outcome = engine.reoptimize_with_faults(&faults).unwrap();
+        assert_eq!(outcome.degraded_accounts, 1);
+        assert!(outcome.accounts[0].stale);
+        assert_eq!(
+            outcome.accounts[0].assignment.objective.to_bits(),
+            first.accounts[0].assignment.objective.to_bits()
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_replay_is_bit_identical_to_never_crashing() {
+        let config = ServeConfig::default();
+        let mut live = demo_engine(3, 9, config);
+        let events = demo_trace(&live, 90, 50);
+        let columns = live.columns_from_events(&events);
+        let batches: Vec<EventColumns> = (0..6)
+            .map(|i| columns.filter_day_range(i * 15, i * 15 + 15))
+            .collect();
+
+        // Run 3 epochs (with a fault in epoch 2 so degraded-mode state is
+        // part of what the checkpoint must capture), then snapshot.
+        let faults = [None, Some(ShardFault::SolveFailure), None];
+        for (epoch, batch) in batches.iter().take(3).enumerate() {
+            live.ingest_sequenced(epoch as u64, batch).unwrap();
+            live.advance((epoch as u32 + 1) * 15);
+            if epoch == 1 {
+                live.reoptimize_with_faults(&faults).unwrap();
+            } else {
+                live.reoptimize().unwrap();
+            }
+        }
+        let snapshot = live.checkpoint();
+
+        // Crash: rebuild from the snapshot under the same configuration.
+        let mut restored = ServeEngine::restore(
+            scope_cloudsim::TierCatalog::azure_hot_cool_archive(),
+            schemes(),
+            &snapshot,
+        )
+        .unwrap();
+        // The restored engine's own checkpoint is byte-identical.
+        assert_eq!(restored.checkpoint(), snapshot);
+        assert_eq!(restored.day(), live.day());
+        assert_eq!(restored.epoch(), live.epoch());
+        assert_eq!(restored.stale_accounts(), live.stale_accounts());
+
+        // Replay the surviving stream on both engines in lockstep; every
+        // epoch outcome (choices + objective bits + quarantine) and the
+        // final checkpoints must match bit-for-bit. rows_patched is the
+        // one counter allowed to differ (the restored engine rebuilds its
+        // cost-table cache cold on the first epoch).
+        for (epoch, batch) in batches.iter().enumerate().skip(3) {
+            live.ingest_sequenced(epoch as u64, batch).unwrap();
+            restored.ingest_sequenced(epoch as u64, batch).unwrap();
+            let day = (epoch as u32 + 1) * 15;
+            live.advance(day);
+            restored.advance(day);
+            let a = live.reoptimize().unwrap();
+            let b = restored.reoptimize().unwrap();
+            assert_eq!(a.accounts.len(), b.accounts.len());
+            for (x, y) in a.accounts.iter().zip(&b.accounts) {
+                assert_eq!(x.assignment.choices, y.assignment.choices, "epoch {epoch}");
+                assert_eq!(
+                    x.assignment.objective.to_bits(),
+                    y.assignment.objective.to_bits(),
+                    "epoch {epoch}: objective bits diverged after restore"
+                );
+                assert_eq!(x.stale, y.stale);
+            }
+            assert_eq!(a.total_objective.to_bits(), b.total_objective.to_bits());
+            assert_eq!(a.retier_decisions, b.retier_decisions);
+            assert_eq!(a.dropped_events, b.dropped_events);
+        }
+        assert_eq!(live.checkpoint(), restored.checkpoint());
+    }
+
+    #[test]
+    fn checkpoint_preserves_the_reorder_buffer_and_quarantine() {
+        let mut engine = demo_engine(2, 4, ServeConfig::default());
+        let mut corrupt = EventColumns::default();
+        corrupt.push_resolved(1, 0, AccessKind::Read, f64::NAN);
+        corrupt.push_resolved(2, 1, AccessKind::Read, -1.0);
+        corrupt.push_resolved(3, 2, AccessKind::Write, 0.5);
+        engine.ingest_sequenced(0, &corrupt).unwrap();
+        // An early batch left pending across the crash.
+        let mut early = EventColumns::default();
+        early.push_resolved(4, 3, AccessKind::Read, 1.0);
+        engine.ingest_sequenced(5, &early).unwrap();
+        assert_eq!(engine.pending_batches(), 1);
+
+        let restored = ServeEngine::restore(
+            scope_cloudsim::TierCatalog::azure_hot_cool_archive(),
+            schemes(),
+            &engine.checkpoint(),
+        )
+        .unwrap();
+        assert_eq!(restored.quarantine(), engine.quarantine());
+        assert_eq!(restored.pending_batches(), 1);
+        assert_eq!(restored.next_seq(), 1);
+        assert_eq!(restored.checkpoint(), engine.checkpoint());
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_catalog_or_schemes() {
+        let engine = demo_engine(1, 3, ServeConfig::default());
+        let snapshot = engine.checkpoint();
+        // Fewer schemes than the checkpoint was taken under.
+        let err = ServeEngine::restore(
+            scope_cloudsim::TierCatalog::azure_hot_cool_archive(),
+            vec![CompressionOption::none()],
+            &snapshot,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::Checkpoint(_)));
+        // Flipped payload byte fails the checksum.
+        let mut corrupt = snapshot.clone();
+        corrupt[20] ^= 0x01;
+        assert!(matches!(
+            ServeEngine::restore(
+                scope_cloudsim::TierCatalog::azure_hot_cool_archive(),
+                schemes(),
+                &corrupt,
+            ),
+            Err(ServeError::Checkpoint(_))
+        ));
     }
 
     #[test]

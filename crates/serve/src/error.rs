@@ -16,6 +16,18 @@ pub enum ServeError {
     DuplicateObject(String),
     /// A re-solve failed inside the assignment optimizer.
     Solver(OptAssignError),
+    /// The sequenced-intake reorder buffer is full: too many out-of-order
+    /// batches are pending ahead of the next expected sequence number.
+    IntakeOverflow {
+        /// Sequence number the engine is waiting for.
+        expected_seq: u64,
+        /// Sequence number of the batch that did not fit.
+        got_seq: u64,
+    },
+    /// A checkpoint could not be decoded or does not match this engine's
+    /// catalog/scheme configuration (bad magic, unsupported version,
+    /// checksum mismatch, truncated payload, fingerprint mismatch).
+    Checkpoint(String),
 }
 
 impl fmt::Display for ServeError {
@@ -27,6 +39,15 @@ impl fmt::Display for ServeError {
                 write!(f, "object {name:?} is already registered")
             }
             ServeError::Solver(err) => write!(f, "re-solve failed: {err}"),
+            ServeError::IntakeOverflow {
+                expected_seq,
+                got_seq,
+            } => write!(
+                f,
+                "intake reorder buffer full: waiting for batch {expected_seq}, \
+                 cannot buffer batch {got_seq}"
+            ),
+            ServeError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
         }
     }
 }

@@ -28,18 +28,61 @@
 //!   from-scratch solve over the same state, pinned bit-for-bit equal to
 //!   the incremental path by the differential tests and in-process by
 //!   `serve_bench` before any timing runs.
+//!
+//! # Failure model
+//!
+//! The engine is built to keep serving — deterministically — under three
+//! classes of fault, each with an *exact* recovery contract (exercised by
+//! the `scope-faults` plans, the `tests/integration_chaos.rs` suite, and
+//! in-process by `chaos_bench` before any timing):
+//!
+//! * **Malformed intake.** [`ServeEngine::ingest`] validates every event:
+//!   out-of-horizon events are dropped (counted in `dropped_events`,
+//!   mirroring the billing engine), NaN and negative volumes are diverted
+//!   into the typed, bounded [`QuarantineLedger`] instead of poisoning
+//!   heat, and torn batches (parallel columns of unequal length) ingest
+//!   their common prefix with the lost tail counted. Decisions are made
+//!   strictly in event order — drop first, then quarantine, then
+//!   unknown-object skip — so a batch stream produces the identical
+//!   ledger however it is split. [`ServeEngine::ingest_sequenced`] adds
+//!   producer-assigned sequence numbers with a bounded reorder buffer:
+//!   duplicated and locally reordered deliveries fold exactly once, and
+//!   overflow is a typed [`ServeError::IntakeOverflow`], never silent
+//!   loss.
+//! * **Compute faults.** [`ServeEngine::reoptimize_with_faults`] accepts
+//!   per-shard fault injections ([`ShardFault`]: solver failure or
+//!   deadline overrun). A faulted shard serves its stored incumbent
+//!   placement verbatim — marked stale, objective bits unchanged — and
+//!   retries after a bounded, deterministic exponential backoff counted
+//!   in epochs (0, 1, 3, then 7 skipped epochs). Its dirty-row worklist
+//!   is preserved across failures, so the first healthy re-solve
+//!   re-converges to exactly the placement the cold reference computes
+//!   from the same state. Healthy shards are never affected: the fan-out
+//!   merges per-shard results in shard order.
+//! * **Crashes.** [`ServeEngine::checkpoint`] serializes the complete
+//!   dynamic state (interned ids, placements, heat, degraded-shard state,
+//!   quarantine ledger, reorder buffer) into a versioned, checksummed
+//!   image (see [`checkpoint`] for the wire format and versioning rules).
+//!   [`ServeEngine::restore`] + replay of the surviving batches is
+//!   bit-for-bit equal to never having crashed — checkpoints compare as
+//!   raw bytes. Corrupt, truncated, or mismatched images are typed
+//!   [`ServeError::Checkpoint`] errors, never panics.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
+pub mod quarantine;
 pub mod reference;
 
 mod error;
 
 pub use engine::{
     AccountAssignment, IngestReport, ResolveOutcome, ServeConfig, ServeEngine, ServeObject,
+    ShardFault,
 };
 pub use error::ServeError;
+pub use quarantine::{QuarantineLedger, QuarantineReason, QuarantinedEvent};
 
 // The vocabulary types callers need to drive the engine, re-exported so
 // downstream crates don't have to depend on the optimizer directly.

@@ -28,6 +28,7 @@ pub fn full_resolve(engine: &ServeEngine) -> Result<Vec<AccountAssignment>, Serv
         accounts.push(AccountAssignment {
             account: shard.account.clone(),
             assignment,
+            stale: false,
         });
     }
     Ok(accounts)
