@@ -40,7 +40,7 @@ cargo run -q -p scope-analyze -- --deny --json
 # static recount of #[test] cases (scope-analyze rule ci-floor-consistency
 # keeps it honest) — if the suite ever shrinks below it, tests were lost,
 # not just reorganised.
-min_tests=571
+min_tests=629
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo test -q --release (count floor: $min_tests)"
     release_out=$(cargo test -q --release 2>&1) || {
@@ -94,6 +94,16 @@ if [[ $quick -eq 0 ]]; then
     echo "==> chaos_bench --json --quick (BENCH_9 smoke)"
     cargo run --release -q -p scope-bench --bin chaos_bench -- \
         --json --quick --out target/BENCH_9.quick.json
+
+    # PR-10 recovery suite: durable intake journal + end-to-end crash
+    # recovery. The bin fuzzes crash points under none/light/heavy
+    # storage-fault plans and asserts recovered state bit-identical to a
+    # never-crashed twin (checkpoints as raw bytes, per epoch) before
+    # timing journaling overhead; journal segments live in a throwaway
+    # directory under target/.
+    echo "==> recovery_bench --json --quick (BENCH_10 smoke)"
+    cargo run --release -q -p scope-bench --bin recovery_bench -- \
+        --json --quick --dir target/recovery_bench_ci --out target/BENCH_10.quick.json
 fi
 
 echo "==> cargo bench --no-run (criterion benches must compile)"

@@ -22,6 +22,7 @@ pub const RULE_NAMES: &[&str] = &[
     "no-unordered-iteration",
     "no-wallclock-in-logic",
     "no-raw-threads",
+    "fs-confinement",
     "panic-surface",
     "oracle-discipline",
     "shim-surface",
@@ -86,6 +87,9 @@ pub fn analyze_rules(root: &Path, active: &BTreeSet<&str>) -> std::io::Result<Re
     }
     if active.contains("no-raw-threads") {
         no_raw_threads(&ws, &mut findings);
+    }
+    if active.contains("fs-confinement") {
+        fs_confinement(&ws, &mut findings);
     }
     if active.contains("panic-surface") {
         panic_counts = panic_surface(&ws, &mut waivers, &mut findings);
@@ -650,6 +654,59 @@ fn no_raw_threads(ws: &Workspace, findings: &mut Vec<Finding>) {
                     message: "raw `std::thread` outside scope-cloudsim::parallel — use the \
                               deterministic fan-out (`parallel_map`) instead"
                         .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: fs-confinement
+// ---------------------------------------------------------------------------
+
+/// Durability belongs to the WAL storage backend: every filesystem touch
+/// in pipeline code must flow through the `Storage` trait so the fault
+/// injector and crash fuzzer see it. `std::fs` paths and direct
+/// `File::` / `OpenOptions::` handles are allowed only in the file
+/// backend itself (`wal/src/file.rs`), the analyzer (which reads the
+/// sources it lints), and the bench harnesses.
+fn fs_confinement(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for file in ws.files.values() {
+        if file.class == FileClass::Shim
+            || file.class == FileClass::Test
+            || file.class == FileClass::Bench
+            || file.crate_name == "scope-analyze"
+            || file.crate_name == "scope-bench"
+            || file.path.ends_with("wal/src/file.rs")
+        {
+            continue;
+        }
+        let code = code_view(file);
+        for p in 0..code.len() {
+            if file.is_test_code(code[p]) {
+                continue;
+            }
+            let what = if matches_path(file, &code, p, &["std", "fs"]) {
+                Some("`std::fs`")
+            } else if (file.tokens[code[p]].is_ident("File")
+                || file.tokens[code[p]].is_ident("OpenOptions"))
+                && tok(file, &code, p + 1).is_some_and(|t| t.is_punct(':'))
+                && tok(file, &code, p + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                Some("a direct file handle")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                findings.push(Finding {
+                    rule: "fs-confinement",
+                    file: file.path.clone(),
+                    line: file.tokens[code[p]].line,
+                    message: format!(
+                        "{what} outside the WAL file backend — route durability \
+                         through the `Storage` trait so fault injection and crash \
+                         fuzzing cover it"
+                    ),
                 });
             }
         }

@@ -1,0 +1,23 @@
+//! Negative fixture: tests may touch the filesystem, and idents that
+//! merely contain "File" are not handles.
+
+pub struct FileCatalog;
+
+impl FileCatalog {
+    pub fn describe() -> &'static str {
+        "a catalog, not a handle"
+    }
+}
+
+pub fn logic() -> &'static str {
+    FileCatalog::describe()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_the_real_fs() {
+        let dir = std::env::temp_dir();
+        let _ = std::fs::read_dir(dir);
+    }
+}

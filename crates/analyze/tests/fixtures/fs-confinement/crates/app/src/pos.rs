@@ -1,0 +1,9 @@
+//! Positive fixture: filesystem access in library logic.
+
+pub fn sneak_write(bytes: &[u8]) {
+    let _ = std::fs::write("out.bin", bytes);
+}
+
+pub fn sneak_open() {
+    let _ = OpenOptions::new().read(true).open("out.bin");
+}

@@ -1,0 +1,6 @@
+//! Waived fixture: an acknowledged filesystem touch.
+
+pub fn emergency_dump(bytes: &[u8]) {
+    // scope-analyze: allow(fs-confinement) — fixture: crash-dump escape hatch
+    let _ = std::fs::write("dump.bin", bytes);
+}

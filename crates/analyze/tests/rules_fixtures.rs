@@ -61,6 +61,21 @@ fn raw_threads_pos_neg_waived() {
 }
 
 #[test]
+fn fs_confinement_pos_neg_waived_and_backend_exempt() {
+    let report = run("fs-confinement", &["fs-confinement"]);
+    let msgs = messages(&report);
+    assert_eq!(report.findings.len(), 2, "{msgs:?}");
+    assert!(report.findings.iter().all(|f| f.file.ends_with("pos.rs")));
+    assert!(msgs.iter().any(|m| m.contains("std::fs")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("direct file handle")),
+        "{msgs:?}"
+    );
+    // waived.rs was suppressed; wal/src/file.rs and test code are exempt.
+    assert_eq!(report.waivers_used, 1);
+}
+
+#[test]
 fn panic_surface_counts_match_a_correct_ratchet() {
     let report = run("panic-ok", &["panic-surface"]);
     let msgs = messages(&report);

@@ -18,6 +18,20 @@ use crate::providers::ProviderTopology;
 use crate::tiers::{Tier, TierCatalog, TierId};
 use serde::{Deserialize, Serialize};
 
+/// Sentinel returned by the pricing paths for a `TierId` minted by a
+/// different catalog: every rate is NaN, so any cost computed against it
+/// is NaN and fails the `<`/`is_finite` checks downstream instead of
+/// silently pricing the plan — without panicking the serving loop.
+static INVALID_TIER: Tier = Tier {
+    name: String::new(),
+    storage_cost_cents_per_gb_month: f64::NAN,
+    read_cost_cents_per_gb: f64::NAN,
+    write_cost_cents_per_gb: f64::NAN,
+    ttfb_seconds: f64::NAN,
+    early_deletion_days: 0,
+    capacity_gb: None,
+};
+
 /// Description of a stored object (a data partition or whole dataset).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObjectSpec {
@@ -231,11 +245,12 @@ impl CostModel {
     }
 
     /// The spec of `tier`, whose id the infallible pricing entry points
-    /// below require to come from this model's own catalog (the only
-    /// `TierId`s in circulation are minted by a catalog). This is the one
-    /// place that invariant is enforced.
+    /// below expect to come from this model's own catalog (the only
+    /// `TierId`s in circulation are minted by a catalog). A foreign id
+    /// prices as NaN — which every downstream comparison rejects — rather
+    /// than panicking the serving loop on one malformed plan.
     fn tier_spec(&self, tier: TierId) -> &Tier {
-        self.catalog.tier(tier).expect("tier id from this catalog")
+        self.catalog.tier(tier).unwrap_or(&INVALID_TIER)
     }
 
     /// Storage cost (cents) of keeping `size_gb` gigabytes on `tier` for
@@ -415,6 +430,19 @@ mod tests {
         // Reading 1 GB once.
         assert!(m.read_cost(premium, 1.0, 1.0) < m.read_cost(archive, 1.0, 1.0));
         assert!((m.read_cost(archive, 1.0, 1.0) - 16.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_tier_ids_price_as_nan_instead_of_panicking() {
+        let m = model();
+        let foreign = TierId(m.catalog().len() + 7);
+        assert!(m.storage_cost(foreign, 10.0, 1.0).is_nan());
+        assert!(m.read_cost(foreign, 1.0, 2.0).is_nan());
+        assert!(m.write_cost(foreign, 1.0).is_nan());
+        // A NaN price loses every `<` comparison, so no placement ever
+        // selects the phantom tier.
+        let hot = m.catalog().tier_id("Hot").unwrap();
+        assert!(!(m.storage_cost(foreign, 10.0, 1.0) < m.storage_cost(hot, 10.0, 1.0)));
     }
 
     #[test]

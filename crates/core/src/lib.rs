@@ -50,6 +50,7 @@ pub mod lifecycle;
 pub mod multicloud;
 pub mod pipeline;
 pub mod policy;
+pub mod recovery;
 pub mod scenario;
 pub mod serving;
 pub mod tradeoff;
@@ -66,6 +67,7 @@ pub use multicloud::{
 };
 pub use pipeline::{run_all_policies, run_policy, PolicyOutcome};
 pub use policy::Policy;
+pub use recovery::{run_recovery, RecoveryEpoch, RecoveryOptions, RecoveryOutcome};
 pub use scenario::{
     enterprise2_scenario, tpch_scenario, PipelineInputs, ScenarioOptions, TableProfile,
 };

@@ -17,6 +17,10 @@
 //!   [`scope_serve::ShardFault`].
 //! * **Crashes** ([`FaultPlan::crash_after_epoch`]): which epochs end in a
 //!   simulated crash, exercising checkpoint/restore/replay.
+//! * **Storage faults** ([`storage`]): seeded failure schedules for the
+//!   write-ahead intake journal — failed/partial appends, failed syncs,
+//!   torn tails, bit rot and crash points — applied through the
+//!   [`FaultyStorage`] wrapper over any `scope-wal` backend.
 //!
 //! [`expected_intake`] is an independent reference implementation of the
 //! serving intake's validation rules (horizon drop, quarantine, unknown
@@ -25,6 +29,10 @@
 //! drift silently.
 
 #![warn(missing_docs)]
+
+pub mod storage;
+
+pub use storage::{AppendFault, FaultyStorage, StorageFaultPlan, StorageFaultRates};
 
 use std::fmt;
 
@@ -187,7 +195,7 @@ impl FaultPlan {
     }
 
     /// SplitMix64-style avalanche over `(seed, domain, epoch, id)`.
-    fn mix(&self, domain: u64, epoch: u64, id: u64) -> u64 {
+    pub(crate) fn mix(&self, domain: u64, epoch: u64, id: u64) -> u64 {
         let mut z = self
             .seed
             .wrapping_add(domain.wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -200,7 +208,7 @@ impl FaultPlan {
     }
 
     /// Bernoulli draw with probability `rate` from the hash stream.
-    fn chance(&self, domain: u64, epoch: u64, id: u64, rate: f64) -> bool {
+    pub(crate) fn chance(&self, domain: u64, epoch: u64, id: u64, rate: f64) -> bool {
         if rate <= 0.0 {
             return false;
         }

@@ -387,11 +387,13 @@ impl OptAssignProblem {
         if let Some(from) = p.current_tier {
             if from != tier {
                 // Same rule the billing engine applies; `validate` checks
-                // current tiers against the catalog, so lookup cannot fail
-                // for a validated problem.
+                // current tiers against the catalog, so lookup only fails
+                // for an unvalidated problem — poison the breakdown with
+                // NaN (rejected by every cost comparison) instead of
+                // panicking mid-solve.
                 write += model
                     .early_deletion_penalty(from, p.size_gb, p.residency_days)
-                    .expect("current tier from this catalog");
+                    .unwrap_or(f64::NAN);
             }
         }
         CostBreakdown {

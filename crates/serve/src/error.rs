@@ -3,6 +3,7 @@
 use std::fmt;
 
 use scope_optassign::OptAssignError;
+use scope_wal::WalError;
 
 /// Errors produced by the serving engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,9 @@ pub enum ServeError {
     /// catalog/scheme configuration (bad magic, unsupported version,
     /// checksum mismatch, truncated payload, fingerprint mismatch).
     Checkpoint(String),
+    /// The write-ahead intake journal failed (storage I/O, corrupt frame,
+    /// unrecoverable store). See [`scope_wal::WalError`].
+    Wal(WalError),
 }
 
 impl fmt::Display for ServeError {
@@ -48,6 +52,7 @@ impl fmt::Display for ServeError {
                  cannot buffer batch {got_seq}"
             ),
             ServeError::Checkpoint(msg) => write!(f, "invalid checkpoint: {msg}"),
+            ServeError::Wal(err) => write!(f, "intake journal: {err}"),
         }
     }
 }
@@ -57,5 +62,11 @@ impl std::error::Error for ServeError {}
 impl From<OptAssignError> for ServeError {
     fn from(err: OptAssignError) -> Self {
         ServeError::Solver(err)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(err: WalError) -> Self {
+        ServeError::Wal(err)
     }
 }

@@ -67,11 +67,27 @@
 //!   bit-for-bit equal to never having crashed — checkpoints compare as
 //!   raw bytes. Corrupt, truncated, or mismatched images are typed
 //!   [`ServeError::Checkpoint`] errors, never panics.
+//!
+//! # Durability and recovery
+//!
+//! [`JournaledEngine`] (see [`journal`]) closes the crash story end to
+//! end: every accepted batch is appended to a segmented, CRC-framed
+//! write-ahead journal (`scope-wal`) *before* it mutates engine state,
+//! synced at epoch boundaries, and checkpoints are published atomically
+//! through the same storage with covered segments retired.
+//! [`JournaledEngine::recover`] is the single recovery protocol — newest
+//! valid checkpoint (walking back past corrupt ones), truncate the torn
+//! tail, quarantine corrupt interior records with typed errors, replay
+//! the tail through the validating intake — and is pinned bit-for-bit
+//! equal to a never-crashed engine across fuzzed crash points and seeded
+//! storage faults by `tests/integration_recovery.rs` and, in-process
+//! before any timing, by `recovery_bench`.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod engine;
+pub mod journal;
 pub mod quarantine;
 pub mod reference;
 
@@ -82,6 +98,7 @@ pub use engine::{
     ShardFault,
 };
 pub use error::ServeError;
+pub use journal::{JournaledEngine, RecoveryReport};
 pub use quarantine::{QuarantineLedger, QuarantineReason, QuarantinedEvent};
 
 // The vocabulary types callers need to drive the engine, re-exported so
